@@ -1,0 +1,1 @@
+bench/a_ablations.ml: Bench_util List Printf Untx_dc Untx_kernel Untx_tc Untx_util

@@ -1,0 +1,1 @@
+bench/bench_util.ml: List Printf String Unix Untx_baseline Untx_dc Untx_kernel Untx_tc Untx_util

@@ -1,0 +1,1 @@
+bench/e10_contracts.ml: Bench_util Hashtbl List Printf Untx_dc Untx_kernel Untx_tc

@@ -1,0 +1,1 @@
+bench/e1_code_path.ml: Bench_util Printf Untx_baseline Untx_kernel Untx_tc Untx_util

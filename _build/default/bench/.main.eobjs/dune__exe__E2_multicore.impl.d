@@ -1,0 +1,1 @@
+bench/e2_multicore.ml: Bench_util Domain List Printf Untx_kernel Untx_util

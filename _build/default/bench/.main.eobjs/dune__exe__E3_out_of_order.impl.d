@@ -1,0 +1,1 @@
+bench/e3_out_of_order.ml: Bench_util Hashtbl List Printf Untx_dc Untx_kernel Untx_util

@@ -1,0 +1,1 @@
+bench/e4_page_sync.ml: Bench_util Printf Untx_dc Untx_kernel Untx_storage Untx_util

@@ -1,0 +1,1 @@
+bench/e5_recovery.ml: Bench_util Printf Untx_dc Untx_kernel Untx_tc Untx_util

@@ -1,0 +1,1 @@
+bench/e6_movie.ml: Bench_util List Printf Untx_baseline Untx_cloud Untx_tc Untx_util

@@ -1,0 +1,1 @@
+bench/e7_range_locks.ml: Bench_util Printf Untx_baseline Untx_kernel Untx_tc

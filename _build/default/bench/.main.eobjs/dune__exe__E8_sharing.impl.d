@@ -1,0 +1,1 @@
+bench/e8_sharing.ml: Bench_util List Printf String Untx_cloud Untx_dc Untx_tc Untx_util

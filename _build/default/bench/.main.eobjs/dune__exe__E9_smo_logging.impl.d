@@ -1,0 +1,1 @@
+bench/e9_smo_logging.ml: Bench_util List Printf String Untx_dc Untx_kernel

@@ -1,0 +1,1 @@
+bench/main.ml: A_ablations Array E10_contracts E1_code_path E2_multicore E3_out_of_order E4_page_sync E5_recovery E6_movie E7_range_locks E8_sharing E9_smo_logging List Micro Printf String Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Bench_util Benchmark Hashtbl Instance Measure Printf Staged Test Time Toolkit Untx_baseline Untx_btree Untx_dc Untx_kernel Untx_storage Untx_util

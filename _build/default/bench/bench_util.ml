@@ -1,0 +1,136 @@
+(* Shared helpers for the experiment harness: wall-clock timing, table
+   rendering, engine construction. *)
+
+module Kernel = Untx_kernel.Kernel
+module Transport = Untx_kernel.Transport
+module Engine = Untx_kernel.Engine
+module Driver = Untx_kernel.Driver
+module Tc = Untx_tc.Tc
+module Dc = Untx_dc.Dc
+module Mono = Untx_baseline.Mono
+module Tc_id = Untx_util.Tc_id
+module Instrument = Untx_util.Instrument
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+(* --- table printing --------------------------------------------------- *)
+
+let print_table ~title ~header rows =
+  let all = header :: rows in
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        List.mapi
+          (fun i cell -> max (List.nth acc i) (String.length cell))
+          row)
+      (List.map (fun _ -> 0) header)
+      all
+  in
+  let line c =
+    print_string "+";
+    List.iter (fun w -> print_string (String.make (w + 2) c ^ "+")) widths;
+    print_newline ()
+  in
+  let render row =
+    print_string "|";
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        Printf.printf " %-*s |" w cell)
+      row;
+    print_newline ()
+  in
+  Printf.printf "\n%s\n" title;
+  line '-';
+  render header;
+  line '=';
+  List.iter render rows;
+  line '-'
+
+let fmt_f f = Printf.sprintf "%.1f" f
+
+let fmt_f2 f = Printf.sprintf "%.2f" f
+
+let per x n = if n = 0 then 0. else float_of_int x /. float_of_int n
+
+(* --- engines ----------------------------------------------------------- *)
+
+let kernel_config ?(policy = Transport.reliable) ?(sync_policy = Dc.Full_ablsn)
+    ?(tc_reset_mode = Dc.Selective) ?(cc_protocol = Tc.Key_locks)
+    ?(pipeline_writes = true) ?(page_capacity = 512) ?(cache_pages = 512)
+    ?(seed = 42) ?(lwm_every = 16) ?(counters = Instrument.global) () =
+  ignore counters;
+  {
+    Kernel.tc =
+      {
+        (Tc.default_config (Tc_id.of_int 1)) with
+        cc_protocol;
+        pipeline_writes;
+        lwm_every;
+      };
+    dc =
+      {
+        Dc.page_capacity;
+        cache_pages;
+        sync_policy;
+        tc_reset_mode;
+        debug_checks = false;
+      };
+    policy;
+    seed;
+    auto_checkpoint_every = 0;
+  }
+
+let make_kernel ?policy ?sync_policy ?tc_reset_mode ?cc_protocol
+    ?pipeline_writes ?page_capacity ?cache_pages ?seed ?lwm_every ?counters
+    ?(versioned = true) ?(table = "kv") () =
+  let k =
+    Kernel.create ?counters
+      (kernel_config ?policy ?sync_policy ?tc_reset_mode ?cc_protocol
+         ?pipeline_writes ?page_capacity ?cache_pages ?seed ?lwm_every
+         ?counters ())
+  in
+  Kernel.create_table k ~name:table ~versioned;
+  k
+
+let make_mono ?(cc_protocol = Tc.Key_locks) ?(page_capacity = 512)
+    ?(cache_pages = 512) ?counters ?(table = "kv") () =
+  let m =
+    Mono.create ?counters
+      { Mono.page_capacity; cache_pages; cc_protocol; debug_checks = false }
+  in
+  Mono.create_table m ~name:table;
+  m
+
+let mono_engine m : (module Engine.S) =
+  (module struct
+    type txn = Mono.txn
+
+    let begin_txn () = Mono.begin_txn m
+
+    let xid = Mono.xid
+
+    let is_active = Mono.is_active
+
+    let read txn ~table ~key = Mono.read m txn ~table ~key
+
+    let insert txn ~table ~key ~value = Mono.insert m txn ~table ~key ~value
+
+    let update txn ~table ~key ~value = Mono.update m txn ~table ~key ~value
+
+    let delete txn ~table ~key = Mono.delete m txn ~table ~key
+
+    let scan txn ~table ~from_key ~limit =
+      Mono.scan m txn ~table ~from_key ~limit
+
+    let commit txn = Mono.commit m txn
+
+    let abort txn ~reason = Mono.abort m txn ~reason
+
+    let wakeups () = Mono.wakeups m
+
+    let resolve_deadlock () = Mono.resolve_deadlock m
+  end)

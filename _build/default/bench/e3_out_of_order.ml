@@ -1,0 +1,85 @@
+(* E3 — Out-of-order execution and the abstract-LSN idempotence test
+   (paper Section 5.1).
+
+   The TC assigns LSNs before page access order is decided, so with
+   pipelined writes and a reordering transport, operations genuinely
+   reach pages out of LSN order.  We count those arrivals, how often
+   the classical [opLSN <= pageLSN] test would have lied (treating an
+   unapplied operation as applied), and the space cost of the two sound
+   alternatives the paper weighs: record-level LSNs (8 bytes per
+   record) vs abstract LSNs serialized at page-sync time. *)
+
+open Bench_util
+module Kernel = Untx_kernel.Kernel
+module Transport = Untx_kernel.Transport
+module Dc = Untx_dc.Dc
+module Instrument = Untx_util.Instrument
+
+let table = "kv"
+
+let ok = function
+  | `Ok v -> v
+  | `Blocked -> failwith "blocked"
+  | `Fail m -> failwith m
+
+let run_policy label policy seed =
+  let counters = Instrument.create () in
+  let k = make_kernel ~counters ~policy ~seed () in
+  let known = Hashtbl.create 1024 in
+  let n_txns = 300 and writes_per_txn = 24 in
+  for t = 0 to n_txns - 1 do
+    let txn = Kernel.begin_txn k in
+    for i = 0 to writes_per_txn - 1 do
+      let key = Printf.sprintf "k%05d" (((t * 7) + (i * 131)) mod 2000) in
+      if Hashtbl.mem known key then
+        ok (Kernel.update k txn ~table ~key ~value:(string_of_int t))
+      else begin
+        Hashtbl.replace known key ();
+        ok (Kernel.insert k txn ~table ~key ~value:(string_of_int t))
+      end
+    done;
+    ok (Kernel.commit k txn)
+  done;
+  Kernel.quiesce k;
+  let dc = Kernel.dc k in
+  Dc.flush_all dc;
+  let records = List.length (Dc.dump_table dc table) in
+  let requests = Instrument.get counters "dc.requests" in
+  [
+    label;
+    string_of_int requests;
+    string_of_int (Instrument.get counters "dc.out_of_order_arrivals");
+    string_of_int (Instrument.get counters "dc.classical_test_would_lie");
+    string_of_int (Dc.dup_absorbed dc);
+    string_of_int (Instrument.get counters "dc.meta_bytes_flushed");
+    string_of_int (records * 8);
+  ]
+
+let run () =
+  let rows =
+    [
+      run_policy "in-order (reliable)" Transport.reliable 3;
+      run_policy "reorder 0-3 ticks"
+        { Transport.delay_min = 0; delay_max = 3; reorder = true;
+          dup_prob = 0.; drop_prob = 0. }
+        4;
+      run_policy "reorder + dup 10%"
+        { Transport.delay_min = 0; delay_max = 3; reorder = true;
+          dup_prob = 0.1; drop_prob = 0. }
+        5;
+      run_policy "reorder + dup + drop 10%" Transport.chaotic 6;
+    ]
+  in
+  print_table
+    ~title:
+      "E3  Out-of-order arrivals: pipelined writes over progressively \
+       worse transports (300 txns x 24 writes)"
+    ~header:
+      [ "delivery"; "requests"; "ooo arrivals"; "classical lies";
+        "dups absorbed"; "abLSN meta B"; "rec-LSN B equiv" ]
+    rows;
+  Printf.printf
+    "claim check: every 'classical lies' case is an operation the \
+     traditional page-LSN test\nwould have silently skipped; the abstract \
+     LSN re-executes it and absorbs true duplicates.\nFinal states were \
+     verified identical across all four deliveries by the test suite.\n"

@@ -1,0 +1,48 @@
+(* Experiment harness for the CIDR 2009 "Unbundling Transaction Services
+   in the Cloud" reproduction.
+
+   Each experiment (E1-E10) regenerates one of the paper's quantified
+   claims as a table; `micro` runs the Bechamel per-operation
+   benchmarks.  See DESIGN.md for the experiment index and
+   EXPERIMENTS.md for recorded results.
+
+   Usage:
+     dune exec bench/main.exe             # everything
+     dune exec bench/main.exe -- e5 e6    # selected experiments
+     dune exec bench/main.exe -- micro    # Bechamel micro-benchmarks *)
+
+let experiments =
+  [
+    ("e1", "code-path length: unbundled vs monolithic", E1_code_path.run);
+    ("e2", "instance scaling across cores", E2_multicore.run);
+    ("e3", "out-of-order arrivals and abstract LSNs", E3_out_of_order.run);
+    ("e4", "page-sync policies", E4_page_sync.run);
+    ("e5", "partial-failure recovery", E5_recovery.run);
+    ("e6", "movie scenario without 2PC", E6_movie.run);
+    ("e7", "range-locking protocols", E7_range_locks.run);
+    ("e8", "cross-TC sharing modes", E8_sharing.run);
+    ("e9", "system-transaction logging", E9_smo_logging.run);
+    ("e10", "exactly-once contracts", E10_contracts.run);
+    ("ablations", "design-choice ablations A1-A5", A_ablations.run);
+    ("micro", "Bechamel micro-benchmarks", Micro.run);
+  ]
+
+let run_one name =
+  match List.find_opt (fun (n, _, _) -> String.equal n name) experiments with
+  | Some (n, desc, f) ->
+    Printf.printf "\n################ %s — %s\n%!" (String.uppercase_ascii n)
+      desc;
+    f ()
+  | None ->
+    Printf.eprintf "unknown experiment %S; known: %s\n" name
+      (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
+    exit 1
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map (fun (n, _, _) -> n) experiments
+  in
+  List.iter run_one requested;
+  print_newline ()

@@ -1,0 +1,134 @@
+(* Bechamel micro-benchmarks: the hot paths under each experiment.
+
+   One Test.make per operation class; all grouped in one run.  These
+   complement the experiment tables with per-operation costs measured
+   by OLS over monotonic-clock samples. *)
+
+open Bechamel
+open Toolkit
+module Kernel = Untx_kernel.Kernel
+module Ablsn = Untx_dc.Ablsn
+module Lsn = Untx_util.Lsn
+module Btree = Untx_btree.Btree
+module Page = Untx_storage.Page
+module Page_id = Untx_storage.Page_id
+module Disk = Untx_storage.Disk
+module Cache = Untx_storage.Cache
+module Mono = Untx_baseline.Mono
+
+let ok = function
+  | `Ok v -> v
+  | `Blocked -> failwith "blocked"
+  | `Fail m -> failwith m
+
+let kernel_txn_test =
+  let k = Bench_util.make_kernel () in
+  let txn0 = Kernel.begin_txn k in
+  for j = 0 to 1_999 do
+    ok (Kernel.insert k txn0 ~table:"kv" ~key:(Printf.sprintf "k%06d" j) ~value:"v")
+  done;
+  ok (Kernel.commit k txn0);
+  let i = ref 0 in
+  Test.make ~name:"unbundled: 1-write txn (commit+force)"
+    (Staged.stage (fun () ->
+         incr i;
+         let key = Printf.sprintf "k%06d" (!i mod 2_000) in
+         let txn = Kernel.begin_txn k in
+         ok (Kernel.update k txn ~table:"kv" ~key ~value:"v");
+         ok (Kernel.commit k txn)))
+
+let kernel_read_test =
+  let k = Bench_util.make_kernel () in
+  let txn0 = Kernel.begin_txn k in
+  for j = 0 to 999 do
+    ok (Kernel.insert k txn0 ~table:"kv" ~key:(Printf.sprintf "k%04d" j) ~value:"v")
+  done;
+  ok (Kernel.commit k txn0);
+  let i = ref 0 in
+  Test.make ~name:"unbundled: point read (lock+message)"
+    (Staged.stage (fun () ->
+         incr i;
+         let txn = Kernel.begin_txn k in
+         ignore
+           (ok
+              (Kernel.read k txn ~table:"kv"
+                 ~key:(Printf.sprintf "k%04d" (!i mod 1000))));
+         ok (Kernel.commit k txn)))
+
+let mono_txn_test =
+  let m = Bench_util.make_mono () in
+  let txn0 = Mono.begin_txn m in
+  for j = 0 to 1_999 do
+    ok (Mono.insert m txn0 ~table:"kv" ~key:(Printf.sprintf "k%06d" j) ~value:"v")
+  done;
+  ok (Mono.commit m txn0);
+  let i = ref 0 in
+  Test.make ~name:"monolith: 1-write txn (commit+force)"
+    (Staged.stage (fun () ->
+         incr i;
+         let key = Printf.sprintf "k%06d" (!i mod 2_000) in
+         let txn = Mono.begin_txn m in
+         ok (Mono.update m txn ~table:"kv" ~key ~value:"v");
+         ok (Mono.commit m txn)))
+
+let ablsn_test =
+  let i = ref 0 in
+  let ab = ref Ablsn.empty in
+  Test.make ~name:"abLSN: add + included test"
+    (Staged.stage (fun () ->
+         incr i;
+         ab := Ablsn.add (Lsn.of_int !i) !ab;
+         if !i mod 64 = 0 then ab := Ablsn.advance ~lwm:(Lsn.of_int !i) !ab;
+         ignore (Ablsn.included (Lsn.of_int (!i / 2)) !ab)))
+
+let btree_test =
+  let disk = Disk.create () in
+  let cache = Cache.create ~disk ~capacity:4096 () in
+  let tree =
+    Btree.create ~cache ~name:"b" ~page_capacity:512 ~hooks:Btree.null_hooks
+  in
+  let i = ref 0 in
+  Test.make ~name:"B-tree: set (with splits)"
+    (Staged.stage (fun () ->
+         incr i;
+         Btree.set tree
+           ~key:(Printf.sprintf "k%08d" (!i * 2654435761 land 0xFFFFF))
+           ~data:"0123456789abcdef"))
+
+let page_test =
+  let page = Page.create ~id:(Page_id.of_int 1) ~kind:Page.Leaf ~capacity:100_000 in
+  let i = ref 0 in
+  Test.make ~name:"page: set/find"
+    (Staged.stage (fun () ->
+         incr i;
+         let key = Printf.sprintf "k%03d" (!i mod 500) in
+         Page.set page ~key ~data:"payload";
+         ignore (Page.find page key)))
+
+let benchmark () =
+  let tests =
+    Test.make_grouped ~name:"untx"
+      [
+        kernel_txn_test; kernel_read_test; mono_txn_test; ablsn_test;
+        btree_test; page_test;
+      ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "\nMicro-benchmarks (ns/op, OLS on monotonic clock)\n";
+  Printf.printf "%-45s %12s\n" "operation" "ns/op";
+  Hashtbl.iter
+    (fun name result ->
+      match Bechamel.Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-45s %12.0f\n" name est
+      | _ -> Printf.printf "%-45s %12s\n" name "-")
+    results
+
+let run () = benchmark ()

@@ -1,0 +1,1 @@
+examples/movie_reviews.ml: List Printf String Untx_cloud

@@ -1,0 +1,1 @@
+examples/partial_failure.ml: List Printf Untx_dc Untx_kernel Untx_tc Untx_util

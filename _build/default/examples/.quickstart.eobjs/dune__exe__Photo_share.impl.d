@@ -1,0 +1,1 @@
+examples/photo_share.ml: List Printf String Untx_cloud Untx_dc Untx_tc Untx_util

@@ -1,0 +1,1 @@
+lib/baseline/mono.ml: Char Hashtbl List Obj Queue String Untx_btree Untx_storage Untx_tc Untx_util Untx_wal

@@ -1,0 +1,1 @@
+lib/baseline/mono.mli: Untx_tc Untx_util

@@ -1,0 +1,1 @@
+lib/btree/btree.ml: Format List String Untx_storage

@@ -1,0 +1,1 @@
+lib/cloud/deploy.mli: Untx_dc Untx_kernel Untx_tc Untx_util

@@ -1,0 +1,1 @@
+lib/cloud/movie.ml: Deploy List Printf String Untx_dc Untx_tc Untx_util

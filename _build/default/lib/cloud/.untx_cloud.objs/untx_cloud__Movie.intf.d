@@ -1,0 +1,1 @@
+lib/cloud/movie.mli: Deploy Untx_kernel Untx_util

@@ -1,0 +1,1 @@
+lib/cloud/two_pc.ml: Array Hashtbl List Untx_baseline Untx_util

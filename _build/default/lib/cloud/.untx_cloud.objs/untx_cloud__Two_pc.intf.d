@@ -1,0 +1,1 @@
+lib/cloud/two_pc.mli: Untx_baseline Untx_util

@@ -1,0 +1,116 @@
+module Instrument = Untx_util.Instrument
+module Transport = Untx_kernel.Transport
+module Tc = Untx_tc.Tc
+module Dc = Untx_dc.Dc
+
+type t = {
+  counters : Instrument.t;
+  policy : Transport.policy;
+  mutable seed : int;
+  dcs : (string, Dc.t) Hashtbl.t;
+  tcs : (string, Tc.t) Hashtbl.t;
+  transports : (string * string, Transport.t) Hashtbl.t; (* (tc, dc) *)
+}
+
+let create ?(counters = Instrument.global) ?(policy = Transport.reliable)
+    ?(seed = 42) () =
+  {
+    counters;
+    policy;
+    seed;
+    dcs = Hashtbl.create 4;
+    tcs = Hashtbl.create 4;
+    transports = Hashtbl.create 8;
+  }
+
+let fresh_seed t =
+  t.seed <- t.seed + 7919;
+  t.seed
+
+let link t ~tc_name ~dc_name =
+  if not (Hashtbl.mem t.transports (tc_name, dc_name)) then begin
+    let dc = Hashtbl.find t.dcs dc_name in
+    let transport =
+      Transport.create ~policy:t.policy ~seed:(fresh_seed t)
+        ~dc:(fun req -> Dc.perform dc req)
+        ()
+    in
+    Hashtbl.add t.transports (tc_name, dc_name) transport;
+    let tc = Hashtbl.find t.tcs tc_name in
+    Tc.attach_dc tc
+      {
+        Tc.dc_name;
+        send = (fun req -> Transport.send transport req);
+        control = (fun ctl -> Dc.control dc ctl);
+        drain = (fun () -> Transport.drain transport);
+      }
+  end
+
+let add_dc t ~name config =
+  if Hashtbl.mem t.dcs name then invalid_arg ("Deploy.add_dc: dup " ^ name);
+  let dc = Dc.create ~counters:t.counters config in
+  Hashtbl.add t.dcs name dc;
+  Hashtbl.iter (fun tc_name _ -> link t ~tc_name ~dc_name:name) t.tcs;
+  dc
+
+let add_tc t ~name config =
+  if Hashtbl.mem t.tcs name then invalid_arg ("Deploy.add_tc: dup " ^ name);
+  let tc = Tc.create ~counters:t.counters config in
+  Hashtbl.add t.tcs name tc;
+  Hashtbl.iter (fun dc_name _ -> link t ~tc_name:name ~dc_name) t.dcs;
+  tc
+
+let tc t name = Hashtbl.find t.tcs name
+
+let dc t name = Hashtbl.find t.dcs name
+
+let tc_names t =
+  Hashtbl.fold (fun n _ acc -> n :: acc) t.tcs [] |> List.sort String.compare
+
+let dc_names t =
+  Hashtbl.fold (fun n _ acc -> n :: acc) t.dcs [] |> List.sort String.compare
+
+let create_table t ~dc:dc_name ~name ~versioned =
+  Dc.create_table (dc t dc_name) ~name ~versioned
+
+let drop_in_flight_for t ~dc_name =
+  Hashtbl.iter
+    (fun (_, d) transport ->
+      if String.equal d dc_name then Transport.drop_in_flight transport)
+    t.transports
+
+let crash_dc t name =
+  let dc = dc t name in
+  drop_in_flight_for t ~dc_name:name;
+  Dc.crash dc;
+  Dc.recover dc;
+  (* Prompt every TC: each resends its own history (the DC's per-TC
+     abstract LSNs absorb what survived on stable pages). *)
+  Hashtbl.iter (fun _ tc -> Tc.on_dc_restart tc ~dc:name) t.tcs
+
+let crash_tc t name =
+  let tc_obj = tc t name in
+  Hashtbl.iter
+    (fun (tcn, _) transport ->
+      if String.equal tcn name then Transport.drop_in_flight transport)
+    t.transports;
+  Tc.crash tc_obj;
+  Tc.recover tc_obj;
+  (* A DC that turned the partial failure into its own complete one —
+     draconian mode, or a selective reset that had to escalate — lost
+     other TCs' unflushed work: they must redo. *)
+  Hashtbl.iter
+    (fun dc_name dc ->
+      if Dc.take_escalation dc then
+        Hashtbl.iter
+          (fun tcn tc ->
+            if not (String.equal tcn name) then Tc.on_dc_restart tc ~dc:dc_name)
+          t.tcs)
+    t.dcs
+
+let quiesce t = Hashtbl.iter (fun _ tc -> Tc.quiesce tc) t.tcs
+
+let messages_total t =
+  Hashtbl.fold
+    (fun _ transport acc -> acc + Transport.requests_delivered transport)
+    t.transports 0

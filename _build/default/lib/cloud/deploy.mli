@@ -1,0 +1,50 @@
+(** Multi-TC / multi-DC deployments (Figure 1 at full generality,
+    Section 6).
+
+    A deployment owns any number of TCs and DCs and the transports
+    between them.  TCs may share a DC: the DC keys its idempotence state
+    per TC (Section 6.1), and applications keep updaters on disjoint
+    partitions while readers use the lock-free sharing modes of
+    Section 6.2.  Nothing here is a distributed transaction — each TC's
+    log remains the single commit point for its transactions, even when
+    they span several DCs. *)
+
+type t
+
+val create :
+  ?counters:Untx_util.Instrument.t ->
+  ?policy:Untx_kernel.Transport.policy ->
+  ?seed:int ->
+  unit ->
+  t
+
+val add_dc : t -> name:string -> Untx_dc.Dc.config -> Untx_dc.Dc.t
+
+val add_tc : t -> name:string -> Untx_tc.Tc.config -> Untx_tc.Tc.t
+(** The TC is linked (via its own transport) to every DC present and to
+    DCs added later. *)
+
+val tc : t -> string -> Untx_tc.Tc.t
+
+val dc : t -> string -> Untx_dc.Dc.t
+
+val tc_names : t -> string list
+
+val dc_names : t -> string list
+
+val create_table :
+  t -> dc:string -> name:string -> versioned:bool -> unit
+(** Create the physical table at one DC (idempotent). *)
+
+val crash_dc : t -> string -> unit
+(** Crash + recover the DC, then drive redo from every TC (each resends
+    its own logged operations from its redo-scan start point). *)
+
+val crash_tc : t -> string -> unit
+(** Crash + restart one TC.  Other TCs are untouched: the DCs reset only
+    the failed TC's lost operations (record-granular on shared pages). *)
+
+val quiesce : t -> unit
+
+val messages_total : t -> int
+(** Requests delivered across all transports. *)

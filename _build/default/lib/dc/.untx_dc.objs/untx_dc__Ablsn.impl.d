@@ -1,0 +1,1 @@
+lib/dc/ablsn.ml: Format List String Untx_util

@@ -1,0 +1,1 @@
+lib/dc/ablsn.mli: Format Untx_util

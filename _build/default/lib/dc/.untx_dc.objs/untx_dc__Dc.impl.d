@@ -1,0 +1,1 @@
+lib/dc/dc.ml: Ablsn Format Hashtbl List Obj Option Page_meta Smo_record Stdlib Stored_record String Untx_btree Untx_msg Untx_storage Untx_util Untx_wal

@@ -1,0 +1,1 @@
+lib/dc/dc.mli: Page_meta Smo_record Stored_record Untx_msg Untx_storage Untx_util

@@ -1,0 +1,1 @@
+lib/dc/page_meta.ml: Ablsn String Untx_util

@@ -1,0 +1,1 @@
+lib/dc/page_meta.mli: Ablsn Untx_util

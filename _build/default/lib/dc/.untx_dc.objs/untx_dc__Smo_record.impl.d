@@ -1,0 +1,1 @@
+lib/dc/smo_record.ml: Ablsn Format List String Untx_storage Untx_util

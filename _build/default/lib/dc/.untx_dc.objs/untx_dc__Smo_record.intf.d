@@ -1,0 +1,1 @@
+lib/dc/smo_record.mli: Ablsn Format Untx_storage Untx_util

@@ -1,0 +1,1 @@
+lib/dc/stored_record.ml: String Untx_util

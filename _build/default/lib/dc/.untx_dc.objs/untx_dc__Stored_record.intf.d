@@ -1,0 +1,1 @@
+lib/dc/stored_record.mli: Untx_util

@@ -1,0 +1,66 @@
+module Lsn = Untx_util.Lsn
+module Codec = Untx_util.Codec
+
+(* Invariant: every member of [ins] is strictly greater than [lw]. *)
+type t = { lw : Lsn.t; ins : Lsn.Set.t }
+
+let empty = { lw = Lsn.zero; ins = Lsn.Set.empty }
+
+let of_lw lw = { lw; ins = Lsn.Set.empty }
+
+let lw t = t.lw
+
+let ins t = t.ins
+
+let ins_count t = Lsn.Set.cardinal t.ins
+
+let included lsn t = Lsn.(lsn <= t.lw) || Lsn.Set.mem lsn t.ins
+
+let add lsn t =
+  if Lsn.(lsn <= t.lw) then t else { t with ins = Lsn.Set.add lsn t.ins }
+
+let advance ~lwm t =
+  if Lsn.(lwm <= t.lw) then t
+  else { lw = lwm; ins = Lsn.Set.filter (fun l -> Lsn.(l > lwm)) t.ins }
+
+let merge a b =
+  let lw = Lsn.max a.lw b.lw in
+  let ins =
+    Lsn.Set.filter (fun l -> Lsn.(l > lw)) (Lsn.Set.union a.ins b.ins)
+  in
+  { lw; ins }
+
+let max_lsn t =
+  match Lsn.Set.max_elt_opt t.ins with
+  | Some m -> m (* invariant: m > lw *)
+  | None -> t.lw
+
+let equal a b = Lsn.equal a.lw b.lw && Lsn.Set.equal a.ins b.ins
+
+let encode t =
+  Codec.encode
+    (string_of_int (Lsn.to_int t.lw)
+    :: List.map
+         (fun l -> string_of_int (Lsn.to_int l))
+         (Lsn.Set.elements t.ins))
+
+let decode s =
+  match Codec.decode s with
+  | [] -> invalid_arg "Ablsn.decode: empty"
+  | lw :: ins ->
+    {
+      lw = Lsn.of_int (Codec.decode_int lw);
+      ins =
+        List.fold_left
+          (fun acc l -> Lsn.Set.add (Lsn.of_int (Codec.decode_int l)) acc)
+          Lsn.Set.empty ins;
+    }
+
+let encoded_size t = String.length (encode t)
+
+let pp ppf t =
+  Format.fprintf ppf "<lw=%a,{%a}>" Lsn.pp t.lw
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+       Lsn.pp)
+    (Lsn.Set.elements t.ins)

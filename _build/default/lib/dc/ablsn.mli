@@ -1,0 +1,58 @@
+(** Abstract page LSNs (paper Section 5.1.2).
+
+    Because the TC assigns LSNs before page access order is decided,
+    operations can reach a page out of LSN order.  The classical
+    idempotence test [opLSN <= pageLSN] then lies.  An abstract LSN
+    captures exactly which operations' effects a page contains:
+
+    [abLSN = <LSNlw, {LSNin}>]
+
+    where no operation with LSN <= LSNlw needs re-execution, and
+    {LSNin} are the LSNs above LSNlw whose effects are also present.
+    The generalized test is:
+
+    [lsn <= abLSN  iff  lsn <= LSNlw  or  lsn in {LSNin}] *)
+
+type t
+
+val empty : t
+(** No operations applied. *)
+
+val of_lw : Untx_util.Lsn.t -> t
+
+val lw : t -> Untx_util.Lsn.t
+
+val ins : t -> Untx_util.Lsn.Set.t
+
+val ins_count : t -> int
+
+val included : Untx_util.Lsn.t -> t -> bool
+(** The generalized [<=] test: redo is not required. *)
+
+val add : Untx_util.Lsn.t -> t -> t
+(** Record that the operation's effect is now in the page. *)
+
+val advance : lwm:Untx_util.Lsn.t -> t -> t
+(** Apply a TC-supplied low-water mark: every operation <= [lwm] has
+    been performed wherever it applies, so [lw] may rise to it and
+    covered members of {LSNin} are discarded. *)
+
+val merge : t -> t -> t
+(** abLSN for a page consolidation: the "maximum" of the two pages'
+    abstract LSNs (Section 5.2.2, page deletes). *)
+
+val max_lsn : t -> Untx_util.Lsn.t
+(** The largest LSN the abstract LSN mentions — used to find pages whose
+    state includes operations beyond a failed TC's stable log
+    (Section 5.3.2). *)
+
+val equal : t -> t -> bool
+
+val encode : t -> string
+
+val decode : string -> t
+(** Raises [Invalid_argument] on garbage. *)
+
+val encoded_size : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,75 @@
+module Page = Untx_storage.Page
+module Page_id = Untx_storage.Page_id
+module Tc_id = Untx_util.Tc_id
+
+type page_image = {
+  pid : Page_id.t;
+  kind : Page.kind;
+  cells : (string * string) list;
+  next : Page_id.t option;
+  ablsns : Ablsn.t Tc_id.Map.t;
+}
+
+let image_of_page page ~ablsns =
+  {
+    pid = Page.id page;
+    kind = Page.kind page;
+    cells = Page.cells page;
+    next = Page.next page;
+    ablsns;
+  }
+
+type t =
+  | Create_table of { table : string; versioned : bool; root : Page_id.t }
+  | Split of {
+      table : string;
+      level : int;
+      old_pid : Page_id.t;
+      split_key : string;
+      new_image : page_image;
+      parent_pid : Page_id.t;
+      sep_key : string;
+      new_root : page_image option;
+      root : Page_id.t;
+    }
+  | Consolidate of {
+      table : string;
+      survivor_image : page_image;
+      freed_pid : Page_id.t;
+      parent_pid : Page_id.t;
+      removed_sep : string;
+      new_root : Page_id.t option;
+      root : Page_id.t;
+    }
+
+let image_size img =
+  List.fold_left
+    (fun acc (k, d) -> acc + String.length k + String.length d + 4)
+    (16
+    + Tc_id.Map.fold (fun _ ab acc -> acc + Ablsn.encoded_size ab) img.ablsns 0
+    )
+    img.cells
+
+let size = function
+  | Create_table { table; _ } -> 16 + String.length table
+  | Split { table; split_key; new_image; sep_key; new_root; _ } ->
+    (* logical old-page part: split key only; physical new-page part:
+       full image *)
+    24 + String.length table + String.length split_key
+    + String.length sep_key + image_size new_image
+    + (match new_root with Some img -> image_size img | None -> 0)
+  | Consolidate { table; survivor_image; removed_sep; _ } ->
+    24 + String.length table + String.length removed_sep
+    + image_size survivor_image
+
+let pp ppf = function
+  | Create_table { table; versioned; root } ->
+    Format.fprintf ppf "create-table %s%s root=%a" table
+      (if versioned then " (versioned)" else "")
+      Page_id.pp root
+  | Split { table; level; old_pid; split_key; new_image; _ } ->
+    Format.fprintf ppf "split %s level=%d %a at %S -> %a" table level
+      Page_id.pp old_pid split_key Page_id.pp new_image.pid
+  | Consolidate { table; survivor_image; freed_pid; _ } ->
+    Format.fprintf ppf "consolidate %s %a <- %a" table Page_id.pp
+      survivor_image.pid Page_id.pp freed_pid

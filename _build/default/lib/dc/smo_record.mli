@@ -1,0 +1,62 @@
+(** DC-log records: the DC's private log of system transactions
+    (Section 5.2.2).
+
+    Splits are logged the way the paper prescribes: a *physical* image of
+    the new page (including its abstract LSNs at split time) plus a
+    *logical* record for the pre-split page — just the split key, since
+    whatever version of that page is on stable storage, its own abLSN
+    remains valid for the keys it retains.
+
+    Page deletes/consolidations do not commute with earlier TC
+    operations on the absorbed key range, so the survivor is logged
+    *physically*, with an abstract LSN that is the merge ("maximum") of
+    the two pages' abLSNs — this pins the delete's position in the
+    execution order even though DC recovery replays it before TC redo.
+
+    The record's own position in the DC log is its dLSN; affected pages
+    are stamped with it. *)
+
+type page_image = {
+  pid : Untx_storage.Page_id.t;
+  kind : Untx_storage.Page.kind;
+  cells : (string * string) list;
+  next : Untx_storage.Page_id.t option;
+  ablsns : Ablsn.t Untx_util.Tc_id.Map.t;
+}
+
+val image_of_page :
+  Untx_storage.Page.t -> ablsns:Ablsn.t Untx_util.Tc_id.Map.t -> page_image
+
+type t =
+  | Create_table of {
+      table : string;
+      versioned : bool;
+      root : Untx_storage.Page_id.t;
+    }
+  | Split of {
+      table : string;
+      level : int;
+      old_pid : Untx_storage.Page_id.t;
+      split_key : string;  (** the logical part: redo removes keys >= this *)
+      new_image : page_image;  (** the physical part *)
+      parent_pid : Untx_storage.Page_id.t;
+      sep_key : string;  (** routing cell added to the parent *)
+      new_root : page_image option;  (** set when the split grew the tree *)
+      root : Untx_storage.Page_id.t;  (** root after this SMO *)
+    }
+  | Consolidate of {
+      table : string;
+      survivor_image : page_image;  (** physical, with merged abLSNs *)
+      freed_pid : Untx_storage.Page_id.t;
+      parent_pid : Untx_storage.Page_id.t;
+      removed_sep : string;
+      new_root : Untx_storage.Page_id.t option;
+          (** set when the root collapsed a level (the old root page is
+              freed) *)
+      root : Untx_storage.Page_id.t;
+    }
+
+val size : t -> int
+(** Encoded size in bytes — E9's logical-vs-physical log volume metric. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+(** The DC's on-page record representation.
+
+    Beyond the user value, a record carries what the multi-TC and
+    versioning machinery of Section 6 needs:
+
+    - [writer]: the TC whose operations own this record.  Per-TC page
+      reset after a TC failure (Section 6.1.2) replaces exactly the
+      failed TC's records from the disk version — the paper suggests
+      linking records to the TC's abLSN on the page; tagging each record
+      with its writing TC is the equivalent association.
+    - [before]: the committed before-version of Section 6.2.2.
+      [Null_before] marks a freshly inserted record ("a before null
+      version followed by the intended insert"), so aborting the insert
+      removes the record and read-committed readers skip it.
+    - [deleted]: a versioned delete keeps the record as a tombstone
+      until the transaction's fate is known. *)
+
+type before = Absent | Null_before | Value_before of string
+
+type t = {
+  value : string;
+  deleted : bool;
+  before : before;
+  writer : Untx_util.Tc_id.t;
+}
+
+val plain : writer:Untx_util.Tc_id.t -> string -> t
+(** An unversioned committed record. *)
+
+val current : t -> string option
+(** What the owning TC (or a dirty reader) sees: [None] for tombstones. *)
+
+val committed : t -> string option
+(** What a read-committed reader from another TC sees: the before
+    version when one exists, the current value otherwise. *)
+
+val encode : t -> string
+
+val decode : string -> t
+
+val encoded_size : t -> int

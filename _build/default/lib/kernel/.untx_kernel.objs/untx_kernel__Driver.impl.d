@@ -1,0 +1,1 @@
+lib/kernel/driver.ml: Array Char Engine Hashtbl List Printf Stdlib String Unix Untx_util

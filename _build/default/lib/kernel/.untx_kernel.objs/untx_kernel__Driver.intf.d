@@ -1,0 +1,1 @@
+lib/kernel/driver.mli: Engine Untx_util

@@ -1,0 +1,1 @@
+lib/kernel/engine.ml: Kernel Untx_tc

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Transport Untx_dc Untx_msg Untx_tc Untx_util

@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Transport Untx_dc Untx_tc Untx_util

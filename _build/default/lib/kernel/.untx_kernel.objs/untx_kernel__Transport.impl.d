@@ -1,0 +1,1 @@
+lib/kernel/transport.ml: Array Int List Untx_msg Untx_util

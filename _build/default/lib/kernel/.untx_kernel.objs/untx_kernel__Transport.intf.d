@@ -1,0 +1,1 @@
+lib/kernel/transport.mli: Untx_msg

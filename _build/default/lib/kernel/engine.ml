@@ -1,0 +1,66 @@
+(** The engine abstraction the workload driver runs against.
+
+    Both the unbundled kernel and the monolithic baseline expose this
+    surface, so every experiment compares them on identical workloads. *)
+
+type 'a outcome = [ `Ok of 'a | `Blocked | `Fail of string ]
+
+module type S = sig
+  type txn
+
+  val begin_txn : unit -> txn
+
+  val xid : txn -> int
+
+  val is_active : txn -> bool
+
+  val read : txn -> table:string -> key:string -> string option outcome
+
+  val insert : txn -> table:string -> key:string -> value:string -> unit outcome
+
+  val update : txn -> table:string -> key:string -> value:string -> unit outcome
+
+  val delete : txn -> table:string -> key:string -> unit outcome
+
+  val scan :
+    txn -> table:string -> from_key:string -> limit:int ->
+    (string * string) list outcome
+
+  val commit : txn -> unit outcome
+
+  val abort : txn -> reason:string -> unit
+
+  val wakeups : unit -> int list
+
+  val resolve_deadlock : unit -> int option
+end
+
+let of_kernel (k : Kernel.t) : (module S) =
+  (module struct
+    type txn = Untx_tc.Tc.txn
+
+    let begin_txn () = Kernel.begin_txn k
+
+    let xid = Untx_tc.Tc.xid
+
+    let is_active = Untx_tc.Tc.is_active
+
+    let read txn ~table ~key = Kernel.read k txn ~table ~key
+
+    let insert txn ~table ~key ~value = Kernel.insert k txn ~table ~key ~value
+
+    let update txn ~table ~key ~value = Kernel.update k txn ~table ~key ~value
+
+    let delete txn ~table ~key = Kernel.delete k txn ~table ~key
+
+    let scan txn ~table ~from_key ~limit =
+      Kernel.scan k txn ~table ~from_key ~limit
+
+    let commit txn = Kernel.commit k txn
+
+    let abort txn ~reason = Kernel.abort k txn ~reason
+
+    let wakeups () = Untx_tc.Tc.wakeups (Kernel.tc k)
+
+    let resolve_deadlock () = Untx_tc.Tc.resolve_deadlock (Kernel.tc k)
+  end)

@@ -1,0 +1,133 @@
+module Rng = Untx_util.Rng
+module Wire = Untx_msg.Wire
+
+type policy = {
+  delay_min : int;
+  delay_max : int;
+  reorder : bool;
+  dup_prob : float;
+  drop_prob : float;
+}
+
+let reliable =
+  { delay_min = 0; delay_max = 0; reorder = false; dup_prob = 0.; drop_prob = 0. }
+
+let chaotic =
+  { delay_min = 0; delay_max = 3; reorder = true; dup_prob = 0.1; drop_prob = 0.1 }
+
+type 'a item = { due : int; seq : int; payload : 'a }
+
+type t = {
+  mutable policy : policy;
+  rng : Rng.t;
+  dc : Wire.request -> Wire.reply;
+  mutable now : int;
+  mutable seq : int;
+  mutable to_dc : Wire.request item list;
+  mutable to_tc : Wire.reply item list;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+}
+
+let create ?(policy = reliable) ~seed ~dc () =
+  {
+    policy;
+    rng = Rng.create ~seed;
+    dc;
+    now = 0;
+    seq = 0;
+    to_dc = [];
+    to_tc = [];
+    delivered = 0;
+    dropped = 0;
+    duplicated = 0;
+  }
+
+let set_policy t policy = t.policy <- policy
+
+let schedule t queue payload =
+  let p = t.policy in
+  let copies =
+    if Rng.chance t.rng p.drop_prob then begin
+      t.dropped <- t.dropped + 1;
+      0
+    end
+    else if Rng.chance t.rng p.dup_prob then begin
+      t.duplicated <- t.duplicated + 1;
+      2
+    end
+    else 1
+  in
+  let rec add queue n =
+    if n = 0 then queue
+    else begin
+      let span = p.delay_max - p.delay_min in
+      let delay = p.delay_min + if span > 0 then Rng.int t.rng (span + 1) else 0 in
+      t.seq <- t.seq + 1;
+      add ({ due = t.now + delay; seq = t.seq; payload } :: queue) (n - 1)
+    end
+  in
+  add queue copies
+
+let send t req = t.to_dc <- schedule t t.to_dc req
+
+(* Split a queue into due and not-yet-due; due messages come back in
+   delivery order (FIFO by seq, or shuffled when reordering). *)
+let take_due t queue =
+  let due, rest = List.partition (fun item -> item.due <= t.now) queue in
+  let due =
+    List.sort (fun (a : _ item) (b : _ item) -> Int.compare a.seq b.seq) due
+  in
+  let due =
+    if t.policy.reorder && List.length due > 1 then begin
+      let arr = Array.of_list due in
+      Rng.shuffle t.rng arr;
+      Array.to_list arr
+    end
+    else due
+  in
+  (due, rest)
+
+let deliver_requests t =
+  let due, rest = take_due t t.to_dc in
+  t.to_dc <- rest;
+  List.iter
+    (fun item ->
+      t.delivered <- t.delivered + 1;
+      let reply = t.dc item.payload in
+      t.to_tc <- schedule t t.to_tc reply)
+    due
+
+let drain t =
+  t.now <- t.now + 1;
+  deliver_requests t;
+  let due, rest = take_due t t.to_tc in
+  t.to_tc <- rest;
+  List.map (fun item -> item.payload) due
+
+let flush t =
+  let saved = t.policy in
+  t.policy <- reliable;
+  let out = ref [] in
+  while t.to_dc <> [] || t.to_tc <> [] do
+    t.now <- t.now + 1000;
+    deliver_requests t;
+    let due, rest = take_due t t.to_tc in
+    t.to_tc <- rest;
+    out := !out @ List.map (fun item -> item.payload) due
+  done;
+  t.policy <- saved;
+  !out
+
+let drop_in_flight t =
+  t.to_dc <- [];
+  t.to_tc <- []
+
+let in_flight t = List.length t.to_dc + List.length t.to_tc
+
+let requests_delivered t = t.delivered
+
+let dropped t = t.dropped
+
+let duplicated t = t.duplicated

@@ -1,0 +1,51 @@
+(** The unreliable message channel between a TC and a DC.
+
+    The paper treats the unbundled kernel as a distributed system
+    (Section 4.1): requests may be delayed, reordered, duplicated or
+    lost, and the contracts (unique request ids, resend, idempotence)
+    must mask all of it.  This transport makes those behaviours
+    injectable and deterministic.
+
+    Time is logical: each {!drain} call advances one tick, delivers due
+    requests to the DC (collecting its replies into the reverse
+    direction, under the same policy), and returns due replies. *)
+
+type policy = {
+  delay_min : int;
+  delay_max : int;  (** per-message delivery delay, in ticks *)
+  reorder : bool;  (** deliver due messages in random order *)
+  dup_prob : float;  (** probability a message is delivered twice *)
+  drop_prob : float;  (** probability a message is silently lost *)
+}
+
+val reliable : policy
+(** Immediate, ordered, exactly-once — the in-process fast path. *)
+
+val chaotic : policy
+(** Delays 0-3 ticks, reordering, 10% duplication, 10% loss: the
+    adversary used by contract tests (E10). *)
+
+type t
+
+val create : ?policy:policy -> seed:int -> dc:(Untx_msg.Wire.request -> Untx_msg.Wire.reply) -> unit -> t
+
+val set_policy : t -> policy -> unit
+
+val send : t -> Untx_msg.Wire.request -> unit
+
+val drain : t -> Untx_msg.Wire.reply list
+(** Advance one tick and surface due replies. *)
+
+val flush : t -> Untx_msg.Wire.reply list
+(** Deliver everything in flight (reliably), for quiescing. *)
+
+val drop_in_flight : t -> unit
+(** Lose every message currently in transit (component crash). *)
+
+val in_flight : t -> int
+
+val requests_delivered : t -> int
+
+val dropped : t -> int
+
+val duplicated : t -> int

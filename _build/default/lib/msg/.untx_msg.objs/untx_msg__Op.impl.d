@@ -1,0 +1,1 @@
+lib/msg/op.ml: Format List String

@@ -1,0 +1,1 @@
+lib/msg/op.mli: Format

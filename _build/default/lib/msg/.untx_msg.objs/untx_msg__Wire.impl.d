@@ -1,0 +1,1 @@
+lib/msg/wire.ml: Format List Op Untx_util

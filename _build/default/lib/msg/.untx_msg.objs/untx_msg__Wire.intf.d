@@ -1,0 +1,1 @@
+lib/msg/wire.mli: Format Op Untx_util

@@ -1,0 +1,56 @@
+module Lsn = Untx_util.Lsn
+module Tc_id = Untx_util.Tc_id
+
+type request = { tc : Tc_id.t; lsn : Lsn.t; op : Op.t }
+
+type result =
+  | Done
+  | Value of Op.value option
+  | Pairs of (Op.key * Op.value) list
+  | Next_keys of Op.key list
+  | Failed of string
+
+type reply = { lsn : Lsn.t; result : result; prior : Op.value option }
+
+type control =
+  | End_of_stable_log of { tc : Tc_id.t; eosl : Lsn.t }
+  | Low_water_mark of { tc : Tc_id.t; lwm : Lsn.t }
+  | Watermarks of { tc : Tc_id.t; eosl : Lsn.t; lwm : Lsn.t }
+  | Checkpoint of { tc : Tc_id.t; new_rssp : Lsn.t }
+  | Restart_begin of { tc : Tc_id.t; stable_lsn : Lsn.t }
+  | Restart_end of { tc : Tc_id.t }
+  | Redo_fence_begin of { tc : Tc_id.t }
+  | Redo_fence_end of { tc : Tc_id.t }
+
+type control_reply = Ack | Checkpoint_done of { granted : bool }
+
+let request_size { op; _ } = 16 + Op.size op
+
+let pp_result ppf = function
+  | Done -> Format.pp_print_string ppf "done"
+  | Value None -> Format.pp_print_string ppf "value:none"
+  | Value (Some v) -> Format.fprintf ppf "value:%S" v
+  | Pairs ps -> Format.fprintf ppf "pairs:%d" (List.length ps)
+  | Next_keys ks -> Format.fprintf ppf "next-keys:%d" (List.length ks)
+  | Failed msg -> Format.fprintf ppf "failed:%s" msg
+
+let pp_request ppf { tc; lsn; op } =
+  Format.fprintf ppf "[%a %a] %a" Tc_id.pp tc Lsn.pp lsn Op.pp op
+
+let pp_control ppf = function
+  | End_of_stable_log { tc; eosl } ->
+    Format.fprintf ppf "eosl %a %a" Tc_id.pp tc Lsn.pp eosl
+  | Low_water_mark { tc; lwm } ->
+    Format.fprintf ppf "lwm %a %a" Tc_id.pp tc Lsn.pp lwm
+  | Watermarks { tc; eosl; lwm } ->
+    Format.fprintf ppf "watermarks %a eosl=%a lwm=%a" Tc_id.pp tc Lsn.pp eosl
+      Lsn.pp lwm
+  | Checkpoint { tc; new_rssp } ->
+    Format.fprintf ppf "checkpoint %a rssp=%a" Tc_id.pp tc Lsn.pp new_rssp
+  | Restart_begin { tc; stable_lsn } ->
+    Format.fprintf ppf "restart-begin %a stable=%a" Tc_id.pp tc Lsn.pp
+      stable_lsn
+  | Restart_end { tc } -> Format.fprintf ppf "restart-end %a" Tc_id.pp tc
+  | Redo_fence_begin { tc } ->
+    Format.fprintf ppf "redo-fence-begin %a" Tc_id.pp tc
+  | Redo_fence_end { tc } -> Format.fprintf ppf "redo-fence-end %a" Tc_id.pp tc

@@ -1,0 +1,70 @@
+(** Messages crossing the TC:DC boundary (the API of Section 4.2.1).
+
+    Operation requests and replies travel over an unreliable, reorderable
+    transport — they carry the unique request id (the TC-log LSN) that
+    makes resend + idempotence work.  Control traffic
+    ([end_of_stable_log], [low_water_mark], [checkpoint], [restart]) is
+    modelled as a reliable, ordered session: in a real deployment these
+    few low-rate interactions would run over a sequenced channel, and
+    nothing in the paper's recovery argument depends on them being lossy. *)
+
+type request = {
+  tc : Untx_util.Tc_id.t;
+  lsn : Untx_util.Lsn.t;  (** unique request id, from the TC log *)
+  op : Op.t;
+}
+
+type result =
+  | Done  (** write acknowledged *)
+  | Value of Op.value option  (** point read *)
+  | Pairs of (Op.key * Op.value) list  (** scan *)
+  | Next_keys of Op.key list  (** fetch-ahead probe *)
+  | Failed of string  (** semantic error (e.g. duplicate insert) *)
+
+type reply = {
+  lsn : Untx_util.Lsn.t;
+  result : result;
+  prior : Op.value option;
+      (** for updates/deletes on unversioned tables: the value the
+          operation replaced, which the TC logs as undo information *)
+}
+
+type control =
+  | End_of_stable_log of { tc : Untx_util.Tc_id.t; eosl : Untx_util.Lsn.t }
+  | Low_water_mark of { tc : Untx_util.Tc_id.t; lwm : Untx_util.Lsn.t }
+  | Watermarks of {
+      tc : Untx_util.Tc_id.t;
+      eosl : Untx_util.Lsn.t;
+      lwm : Untx_util.Lsn.t;
+    }
+      (** the combined form Section 4.2.1 suggests: "one might trade some
+          flexibility in DC for simplicity of coding, by combining
+          end_of_stable_log and low_water_mark into one function" *)
+  | Checkpoint of { tc : Untx_util.Tc_id.t; new_rssp : Untx_util.Lsn.t }
+  | Restart_begin of {
+      tc : Untx_util.Tc_id.t;
+      stable_lsn : Untx_util.Lsn.t;
+          (** the largest LSN on the TC's stable log; the DC must discard
+              any effect of this TC's operations beyond it *)
+    }
+  | Restart_end of { tc : Untx_util.Tc_id.t }
+  | Redo_fence_begin of { tc : Untx_util.Tc_id.t }
+      (** A TC is about to replay history (e.g. after this DC's own
+          crash): the DC defers page-delete system transactions, whose
+          abstract-LSN merges assume globally valid low-water claims. *)
+  | Redo_fence_end of { tc : Untx_util.Tc_id.t }
+
+type control_reply =
+  | Ack
+  | Checkpoint_done of { granted : bool }
+      (** [granted = false]: some page holding operations below the
+          requested redo-scan start point could not be made stable yet;
+          the TC must keep its old RSSP and retry later *)
+
+val request_size : request -> int
+
+val pp_result : Format.formatter -> result -> unit
+
+val pp_request : Format.formatter -> request -> unit
+
+val pp_control : Format.formatter -> control -> unit

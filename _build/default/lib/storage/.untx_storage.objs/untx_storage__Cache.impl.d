@@ -1,0 +1,1 @@
+lib/storage/cache.ml: Disk Page Page_id Untx_util

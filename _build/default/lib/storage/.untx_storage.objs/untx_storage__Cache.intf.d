@@ -1,0 +1,1 @@
+lib/storage/cache.mli: Disk Page Page_id Untx_util

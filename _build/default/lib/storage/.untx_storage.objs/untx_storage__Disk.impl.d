@@ -1,0 +1,1 @@
+lib/storage/disk.ml: Option Page Page_id String Untx_util

@@ -1,0 +1,1 @@
+lib/storage/page.ml: Array Format List Page_id Stdlib String

@@ -1,0 +1,190 @@
+module Instrument = Untx_util.Instrument
+
+type entry = { page : Page.t; mutable dirty : bool; mutable ticket : int }
+
+type t = {
+  disk : Disk.t;
+  capacity : int;
+  entries : entry Page_id.Tbl.t;
+  counters : Instrument.t;
+  mutable can_flush : Page.t -> bool;
+  mutable prepare_flush : Page.t -> unit;
+  mutable clock : int; (* LRU tickets *)
+  mutable evictions : int;
+  mutable flush_stalls : int;
+  mutable latch_depth : int; (* operation latches: eviction deferred *)
+}
+
+let create ?(counters = Instrument.global) ~disk ~capacity () =
+  if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
+  {
+    disk;
+    capacity;
+    entries = Page_id.Tbl.create (2 * capacity);
+    counters;
+    can_flush = (fun _ -> true);
+    prepare_flush = ignore;
+    clock = 0;
+    evictions = 0;
+    flush_stalls = 0;
+    latch_depth = 0;
+  }
+
+let set_policy t ~can_flush ~prepare_flush =
+  t.can_flush <- can_flush;
+  t.prepare_flush <- prepare_flush
+
+let disk t = t.disk
+
+let touch t entry =
+  t.clock <- t.clock + 1;
+  entry.ticket <- t.clock
+
+let flush_entry t entry =
+  if entry.dirty then begin
+    if not (t.can_flush entry.page) then begin
+      t.flush_stalls <- t.flush_stalls + 1;
+      Instrument.bump t.counters "cache.flush_stalls";
+      false
+    end
+    else begin
+      t.prepare_flush entry.page;
+      Disk.write t.disk entry.page;
+      entry.dirty <- false;
+      Instrument.bump t.counters "cache.flushes";
+      true
+    end
+  end
+  else true
+
+(* Evict the least-recently-used page that is clean or flushable.  Dirty
+   pages pinned down by the causality rule simply stay resident: the pool
+   may exceed its capacity rather than violate write-ahead ordering. *)
+let maybe_evict t =
+  while t.latch_depth = 0 && Page_id.Tbl.length t.entries > t.capacity do
+    let victim =
+      Page_id.Tbl.fold
+        (fun id entry best ->
+          let evictable = (not entry.dirty) || t.can_flush entry.page in
+          if not evictable then begin
+            Instrument.bump t.counters "cache.evict_skips";
+            best
+          end
+          else
+            match best with
+            | Some (_, best_entry) when best_entry.ticket <= entry.ticket ->
+              best
+            | _ -> Some (id, entry))
+        t.entries None
+    in
+    match victim with
+    | None -> raise Exit
+    | Some (id, entry) ->
+      if flush_entry t entry then begin
+        Page_id.Tbl.remove t.entries id;
+        t.evictions <- t.evictions + 1;
+        Instrument.bump t.counters "cache.evictions"
+      end
+      else raise Exit
+  done
+
+let maybe_evict t = try maybe_evict t with Exit -> ()
+
+let add_entry t page dirty =
+  let entry = { page; dirty; ticket = 0 } in
+  touch t entry;
+  Page_id.Tbl.replace t.entries (Page.id page) entry;
+  maybe_evict t;
+  entry
+
+let new_page t ~kind ~page_capacity =
+  let id = Disk.alloc t.disk in
+  let page = Page.create ~id ~kind ~capacity:page_capacity in
+  let entry = add_entry t page true in
+  entry.page
+
+let install t page =
+  (* the id is live again even if a replayed free put it on the free list *)
+  Disk.reserve t.disk (Page.id page);
+  ignore (add_entry t page true)
+
+let cached t id =
+  match Page_id.Tbl.find_opt t.entries id with
+  | Some entry ->
+    touch t entry;
+    Some entry.page
+  | None -> None
+
+let lookup t id =
+  match cached t id with
+  | Some page -> Some page
+  | None -> (
+    match Disk.read t.disk id with
+    | None -> None
+    | Some page ->
+      let entry = add_entry t page false in
+      Instrument.bump t.counters "cache.misses";
+      Some entry.page)
+
+let get t id =
+  match lookup t id with Some page -> page | None -> raise Not_found
+
+let mark_dirty t page =
+  match Page_id.Tbl.find_opt t.entries (Page.id page) with
+  | Some entry ->
+    if entry.page != page then
+      invalid_arg "Cache.mark_dirty: stale page object";
+    entry.dirty <- true
+  | None -> ignore (add_entry t page true)
+
+let is_dirty t id =
+  match Page_id.Tbl.find_opt t.entries id with
+  | Some entry -> entry.dirty
+  | None -> false
+
+let free_page t id =
+  Page_id.Tbl.remove t.entries id;
+  Disk.free t.disk id
+
+let try_flush t id =
+  match Page_id.Tbl.find_opt t.entries id with
+  | None -> true
+  | Some entry -> flush_entry t entry
+
+let flush_all t =
+  Page_id.Tbl.iter (fun _ entry -> ignore (flush_entry t entry)) t.entries
+
+let drop_page t id = Page_id.Tbl.remove t.entries id
+
+let crash t =
+  Page_id.Tbl.reset t.entries;
+  t.clock <- 0
+
+let enforce_capacity t = maybe_evict t
+
+let with_operation_latch t f =
+  t.latch_depth <- t.latch_depth + 1;
+  let finish () =
+    t.latch_depth <- t.latch_depth - 1;
+    if t.latch_depth = 0 then maybe_evict t
+  in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
+
+let resident t = Page_id.Tbl.length t.entries
+
+let dirty_pages t =
+  Page_id.Tbl.fold
+    (fun id entry acc -> if entry.dirty then id :: acc else acc)
+    t.entries []
+
+let iter_cached t f = Page_id.Tbl.iter (fun _ entry -> f entry.page) t.entries
+
+let evictions t = t.evictions
+
+let flush_stalls t = t.flush_stalls

@@ -1,0 +1,71 @@
+module Instrument = Untx_util.Instrument
+
+type t = {
+  pages : Page.t Page_id.Tbl.t;
+  mutable next_id : int;
+  mutable free_list : Page_id.Set.t;
+  counters : Instrument.t;
+  mutable master : string option;
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes_written : int;
+}
+
+let create ?(counters = Instrument.global) () =
+  {
+    pages = Page_id.Tbl.create 256;
+    next_id = 1;
+    free_list = Page_id.Set.empty;
+    counters;
+    master = None;
+    reads = 0;
+    writes = 0;
+    bytes_written = 0;
+  }
+
+let alloc t =
+  match Page_id.Set.min_elt_opt t.free_list with
+  | Some id ->
+    t.free_list <- Page_id.Set.remove id t.free_list;
+    id
+  | None ->
+    let id = Page_id.of_int t.next_id in
+    t.next_id <- t.next_id + 1;
+    id
+
+let free t id =
+  Page_id.Tbl.remove t.pages id;
+  t.free_list <- Page_id.Set.add id t.free_list
+
+let reserve t id = t.free_list <- Page_id.Set.remove id t.free_list
+
+let write t page =
+  t.free_list <- Page_id.Set.remove (Page.id page) t.free_list;
+  t.writes <- t.writes + 1;
+  t.bytes_written <- t.bytes_written + Page.used_bytes page + Page.meta_size page;
+  Instrument.bump t.counters "disk.page_writes";
+  Page_id.Tbl.replace t.pages (Page.id page) (Page.copy page)
+
+let read t id =
+  t.reads <- t.reads + 1;
+  Instrument.bump t.counters "disk.page_reads";
+  Option.map Page.copy (Page_id.Tbl.find_opt t.pages id)
+
+let exists t id = Page_id.Tbl.mem t.pages id
+
+let page_count t = Page_id.Tbl.length t.pages
+
+let iter t f = Page_id.Tbl.iter (fun _ page -> f (Page.copy page)) t.pages
+
+let set_master t blob =
+  t.bytes_written <- t.bytes_written + String.length blob;
+  Instrument.bump t.counters "disk.master_writes";
+  t.master <- Some blob
+
+let master t = t.master
+
+let reads t = t.reads
+
+let writes t = t.writes
+
+let bytes_written t = t.bytes_written

@@ -1,0 +1,25 @@
+exception Latch_conflict of string
+
+type t = { name : string; mutable held : bool }
+
+let create ~name = { name; held = false }
+
+let acquire t =
+  if t.held then raise (Latch_conflict ("already held: " ^ t.name));
+  t.held <- true
+
+let release t =
+  if not t.held then raise (Latch_conflict ("not held: " ^ t.name));
+  t.held <- false
+
+let held t = t.held
+
+let with_latch t f =
+  acquire t;
+  match f () with
+  | v ->
+    release t;
+    v
+  | exception e ->
+    release t;
+    raise e

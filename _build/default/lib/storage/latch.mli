@@ -1,0 +1,26 @@
+(** Short-term page latches.
+
+    The DC must make each logical operation atomic by latching every page
+    it touches for the duration of the operation (paper Section 4.1.2).
+    Execution in this reproduction is deterministic and single-threaded,
+    so latches act as *assertion checkers*: acquiring a latch that is
+    already held signals a violation of the operation-atomicity discipline
+    rather than blocking.  Latch acquisition order is the caller's
+    deadlock-avoidance obligation, as in the paper. *)
+
+type t
+
+exception Latch_conflict of string
+
+val create : name:string -> t
+
+val acquire : t -> unit
+(** Raises {!Latch_conflict} if already held. *)
+
+val release : t -> unit
+(** Raises {!Latch_conflict} if not held. *)
+
+val held : t -> bool
+
+val with_latch : t -> (unit -> 'a) -> 'a
+(** Acquire, run, release (also on exception). *)

@@ -1,0 +1,180 @@
+type kind = Leaf | Inner
+
+let slot_overhead = 16
+
+type t = {
+  id : Page_id.t;
+  kind : kind;
+  capacity : int;
+  mutable cells : (string * string) array; (* sorted by key *)
+  mutable used : int;
+  mutable next : Page_id.t option;
+  mutable meta : string;
+}
+
+let create ~id ~kind ~capacity =
+  if capacity <= 0 then invalid_arg "Page.create: capacity must be positive";
+  { id; kind; capacity; cells = [||]; used = 0; next = None; meta = "" }
+
+let id t = t.id
+
+let kind t = t.kind
+
+let capacity t = t.capacity
+
+let cell_count t = Array.length t.cells
+
+let used_bytes t = t.used
+
+let cell_size ~key ~data = String.length key + String.length data + slot_overhead
+
+(* Index of [key] if present, else [Error insertion_point]. *)
+let search t key =
+  let rec go lo hi =
+    if lo >= hi then Error lo
+    else
+      let mid = (lo + hi) / 2 in
+      let k, _ = t.cells.(mid) in
+      let c = String.compare key k in
+      if c = 0 then Ok mid else if c < 0 then go lo mid else go (mid + 1) hi
+  in
+  go 0 (Array.length t.cells)
+
+let find t key =
+  match search t key with
+  | Ok i ->
+    let _, data = t.cells.(i) in
+    Some data
+  | Error _ -> None
+
+let find_le t key =
+  let at i =
+    let k, d = t.cells.(i) in
+    Some (i, k, d)
+  in
+  match search t key with
+  | Ok i -> at i
+  | Error 0 -> None
+  | Error i -> at (i - 1)
+
+let would_overflow t ~key ~data =
+  let delta =
+    match search t key with
+    | Ok i ->
+      let _, old = t.cells.(i) in
+      String.length data - String.length old
+    | Error _ -> cell_size ~key ~data
+  in
+  t.used + delta > t.capacity
+
+let insert_at t i cell size_delta =
+  let n = Array.length t.cells in
+  let cells = Array.make (n + 1) cell in
+  Array.blit t.cells 0 cells 0 i;
+  Array.blit t.cells i cells (i + 1) (n - i);
+  t.cells <- cells;
+  t.used <- t.used + size_delta
+
+let set t ~key ~data =
+  match search t key with
+  | Ok i ->
+    let _, old = t.cells.(i) in
+    t.cells.(i) <- (key, data);
+    t.used <- t.used + String.length data - String.length old
+  | Error i -> insert_at t i (key, data) (cell_size ~key ~data)
+
+let remove t key =
+  match search t key with
+  | Error _ -> false
+  | Ok i ->
+    let k, d = t.cells.(i) in
+    let n = Array.length t.cells in
+    let cells = Array.make (n - 1) ("", "") in
+    Array.blit t.cells 0 cells 0 i;
+    Array.blit t.cells (i + 1) cells i (n - 1 - i);
+    t.cells <- cells;
+    t.used <- t.used - cell_size ~key:k ~data:d;
+    true
+
+let min_key t =
+  if Array.length t.cells = 0 then None
+  else
+    let k, _ = t.cells.(0) in
+    Some k
+
+let max_key t =
+  let n = Array.length t.cells in
+  if n = 0 then None
+  else
+    let k, _ = t.cells.(n - 1) in
+    Some k
+
+let cells t = Array.to_list t.cells
+
+let iter_from t key f =
+  let start = match search t key with Ok i -> i | Error i -> i in
+  let n = Array.length t.cells in
+  let rec go i =
+    if i < n then
+      let k, d = t.cells.(i) in
+      match f k d with `Continue -> go (i + 1) | `Stop -> ()
+  in
+  go start
+
+let nth t i =
+  if i < 0 || i >= Array.length t.cells then invalid_arg "Page.nth";
+  t.cells.(i)
+
+let split_upper t =
+  let n = Array.length t.cells in
+  if n < 2 then invalid_arg "Page.split_upper: needs at least two cells";
+  (* Find the smallest index whose prefix exceeds half the used bytes, while
+     keeping at least one cell on each side. *)
+  let half = t.used / 2 in
+  let rec find_cut i acc =
+    if i >= n - 1 then n - 1
+    else
+      let k, d = t.cells.(i) in
+      let acc = acc + cell_size ~key:k ~data:d in
+      if acc > half then i + 1 else find_cut (i + 1) acc
+  in
+  let cut = Stdlib.max 1 (Stdlib.min (n - 1) (find_cut 0 0)) in
+  let moved = Array.sub t.cells cut (n - cut) in
+  let split_key, _ = moved.(0) in
+  let moved_bytes =
+    Array.fold_left
+      (fun acc (k, d) -> acc + cell_size ~key:k ~data:d)
+      0 moved
+  in
+  t.cells <- Array.sub t.cells 0 cut;
+  t.used <- t.used - moved_bytes;
+  (split_key, Array.to_list moved)
+
+let absorb t cells = List.iter (fun (key, data) -> set t ~key ~data) cells
+
+let next t = t.next
+
+let set_next t next = t.next <- next
+
+let meta t = t.meta
+
+let set_meta t meta = t.meta <- meta
+
+let meta_size t = String.length t.meta
+
+let copy t = { t with cells = Array.copy t.cells }
+
+let clear t =
+  t.cells <- [||];
+  t.used <- 0
+
+let replace_cells t cells =
+  t.cells <- [||];
+  t.used <- 0;
+  absorb t cells
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a %s cells=%d used=%d/%d next=%s@]" Page_id.pp t.id
+    (match t.kind with Leaf -> "leaf" | Inner -> "inner")
+    (cell_count t) t.used t.capacity
+    (match t.next with None -> "-" | Some p -> Page_id.to_string p)

@@ -1,0 +1,26 @@
+type t = int
+
+let of_int i = i
+
+let to_int t = t
+
+let equal = Int.equal
+
+let compare = Int.compare
+
+let pp ppf t = Format.fprintf ppf "pg%d" t
+
+let to_string t = "pg" ^ string_of_int t
+
+let invalid = -1
+
+module Map = Map.Make (Int)
+module Set = Set.Make (Int)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = Int.equal
+
+  let hash = Hashtbl.hash
+end)

@@ -1,0 +1,1 @@
+lib/tc/lock_mgr.ml: Buffer Format Hashtbl Int List Printf Stdlib

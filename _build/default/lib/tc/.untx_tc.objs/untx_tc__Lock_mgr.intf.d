@@ -1,0 +1,1 @@
+lib/tc/lock_mgr.mli: Format

@@ -1,0 +1,1 @@
+lib/tc/log_record.ml: Format List Untx_msg Untx_util

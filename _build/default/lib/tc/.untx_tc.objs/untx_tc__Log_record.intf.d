@@ -1,0 +1,1 @@
+lib/tc/log_record.mli: Format Untx_msg Untx_util

@@ -1,0 +1,1 @@
+lib/tc/tc.ml: Char Hashtbl Int List Lock_mgr Log_record Queue Stdlib String Untx_msg Untx_util Untx_wal

@@ -1,0 +1,1 @@
+lib/tc/tc.mli: Untx_msg Untx_util

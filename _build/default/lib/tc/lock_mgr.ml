@@ -1,0 +1,236 @@
+type mode = S | X
+
+type resource =
+  | Record of { table : string; key : string }
+  | Range of { table : string; slot : int }
+  | Table of string
+
+let pp_resource ppf = function
+  | Record { table; key } -> Format.fprintf ppf "rec:%s[%s]" table key
+  | Range { table; slot } -> Format.fprintf ppf "range:%s/%d" table slot
+  | Table table -> Format.fprintf ppf "table:%s" table
+
+type entry = {
+  mutable holders : (int * mode) list;
+  mutable waiters : (int * mode) list; (* FIFO: head is next candidate *)
+}
+
+type t = {
+  table : (resource, entry) Hashtbl.t;
+  owner_locks : (int, resource list ref) Hashtbl.t;
+  mutable total_acquisitions : int;
+}
+
+let create () =
+  { table = Hashtbl.create 256; owner_locks = Hashtbl.create 32;
+    total_acquisitions = 0 }
+
+let entry_of t rsrc =
+  match Hashtbl.find_opt t.table rsrc with
+  | Some e -> e
+  | None ->
+    let e = { holders = []; waiters = [] } in
+    Hashtbl.add t.table rsrc e;
+    e
+
+let owner_cell t owner =
+  match Hashtbl.find_opt t.owner_locks owner with
+  | Some c -> c
+  | None ->
+    let c = ref [] in
+    Hashtbl.add t.owner_locks owner c;
+    c
+
+let mode_covers held wanted =
+  match (held, wanted) with X, _ -> true | S, S -> true | S, X -> false
+
+let compatible m1 m2 = match (m1, m2) with S, S -> true | _ -> false
+
+let note_granted t owner rsrc =
+  t.total_acquisitions <- t.total_acquisitions + 1;
+  let cell = owner_cell t owner in
+  if not (List.mem rsrc !cell) then cell := rsrc :: !cell
+
+(* Can [owner] be granted [mode] on [e] right now?  Re-entrant holders
+   and the sole-holder upgrade are allowed; everyone else must be
+   compatible. *)
+let grantable e owner mode =
+  List.for_all
+    (fun (h, hm) -> h = owner || compatible hm mode)
+    e.holders
+
+let acquire t ~owner rsrc mode =
+  let e = entry_of t rsrc in
+  match List.assoc_opt owner e.holders with
+  | Some held when mode_covers held mode -> `Granted
+  | current -> (
+    (* Fairness: a newcomer must not overtake queued waiters — except an
+       upgrade request (current = Some S), which jumps the queue as in
+       most real lock managers to avoid self-blocking behind strangers.
+       A retry by the waiter at the *head* of the queue is granted when
+       compatible: holders can change between its enqueue and its retry,
+       and release-time promotion cannot fire if nobody releases. *)
+    let at_head =
+      match e.waiters with (w, _) :: _ -> w = owner | [] -> false
+    in
+    let must_queue =
+      (not (grantable e owner mode))
+      || (current = None && e.waiters <> [] && not at_head)
+    in
+    if not must_queue then begin
+      e.waiters <- List.filter (fun (w, _) -> w <> owner) e.waiters;
+      let others = List.remove_assoc owner e.holders in
+      e.holders <- (owner, mode) :: others;
+      note_granted t owner rsrc;
+      `Granted
+    end
+    else begin
+      if not (List.mem (owner, mode) e.waiters) then
+        e.waiters <- e.waiters @ [ (owner, mode) ];
+      `Blocked
+    end)
+
+let holds t ~owner rsrc mode =
+  match Hashtbl.find_opt t.table rsrc with
+  | None -> false
+  | Some e -> (
+    match List.assoc_opt owner e.holders with
+    | Some held -> mode_covers held mode
+    | None -> false)
+
+(* Promote waiters at the head of the queue while they are grantable. *)
+let promote t rsrc e granted =
+  let rec go granted =
+    match e.waiters with
+    | [] -> granted
+    | (owner, mode) :: rest ->
+      if grantable e owner mode then begin
+        e.waiters <- rest;
+        let others = List.remove_assoc owner e.holders in
+        e.holders <- (owner, mode) :: others;
+        note_granted t owner rsrc;
+        go (owner :: granted)
+      end
+      else granted
+  in
+  go granted
+
+let release_all t ~owner =
+  let cell = owner_cell t owner in
+  let resources = !cell in
+  cell := [];
+  Hashtbl.remove t.owner_locks owner;
+  let granted =
+    List.fold_left
+      (fun granted rsrc ->
+        match Hashtbl.find_opt t.table rsrc with
+        | None -> granted
+        | Some e ->
+          e.holders <- List.remove_assoc owner e.holders;
+          e.waiters <- List.filter (fun (w, _) -> w <> owner) e.waiters;
+          let granted = promote t rsrc e granted in
+          if e.holders = [] && e.waiters = [] then Hashtbl.remove t.table rsrc;
+          granted)
+      [] resources
+  in
+  (* The owner may also be queued on resources it never held. *)
+  Hashtbl.iter
+    (fun _ e -> e.waiters <- List.filter (fun (w, _) -> w <> owner) e.waiters)
+    t.table;
+  List.sort_uniq Int.compare granted
+
+let cancel_waits t ~owner =
+  Hashtbl.iter
+    (fun _ e -> e.waiters <- List.filter (fun (w, _) -> w <> owner) e.waiters)
+    t.table
+
+let waiting t ~owner =
+  Hashtbl.fold
+    (fun _ e acc -> acc || List.exists (fun (w, _) -> w = owner) e.waiters)
+    t.table false
+
+(* Waits-for edges.  A queued request waits for every current holder it
+   is incompatible with, and — because the queue is FIFO — for every
+   earlier waiter it is incompatible with.  Compatible-holder edges are
+   also added when the waiter sits behind someone (it cannot be granted
+   past the queue), which is conservative but keeps detection complete. *)
+let find_deadlock t =
+  let edges = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun _ e ->
+      let rec waiters_loop earlier = function
+        | [] -> ()
+        | (w, wm) :: rest ->
+          let queued_behind = earlier <> [] in
+          List.iter
+            (fun (h, hm) ->
+              if h <> w && ((not (compatible hm wm)) || queued_behind) then
+                Hashtbl.add edges w h)
+            e.holders;
+          List.iter
+            (fun (pw, pwm) ->
+              if pw <> w && not (compatible pwm wm) then Hashtbl.add edges w pw)
+            earlier;
+          waiters_loop ((w, wm) :: earlier) rest
+      in
+      waiters_loop [] e.waiters)
+    t.table;
+  let color = Hashtbl.create 32 in
+  let cycle_members = ref [] in
+  let rec dfs stack node =
+    match Hashtbl.find_opt color node with
+    | Some `Done -> ()
+    | Some `Active ->
+      (* [node] closes a cycle: the stack head is this re-visit of
+         [node]; members are everything up to its previous occurrence. *)
+      let rec collect acc = function
+        | [] -> acc
+        | n :: rest -> if n = node then acc else collect (n :: acc) rest
+      in
+      cycle_members :=
+        node :: (match stack with [] -> [] | _ :: rest -> collect [] rest)
+    | None ->
+      Hashtbl.replace color node `Active;
+      List.iter
+        (fun succ -> if !cycle_members = [] then dfs (succ :: stack) succ)
+        (Hashtbl.find_all edges node);
+      if Hashtbl.find_opt color node = Some `Active then
+        Hashtbl.replace color node `Done
+  in
+  Hashtbl.iter
+    (fun w _ -> if !cycle_members = [] then dfs [ w ] w)
+    edges;
+  match !cycle_members with
+  | [] -> None
+  | members -> Some (List.fold_left Stdlib.max Int.min_int members)
+
+let held_count t ~owner =
+  match Hashtbl.find_opt t.owner_locks owner with
+  | Some c -> List.length !c
+  | None -> 0
+
+let total_acquisitions t = t.total_acquisitions
+
+let live_locks t =
+  Hashtbl.fold (fun _ e acc -> acc + List.length e.holders) t.table 0
+
+let dump t =
+  let buf = Buffer.create 256 in
+  Hashtbl.iter
+    (fun rsrc e ->
+      if e.holders <> [] || e.waiters <> [] then begin
+        Buffer.add_string buf (Format.asprintf "%a:" pp_resource rsrc);
+        List.iter
+          (fun (h, m) ->
+            Buffer.add_string buf
+              (Printf.sprintf " h%d%s" h (match m with S -> "S" | X -> "X")))
+          e.holders;
+        List.iter
+          (fun (w, m) ->
+            Buffer.add_string buf
+              (Printf.sprintf " w%d%s" w (match m with S -> "S" | X -> "X")))
+          e.waiters;
+        Buffer.add_char buf '\n'
+      end)
+    t.table;
+  Buffer.contents buf

@@ -1,0 +1,1036 @@
+module Lsn = Untx_util.Lsn
+module Tc_id = Untx_util.Tc_id
+module Instrument = Untx_util.Instrument
+module Wal = Untx_wal.Wal
+module Op = Untx_msg.Op
+module Wire = Untx_msg.Wire
+
+type cc_protocol = Key_locks | Range_locks of int | Table_locks | Optimistic
+
+type config = {
+  id : Tc_id.t;
+  cc_protocol : cc_protocol;
+  lwm_every : int;
+  resend_after : int;
+  max_pump_rounds : int;
+  pipeline_writes : bool;
+  combine_watermarks : bool;
+  group_commit : int;
+  debug_checks : bool;
+}
+
+let default_config id =
+  {
+    id;
+    cc_protocol = Key_locks;
+    lwm_every = 16;
+    resend_after = 4;
+    max_pump_rounds = 100_000;
+    pipeline_writes = true;
+    combine_watermarks = false;
+    group_commit = 1;
+    debug_checks = false;
+  }
+
+type dc_link = {
+  dc_name : string;
+  send : Wire.request -> unit;
+  control : Wire.control -> Wire.control_reply;
+  drain : unit -> Wire.reply list;
+}
+
+type txn_state = Active | Committed | Aborted
+
+type txn = {
+  t_xid : int;
+  mutable state : txn_state;
+  mutable first_lsn : Lsn.t;
+  mutable undo_stack : Op.t list; (* inverse ops, newest first *)
+  mutable vwrites : (string * string) list; (* versioned (table, key) *)
+  mutable failed : string option;
+  mutable outstanding : Lsn.Set.t;
+  (* optimistic mode: execution collects observations and buffers
+     writes; commit validates then applies *)
+  mutable read_set : (string * string * string option) list;
+  mutable scan_set : (string * string * int * (string * string) list) list;
+  mutable write_buf : Op.t list; (* oldest first at commit (kept reversed) *)
+  mutable occ_applying : bool; (* commit is materializing buffered writes *)
+}
+
+type pending = {
+  p_req : Wire.request;
+  p_link : dc_link;
+  mutable p_age : int;
+  p_xid : int option;
+  p_wants_reply : bool;
+}
+
+type 'a outcome = [ `Ok of 'a | `Blocked | `Fail of string ]
+
+type route =
+  | Single of { r_dc : string; r_versioned : bool }
+  | Partitioned of { p_versioned : bool; p_f : string -> string }
+
+type t = {
+  cfg : config;
+  counters : Instrument.t;
+  log : Log_record.t Wal.t;
+  mutable locks : Lock_mgr.t;
+  links : (string, dc_link) Hashtbl.t;
+  routes : (string, route) Hashtbl.t;
+  txns : (int, txn) Hashtbl.t;
+  pendings : (int, pending) Hashtbl.t; (* keyed by LSN *)
+  completed : (int, Wire.reply) Hashtbl.t;
+  wakeups : int Queue.t;
+  mutable outstanding : Lsn.Set.t;
+  mutable rssp : Lsn.t;
+  mutable lwm_cap : Lsn.t option;
+      (* During restart redo the low-water mark may only cover operations
+         already re-acknowledged: resent history is "outstanding" even
+         before it is dispatched.  The cap tracks the redo cursor. *)
+  mutable acked_since_lwm : int;
+  mutable next_xid : int;
+  mutable msgs : int;
+  mutable resend_count : int;
+  mutable unforced_commits : int; (* group commit: commits awaiting a force *)
+}
+
+let create ?(counters = Instrument.global) cfg =
+  {
+    cfg;
+    counters;
+    log = Wal.create ~counters ~size:Log_record.size ();
+    locks = Lock_mgr.create ();
+    links = Hashtbl.create 4;
+    routes = Hashtbl.create 16;
+    txns = Hashtbl.create 64;
+    pendings = Hashtbl.create 64;
+    completed = Hashtbl.create 64;
+    wakeups = Queue.create ();
+    outstanding = Lsn.Set.empty;
+    rssp = Lsn.next Lsn.zero;
+    lwm_cap = None;
+    acked_since_lwm = 0;
+    next_xid = 1;
+    msgs = 0;
+    resend_count = 0;
+    unforced_commits = 0;
+  }
+
+let id t = t.cfg.id
+
+let attach_dc t link = Hashtbl.replace t.links link.dc_name link
+
+let map_table t ~table ~dc ~versioned =
+  if not (Hashtbl.mem t.links dc) then
+    invalid_arg ("Tc.map_table: unknown DC " ^ dc);
+  Hashtbl.replace t.routes table (Single { r_dc = dc; r_versioned = versioned })
+
+let map_table_partitioned t ~table ~versioned ~partition =
+  Hashtbl.replace t.routes table
+    (Partitioned { p_versioned = versioned; p_f = partition })
+
+let dc_of_key t table key =
+  match Hashtbl.find_opt t.routes table with
+  | Some (Single { r_dc; _ }) -> r_dc
+  | Some (Partitioned { p_f; _ }) -> p_f key
+  | None -> invalid_arg ("Tc: table not mapped: " ^ table)
+
+(* Route by the operation's key footprint: point ops by their key,
+   ranged ops by their start key (scans stay inside one partition by
+   schema construction), multi-key ops by their first key (they are
+   built per-DC before logging). *)
+let route_op t (op : Op.t) =
+  let table = Op.table op in
+  let dc =
+    match op with
+    | Op.Insert { key; _ } | Op.Update { key; _ } | Op.Delete { key; _ }
+    | Op.Read { key; _ } -> dc_of_key t table key
+    | Op.Scan { from_key; _ } | Op.Probe { from_key; _ } ->
+      dc_of_key t table from_key
+    | Op.Commit_versions { keys; _ } | Op.Abort_versions { keys; _ } -> (
+      match keys with
+      | key :: _ -> dc_of_key t table key
+      | [] -> dc_of_key t table "")
+  in
+  match Hashtbl.find_opt t.links dc with
+  | Some link -> link
+  | None -> invalid_arg ("Tc: no link to DC " ^ dc)
+
+let versioned_of_table t table =
+  match Hashtbl.find_opt t.routes table with
+  | Some (Single { r_versioned; _ }) -> r_versioned
+  | Some (Partitioned { p_versioned; _ }) -> p_versioned
+  | None -> false
+
+let xid txn = txn.t_xid
+
+let is_active txn = txn.state = Active
+
+(* ------------------------------------------------------------------ *)
+(* Message plumbing                                                    *)
+
+let broadcast_control t ctl =
+  Hashtbl.iter (fun _ link -> ignore (link.control ctl)) t.links
+
+let send_eosl t =
+  broadcast_control t
+    (Wire.End_of_stable_log { tc = t.cfg.id; eosl = Wal.stable_lsn t.log })
+
+let current_lwm t =
+  let base =
+    match Lsn.Set.min_elt_opt t.outstanding with
+    | Some l -> Lsn.prev l
+    | None -> Wal.last_lsn t.log
+  in
+  (* Never let the low-water mark outrun the stable log: pages whose
+     abstract LSNs advance past it would all look "affected" after a TC
+     crash, defeating the selective reset of Section 5.3.2.  Capping is
+     always sound — it only defers coverage. *)
+  let base = Lsn.min base (Wal.stable_lsn t.log) in
+  match t.lwm_cap with Some cap -> Lsn.min base cap | None -> base
+
+let send_lwm t =
+  t.acked_since_lwm <- 0;
+  if t.cfg.combine_watermarks then
+    broadcast_control t
+      (Wire.Watermarks
+         { tc = t.cfg.id; eosl = Wal.stable_lsn t.log; lwm = current_lwm t })
+  else
+    broadcast_control t
+      (Wire.Low_water_mark { tc = t.cfg.id; lwm = current_lwm t })
+
+let dispatch t link (req : Wire.request) ~xid ~wants_reply =
+  Hashtbl.replace t.pendings (Lsn.to_int req.lsn)
+    { p_req = req; p_link = link; p_age = 0; p_xid = xid;
+      p_wants_reply = wants_reply };
+  t.outstanding <- Lsn.Set.add req.lsn t.outstanding;
+  (match xid with
+  | Some x -> (
+    match Hashtbl.find_opt t.txns x with
+    | Some txn -> txn.outstanding <- Lsn.Set.add req.lsn txn.outstanding
+    | None -> ())
+  | None -> ());
+  t.msgs <- t.msgs + 1;
+  Instrument.bump t.counters "tc.requests_sent";
+  link.send req
+
+let handle_reply t (r : Wire.reply) =
+  match Hashtbl.find_opt t.pendings (Lsn.to_int r.lsn) with
+  | None -> () (* stale duplicate reply *)
+  | Some p ->
+    Hashtbl.remove t.pendings (Lsn.to_int r.lsn);
+    t.outstanding <- Lsn.Set.remove r.lsn t.outstanding;
+    (match p.p_xid with
+    | Some x -> (
+      match Hashtbl.find_opt t.txns x with
+      | Some txn -> (
+        txn.outstanding <- Lsn.Set.remove r.lsn txn.outstanding;
+        match r.result with
+        | Wire.Failed msg when txn.failed = None -> txn.failed <- Some msg
+        | _ -> ())
+      | None -> ())
+    | None -> ());
+    if p.p_wants_reply then Hashtbl.replace t.completed (Lsn.to_int r.lsn) r;
+    t.acked_since_lwm <- t.acked_since_lwm + 1;
+    if t.acked_since_lwm >= t.cfg.lwm_every then send_lwm t
+
+let pump t =
+  let progressed = ref false in
+  Hashtbl.iter
+    (fun _ link ->
+      List.iter
+        (fun r ->
+          progressed := true;
+          handle_reply t r)
+        (link.drain ()))
+    t.links;
+  !progressed
+
+let resend_stale t =
+  Hashtbl.iter
+    (fun _ p ->
+      p.p_age <- p.p_age + 1;
+      if p.p_age >= t.cfg.resend_after then begin
+        p.p_age <- 0;
+        t.resend_count <- t.resend_count + 1;
+        Instrument.bump t.counters "tc.resends";
+        p.p_link.send p.p_req
+      end)
+    t.pendings
+
+let await t pred =
+  let stalls = ref 0 in
+  while not (pred ()) do
+    if pump t then stalls := 0
+    else begin
+      incr stalls;
+      resend_stale t;
+      if !stalls > t.cfg.max_pump_rounds then
+        failwith "Tc.await: no progress (lost message without resend?)"
+    end
+  done
+
+let await_reply t lsn =
+  let key = Lsn.to_int lsn in
+  await t (fun () -> Hashtbl.mem t.completed key);
+  let r = Hashtbl.find t.completed key in
+  Hashtbl.remove t.completed key;
+  r
+
+(* The TC's obligation: never two conflicting operations in flight. *)
+let await_conflicts t op =
+  await t (fun () ->
+      not
+        (Hashtbl.fold
+           (fun _ p acc -> acc || Op.conflicts p.p_req.Wire.op op)
+           t.pendings false))
+
+(* A synchronous unlogged request (reads, probes, scans): unique request
+   id from the log's LSN sequence, but no record — reads are never
+   redone. *)
+let request_unlogged t link op =
+  await_conflicts t op;
+  let lsn = Wal.reserve t.log in
+  dispatch t link { Wire.tc = t.cfg.id; lsn; op } ~xid:None ~wants_reply:true;
+  await_reply t lsn
+
+(* ------------------------------------------------------------------ *)
+(* Locking                                                             *)
+
+let slot_of_key n key =
+  let b0 = if String.length key > 0 then Char.code key.[0] else 0 in
+  let b1 = if String.length key > 1 then Char.code key.[1] else 0 in
+  ((b0 * 256) + b1) * n / 65536
+
+(* Smallest 16-bit prefix whose slot is [s]. *)
+let slot_start_value n s = ((s * 65536) + n - 1) / n
+
+let slot_hi n s =
+  if s >= n - 1 then None
+  else
+    let v = slot_start_value n (s + 1) in
+    Some (String.init 2 (fun i -> Char.chr (if i = 0 then v / 256 else v mod 256)))
+
+let is_occ t = t.cfg.cc_protocol = Optimistic
+
+let rsrc_for t table key =
+  match t.cfg.cc_protocol with
+  | Key_locks | Optimistic -> Lock_mgr.Record { table; key }
+  | Range_locks n -> Lock_mgr.Range { table; slot = slot_of_key n key }
+  | Table_locks -> Lock_mgr.Table table
+
+let lock t txn rsrc mode =
+  match Lock_mgr.acquire t.locks ~owner:txn.t_xid rsrc mode with
+  | `Granted -> `Granted
+  | `Blocked ->
+    Instrument.bump t.counters "tc.lock_waits";
+    `Blocked
+
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                        *)
+
+let begin_txn t =
+  let x = t.next_xid in
+  t.next_xid <- x + 1;
+  let txn =
+    {
+      t_xid = x;
+      state = Active;
+      first_lsn = Lsn.zero;
+      undo_stack = [];
+      vwrites = [];
+      failed = None;
+      outstanding = Lsn.Set.empty;
+      read_set = [];
+      scan_set = [];
+      write_buf = [];
+      occ_applying = false;
+    }
+  in
+  txn.first_lsn <- Wal.append t.log (Log_record.Begin { xid = x });
+  Hashtbl.replace t.txns x txn;
+  txn
+
+let release_locks t txn =
+  let granted = Lock_mgr.release_all t.locks ~owner:txn.t_xid in
+  List.iter (fun owner -> Queue.add owner t.wakeups) granted
+
+let wakeups t =
+  let out = ref [] in
+  Queue.iter (fun x -> out := x :: !out) t.wakeups;
+  Queue.clear t.wakeups;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Reads                                                               *)
+
+let value_of_result = function
+  | Wire.Value v -> `Ok v
+  | Wire.Failed m -> `Fail m
+  | _ -> `Fail "unexpected result shape"
+
+(* The latest buffered write for a key, if any (OCC read-your-writes). *)
+let buffered_value txn ~table ~key =
+  List.find_map
+    (fun op ->
+      match op with
+      | Op.Insert { table = t'; key = k'; value }
+      | Op.Update { table = t'; key = k'; value }
+        when String.equal t' table && String.equal k' key ->
+        Some (Some value)
+      | Op.Delete { table = t'; key = k' }
+        when String.equal t' table && String.equal k' key ->
+        Some None
+      | _ -> None)
+    txn.write_buf (* newest first *)
+
+let read t txn ~table ~key =
+  if txn.state <> Active then `Fail "transaction not active"
+  else if is_occ t then (
+    match buffered_value txn ~table ~key with
+    | Some v -> `Ok v
+    | None ->
+      let op = Op.Read { table; key; mode = Op.Own } in
+      let link = route_op t op in
+      match value_of_result (request_unlogged t link op).Wire.result with
+      | `Ok v ->
+        txn.read_set <- (table, key, v) :: txn.read_set;
+        `Ok v
+      | o -> o)
+  else
+    let link = route_op t (Op.Read { table; key; mode = Op.Own }) in
+    match lock t txn (rsrc_for t table key) Lock_mgr.S with
+    | `Blocked -> `Blocked
+    | `Granted ->
+      let op = Op.Read { table; key; mode = Op.Own } in
+      value_of_result (request_unlogged t link op).Wire.result
+
+(* Lock-free sharing reads (Section 6.2): no transaction, no locks. *)
+let sharing_read t ~table ~key mode =
+  let op = Op.Read { table; key; mode } in
+  let link = route_op t op in
+  match (request_unlogged t link op).Wire.result with
+  | Wire.Value v -> v
+  | _ -> None
+
+let read_committed t ~table ~key = sharing_read t ~table ~key Op.Committed
+
+let read_dirty t ~table ~key = sharing_read t ~table ~key Op.Dirty
+
+let sharing_scan t ~table ~from_key ~limit mode =
+  let op = Op.Scan { table; from_key; limit; mode } in
+  let link = route_op t op in
+  match (request_unlogged t link op).Wire.result with
+  | Wire.Pairs ps -> ps
+  | _ -> []
+
+let scan_committed t ~table ~from_key ~limit =
+  sharing_scan t ~table ~from_key ~limit Op.Committed
+
+let scan_dirty t ~table ~from_key ~limit =
+  sharing_scan t ~table ~from_key ~limit Op.Dirty
+
+(* ------------------------------------------------------------------ *)
+(* Writes                                                              *)
+
+let inverse op prior =
+  match (op, prior) with
+  | Op.Insert { table; key; _ }, None -> Some (Op.Delete { table; key })
+  | Op.Update { table; key; _ }, Some p ->
+    Some (Op.Update { table; key; value = p })
+  | Op.Delete { table; key }, Some p ->
+    Some (Op.Insert { table; key; value = p })
+  | _ -> None
+
+(* Pre-read under the already-held X lock: the undo value for tables
+   without before-versions must be known before the operation record is
+   logged, because a TC crash may lose any information learned later. *)
+let pre_read t link ~table ~key =
+  let op = Op.Read { table; key; mode = Op.Own } in
+  match (request_unlogged t link op).Wire.result with
+  | Wire.Value v -> v
+  | _ -> None
+
+let write t txn op =
+  if txn.state <> Active then `Fail "transaction not active"
+  else if is_occ t && not txn.occ_applying then begin
+    txn.write_buf <- op :: txn.write_buf;
+    `Ok ()
+  end
+  else
+    let table = Op.table op in
+    let key =
+      match op with
+      | Op.Insert { key; _ } | Op.Update { key; _ } | Op.Delete { key; _ } ->
+        key
+      | _ -> invalid_arg "Tc.write: not a point write"
+    in
+    let link = route_op t op in
+    let versioned = versioned_of_table t table in
+    match lock t txn (rsrc_for t table key) Lock_mgr.X with
+    | `Blocked -> `Blocked
+    | `Granted ->
+      await_conflicts t op;
+      if versioned then begin
+        (* Before-versions make undo state-based: no pre-read, and the
+           request can be pipelined. *)
+        let lsn =
+          Wal.append t.log (Log_record.Op_log { xid = txn.t_xid; op; undo = None })
+        in
+        txn.vwrites <- (table, key) :: txn.vwrites;
+        let wants_reply = not t.cfg.pipeline_writes in
+        dispatch t link { Wire.tc = t.cfg.id; lsn; op } ~xid:(Some txn.t_xid)
+          ~wants_reply;
+        if wants_reply then
+          match (await_reply t lsn).Wire.result with
+          | Wire.Done -> `Ok ()
+          | Wire.Failed m ->
+            txn.failed <- Some m;
+            `Fail m
+          | _ -> `Fail "unexpected result shape"
+        else `Ok ()
+      end
+      else begin
+        let prior = pre_read t link ~table ~key in
+        match (op, prior) with
+        | Op.Insert _, Some _ -> `Fail "duplicate key"
+        | Op.Update _, None -> `Fail "no such key"
+        | Op.Delete _, None -> `Ok () (* deleting nothing is a no-op *)
+        | _ ->
+          let undo = inverse op prior in
+          let lsn =
+            Wal.append t.log (Log_record.Op_log { xid = txn.t_xid; op; undo })
+          in
+          (match undo with
+          | Some inv -> txn.undo_stack <- inv :: txn.undo_stack
+          | None -> ());
+          dispatch t link { Wire.tc = t.cfg.id; lsn; op } ~xid:(Some txn.t_xid)
+            ~wants_reply:true;
+          (match (await_reply t lsn).Wire.result with
+          | Wire.Done -> `Ok ()
+          | Wire.Failed m -> `Fail m
+          | _ -> `Fail "unexpected result shape")
+      end
+
+let insert t txn ~table ~key ~value =
+  write t txn (Op.Insert { table; key; value })
+
+let update t txn ~table ~key ~value =
+  write t txn (Op.Update { table; key; value })
+
+let delete t txn ~table ~key = write t txn (Op.Delete { table; key })
+
+(* ------------------------------------------------------------------ *)
+(* Scans (Section 3.1: the two range protocols)                        *)
+
+let probe t link ~table ~from_key ~limit =
+  match
+    (request_unlogged t link (Op.Probe { table; from_key; limit })).Wire.result
+  with
+  | Wire.Next_keys ks -> ks
+  | _ -> []
+
+let scan_rows t link ~table ~from_key ~limit =
+  match
+    (request_unlogged t link
+       (Op.Scan { table; from_key; limit; mode = Op.Own }))
+      .Wire.result
+  with
+  | Wire.Pairs ps -> ps
+  | _ -> []
+
+let next_key k = k ^ "\x00"
+
+(* Fetch-ahead: speculative probe for the next keys, lock them, then
+   verify the probe before reading; a mismatch turns the read request
+   back into a speculative probe. *)
+let scan_fetch_ahead t txn link ~table ~from_key ~limit =
+  let results = ref [] in
+  let taken = ref 0 in
+  let rec loop cursor =
+    if !taken >= limit then `Ok (List.rev !results)
+    else
+      let batch = Stdlib.min (limit - !taken) 16 in
+      let keys = probe t link ~table ~from_key:cursor ~limit:batch in
+      if keys = [] then `Ok (List.rev !results)
+      else
+        let rec lock_keys = function
+          | [] -> `Granted
+          | k :: rest -> (
+            match lock t txn (Lock_mgr.Record { table; key = k }) Lock_mgr.S with
+            | `Granted -> lock_keys rest
+            | `Blocked -> `Blocked)
+        in
+        match lock_keys keys with
+        | `Blocked -> `Blocked
+        | `Granted ->
+          let verify = probe t link ~table ~from_key:cursor ~limit:batch in
+          if verify <> keys then loop cursor (* speculate again *)
+          else begin
+            let pairs =
+              scan_rows t link ~table ~from_key:cursor ~limit:(List.length keys)
+            in
+            List.iter
+              (fun (k, v) ->
+                if !taken < limit then begin
+                  results := (k, v) :: !results;
+                  incr taken
+                end)
+              pairs;
+            if List.length keys < batch then `Ok (List.rev !results)
+            else loop (next_key (List.nth keys (List.length keys - 1)))
+          end
+  in
+  loop from_key
+
+(* Range-partition locks: lock the static slot covering the cursor, read
+   only keys inside the slot, step to the next slot boundary. *)
+let scan_range_locks t txn link ~table ~from_key ~limit n =
+  let results = ref [] in
+  let taken = ref 0 in
+  let rec loop cursor =
+    if !taken >= limit then `Ok (List.rev !results)
+    else
+      let s = slot_of_key n cursor in
+      match lock t txn (Lock_mgr.Range { table; slot = s }) Lock_mgr.S with
+      | `Blocked -> `Blocked
+      | `Granted ->
+        let hi = slot_hi n s in
+        let pairs =
+          scan_rows t link ~table ~from_key:cursor ~limit:(limit - !taken)
+        in
+        let in_slot, beyond =
+          List.partition
+            (fun (k, _) ->
+              match hi with None -> true | Some h -> String.compare k h < 0)
+            pairs
+        in
+        List.iter
+          (fun (k, v) ->
+            if !taken < limit then begin
+              results := (k, v) :: !results;
+              incr taken
+            end)
+          in_slot;
+        let exhausted =
+          beyond = [] && List.length pairs < limit - !taken + List.length in_slot
+        in
+        if exhausted then `Ok (List.rev !results)
+        else (
+          match hi with
+          | None -> `Ok (List.rev !results)
+          | Some h -> loop h)
+  in
+  loop from_key
+
+let scan t txn ~table ~from_key ~limit =
+  if txn.state <> Active then `Fail "transaction not active"
+  else
+    let link =
+      route_op t (Op.Scan { table; from_key; limit; mode = Op.Own })
+    in
+    match t.cfg.cc_protocol with
+    | Optimistic ->
+      (* lock-free read; the whole result is re-validated at commit, so
+         phantoms in the range abort the transaction.  Buffered own
+         writes are not merged into scan results (classic OCC
+         simplification, documented). *)
+      let rows = scan_rows t link ~table ~from_key ~limit in
+      txn.scan_set <- (table, from_key, limit, rows) :: txn.scan_set;
+      `Ok rows
+    | Key_locks -> scan_fetch_ahead t txn link ~table ~from_key ~limit
+    | Range_locks n -> scan_range_locks t txn link ~table ~from_key ~limit n
+    | Table_locks -> (
+      (* the coarsest protocol of Section 3.1's list: one lock covers
+         the whole scan, one request fetches it *)
+      match lock t txn (Lock_mgr.Table table) Lock_mgr.S with
+      | `Blocked -> `Blocked
+      | `Granted -> `Ok (scan_rows t link ~table ~from_key ~limit))
+
+(* ------------------------------------------------------------------ *)
+(* Commit / abort                                                      *)
+
+(* Group a transaction's versioned writes by (table, DC): version
+   housekeeping operations must each target a single DC. *)
+let versioned_write_sets t txn =
+  let tbl = Hashtbl.create 4 in
+  List.iter
+    (fun (table, key) ->
+      let group = (table, dc_of_key t table key) in
+      let keys =
+        match Hashtbl.find_opt tbl group with
+        | Some l -> l
+        | None ->
+          let l = ref [] in
+          Hashtbl.add tbl group l;
+          l
+      in
+      if not (List.mem key !keys) then keys := key :: !keys)
+    txn.vwrites;
+  Hashtbl.fold (fun (table, _) keys acc -> (table, !keys) :: acc) tbl []
+
+let send_compensation t txn op =
+  let link = route_op t op in
+  await_conflicts t op;
+  let lsn =
+    Wal.append t.log (Log_record.Compensation { xid = txn.t_xid; op })
+  in
+  dispatch t link { Wire.tc = t.cfg.id; lsn; op } ~xid:(Some txn.t_xid)
+    ~wants_reply:true;
+  ignore (await_reply t lsn)
+
+let rollback_work t txn =
+  (* Inverse operations, newest first, for unversioned tables; a single
+     Abort_versions per versioned table.  Both are idempotent: inverse
+     ops write absolute states, version aborts are state tests. *)
+  List.iter (fun inv -> send_compensation t txn inv) txn.undo_stack;
+  List.iter
+    (fun (table, keys) ->
+      send_compensation t txn (Op.Abort_versions { table; keys }))
+    (versioned_write_sets t txn)
+
+let abort t txn ~reason =
+  if txn.state = Active then begin
+    ignore reason;
+    Lock_mgr.cancel_waits t.locks ~owner:txn.t_xid;
+    ignore (Wal.append t.log (Log_record.Abort { xid = txn.t_xid }));
+    await t (fun () -> Lsn.Set.is_empty txn.outstanding);
+    rollback_work t txn;
+    ignore (Wal.append t.log (Log_record.Finished { xid = txn.t_xid }));
+    release_locks t txn;
+    txn.state <- Aborted;
+    Instrument.bump t.counters "tc.aborts"
+  end
+
+(* Backward validation (the "optimistic methods" the paper allows the TC
+   to choose, Section 4.1.1): every observation is re-checked against
+   current state; commit applies the buffered writes only if nothing
+   moved.  The validate+apply sequence runs without yielding to other
+   transactions of this TC (the single-threaded simulator's equivalent
+   of a validation critical section). *)
+let occ_validate t txn =
+  List.for_all
+    (fun (table, key, seen) ->
+      let op = Op.Read { table; key; mode = Op.Own } in
+      let link = route_op t op in
+      match (request_unlogged t link op).Wire.result with
+      | Wire.Value now -> now = seen
+      | _ -> false)
+    txn.read_set
+  && List.for_all
+       (fun (table, from_key, limit, seen) ->
+         let op = Op.Scan { table; from_key; limit; mode = Op.Own } in
+         let link = route_op t op in
+         match (request_unlogged t link op).Wire.result with
+         | Wire.Pairs now -> now = seen
+         | _ -> false)
+       txn.scan_set
+
+let rec commit t txn =
+  if txn.state <> Active then `Fail "transaction not active"
+  else if is_occ t && (txn.write_buf <> [] || txn.read_set <> [] || txn.scan_set <> [])
+  then begin
+    if not (occ_validate t txn) then begin
+      abort t txn ~reason:"optimistic validation failed";
+      Instrument.bump t.counters "tc.occ_validation_failures";
+      `Fail "optimistic validation failed"
+    end
+    else begin
+      let writes = List.rev txn.write_buf in
+      txn.write_buf <- [];
+      txn.read_set <- [];
+      txn.scan_set <- [];
+      txn.occ_applying <- true;
+      let rec apply = function
+        | [] -> true
+        | op :: rest -> (
+          match write t txn op with
+          | `Ok () -> apply rest
+          | `Blocked | `Fail _ -> false)
+      in
+      let applied = apply writes in
+      txn.occ_applying <- false;
+      if applied then commit t txn
+      else begin
+        abort t txn ~reason:"optimistic apply failed";
+        `Fail "optimistic apply failed"
+      end
+    end
+  end
+  else begin
+    await t (fun () -> Lsn.Set.is_empty txn.outstanding);
+    match txn.failed with
+    | Some msg ->
+      abort t txn ~reason:msg;
+      `Fail msg
+    | None ->
+      ignore (Wal.append t.log (Log_record.Commit { xid = txn.t_xid }));
+      (* Version cleanup is logged *before* the single commit force, so
+         its operations are covered by the stable log: a TC crash then
+         never makes their page effects "lost".  They are only redone
+         when the Commit record is also stable, so a loser's
+         before-versions are never stripped. *)
+      let cleanups =
+        List.map
+          (fun (table, keys) ->
+            let op = Op.Commit_versions { table; keys } in
+            let lsn =
+              Wal.append t.log
+                (Log_record.Compensation { xid = txn.t_xid; op })
+            in
+            (lsn, op))
+          (versioned_write_sets t txn)
+      in
+      (* Group commit: batch several commits under one force.  Commits
+         in between are not yet durable — the classic latency/IO trade;
+         default group size 1 forces every commit. *)
+      t.unforced_commits <- t.unforced_commits + 1;
+      if t.unforced_commits >= Stdlib.max 1 t.cfg.group_commit then begin
+        t.unforced_commits <- 0;
+        Wal.force t.log;
+        send_eosl t
+      end;
+      List.iter
+        (fun (lsn, op) ->
+          let link = route_op t op in
+          await_conflicts t op;
+          dispatch t link { Wire.tc = t.cfg.id; lsn; op } ~xid:(Some txn.t_xid)
+            ~wants_reply:true;
+          ignore (await_reply t lsn))
+        cleanups;
+      ignore (Wal.append t.log (Log_record.Finished { xid = txn.t_xid }));
+      release_locks t txn;
+      txn.state <- Committed;
+      Instrument.bump t.counters "tc.commits";
+      `Ok ()
+  end
+
+let quiesce t =
+  await t (fun () -> Lsn.Set.is_empty t.outstanding);
+  send_lwm t
+
+let resolve_deadlock t =
+  match Lock_mgr.find_deadlock t.locks with
+  | None -> None
+  | Some victim -> (
+    match Hashtbl.find_opt t.txns victim with
+    | Some txn when txn.state = Active ->
+      abort t txn ~reason:"deadlock victim";
+      Some victim
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint (contract termination)                                   *)
+
+let active_xids t =
+  Hashtbl.fold
+    (fun x txn acc -> if txn.state = Active then x :: acc else acc)
+    t.txns []
+  |> List.sort Int.compare
+
+let checkpoint t =
+  Wal.force t.log;
+  send_eosl t;
+  send_lwm t;
+  let target = Lsn.min (current_lwm t) (Wal.stable_lsn t.log) in
+  if Lsn.(target <= t.rssp) then true (* nothing to advance *)
+  else begin
+    let granted =
+      Hashtbl.fold
+        (fun _ link acc ->
+          acc
+          &&
+          match link.control (Wire.Checkpoint { tc = t.cfg.id; new_rssp = target }) with
+          | Wire.Checkpoint_done { granted } -> granted
+          | Wire.Ack -> false)
+        t.links true
+    in
+    if granted then begin
+      t.rssp <- target;
+      let active = active_xids t in
+      ignore (Wal.append t.log (Log_record.Checkpoint { rssp = target; active }));
+      Wal.force t.log;
+      send_eosl t;
+      let oldest_active =
+        Hashtbl.fold
+          (fun _ txn acc ->
+            if txn.state = Active then Lsn.min acc txn.first_lsn else acc)
+          t.txns target
+      in
+      Wal.truncate t.log (Lsn.min target oldest_active);
+      Instrument.bump t.counters "tc.checkpoints";
+      true
+    end
+    else false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Failures                                                            *)
+
+let crash t =
+  Wal.crash t.log;
+  Hashtbl.reset t.txns;
+  Hashtbl.reset t.pendings;
+  Hashtbl.reset t.completed;
+  Queue.clear t.wakeups;
+  t.outstanding <- Lsn.Set.empty;
+  t.locks <- Lock_mgr.create ();
+  t.acked_since_lwm <- 0
+
+type analysis = {
+  mutable a_committed : bool;
+  mutable a_finished : bool;
+  mutable a_ops : (Lsn.t * Op.t * Op.t option) list; (* newest first *)
+}
+
+let resend_logged t lsn op =
+  let link = route_op t op in
+  await_conflicts t op;
+  dispatch t link { Wire.tc = t.cfg.id; lsn; op } ~xid:None ~wants_reply:true;
+  ignore (await_reply t lsn);
+  (* Redo is sequential in LSN order, so once this operation is
+     re-acknowledged every operation at or below it is settled. *)
+  t.lwm_cap <- Some lsn
+
+let recover t =
+  let stable = Wal.stable_lsn t.log in
+  (* Analysis. *)
+  let infos : (int, analysis) Hashtbl.t = Hashtbl.create 64 in
+  let info x =
+    match Hashtbl.find_opt infos x with
+    | Some i -> i
+    | None ->
+      let i = { a_committed = false; a_finished = false; a_ops = [] } in
+      Hashtbl.add infos x i;
+      i
+  in
+  let rssp = ref t.rssp in
+  Wal.iter_from t.log Lsn.zero (fun lsn record ->
+      match record with
+      | Log_record.Begin _ -> ()
+      | Log_record.Op_log { xid; op; undo } ->
+        let i = info xid in
+        i.a_ops <- (lsn, op, undo) :: i.a_ops
+      | Log_record.Compensation _ -> ()
+      | Log_record.Commit { xid } -> (info xid).a_committed <- true
+      | Log_record.Abort _ -> ()
+      | Log_record.Finished { xid } -> (info xid).a_finished <- true
+      | Log_record.Checkpoint { rssp = r; _ } -> rssp := Lsn.max !rssp r);
+  t.rssp <- !rssp;
+  Hashtbl.iter (fun x _ -> if x >= t.next_xid then t.next_xid <- x + 1) infos;
+  (* Tell every DC to forget effects beyond the stable log (it resets
+     exactly the pages whose abstract LSNs reach past it). *)
+  broadcast_control t (Wire.Restart_begin { tc = t.cfg.id; stable_lsn = stable });
+  (* Redo: repeat history by resending logged operations in order.  The
+     low-water mark is capped at the redo cursor: history not yet resent
+     must count as outstanding. *)
+  t.lwm_cap <- Some (Lsn.prev t.rssp);
+  Wal.iter_from t.log t.rssp (fun lsn record ->
+      match record with
+      | Log_record.Op_log { op; _ } | Log_record.Compensation { op; _ } ->
+        resend_logged t lsn op
+      | _ -> ());
+  t.lwm_cap <- None;
+  (* Undo losers; finish interrupted post-commit version cleanup. *)
+  Hashtbl.iter
+    (fun x i ->
+      if not i.a_finished then begin
+        let fake_txn =
+          {
+            t_xid = x;
+            state = Active;
+            first_lsn = Lsn.zero;
+            undo_stack = [];
+            vwrites = [];
+            failed = None;
+            outstanding = Lsn.Set.empty;
+            read_set = [];
+            scan_set = [];
+            write_buf = [];
+            occ_applying = false;
+          }
+        in
+        let versioned_of table = versioned_of_table t table in
+        List.iter
+          (fun (_, op, undo) ->
+            match undo with
+            | Some inv -> fake_txn.undo_stack <- fake_txn.undo_stack @ [ inv ]
+            | None -> (
+              match op with
+              | Op.Insert { table; key; _ }
+              | Op.Update { table; key; _ }
+              | Op.Delete { table; key } ->
+                if versioned_of table then
+                  fake_txn.vwrites <- (table, key) :: fake_txn.vwrites
+              | _ -> ()))
+          i.a_ops;
+        (* a_ops is newest-first, so appending preserved that order for
+           the undo stack. *)
+        if i.a_committed then
+          List.iter
+            (fun (table, keys) ->
+              send_compensation t fake_txn (Op.Commit_versions { table; keys }))
+            (versioned_write_sets t fake_txn)
+        else begin
+          ignore (Wal.append t.log (Log_record.Abort { xid = x }));
+          rollback_work t fake_txn
+        end;
+        ignore (Wal.append t.log (Log_record.Finished { xid = x }))
+      end)
+    infos;
+  Wal.force t.log;
+  send_eosl t;
+  send_lwm t;
+  broadcast_control t (Wire.Restart_end { tc = t.cfg.id });
+  Instrument.bump t.counters "tc.recoveries"
+
+let on_dc_restart t ~dc =
+  (* The DC rebuilt itself from stable state; every logged operation from
+     the redo scan start point may be missing there.  Resend them (the
+     DC's idempotence test absorbs the ones it still has), then let
+     normal resend handle still-pending requests. *)
+  let link =
+    match Hashtbl.find_opt t.links dc with
+    | Some link -> link
+    | None -> invalid_arg ("Tc.on_dc_restart: unknown DC " ^ dc)
+  in
+  let resend lsn record =
+    match record with
+    | Log_record.Op_log { op; _ } | Log_record.Compensation { op; _ } ->
+      if String.equal (route_op t op).dc_name dc then resend_logged t lsn op
+    | _ -> ()
+  in
+  ignore (link.control (Wire.Redo_fence_begin { tc = t.cfg.id }));
+  t.lwm_cap <- Some (Lsn.prev t.rssp);
+  Wal.iter_from t.log t.rssp resend;
+  Wal.iter_volatile t.log resend;
+  t.lwm_cap <- None;
+  ignore (link.control (Wire.Redo_fence_end { tc = t.cfg.id }));
+  Hashtbl.iter
+    (fun _ p ->
+      if String.equal p.p_link.dc_name dc then p.p_link.send p.p_req)
+    t.pendings
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+
+let rssp t = t.rssp
+
+let stable_lsn t = Wal.stable_lsn t.log
+
+let last_lsn t = Wal.last_lsn t.log
+
+let log_forces t = Wal.forces t.log
+
+let log_bytes t = Wal.appended_bytes t.log
+
+let log_records t = Wal.stable_count t.log + Wal.volatile_count t.log
+
+let lock_acquisitions t = Lock_mgr.total_acquisitions t.locks
+
+let messages_sent t = t.msgs
+
+let resends t = t.resend_count
+
+let dump_locks t = Lock_mgr.dump t.locks

@@ -1,0 +1,191 @@
+(** The Transactional Component.
+
+    A TC wraps all requests from the application: it does transactional
+    locking (with no knowledge of pagination), logical undo/redo logging,
+    commit/abort, log forcing for durability, and the contract-keeping
+    traffic to its DCs (EOSL, LWM, checkpoint, restart) — Section 4.1.1.
+
+    Concurrency control is strict two-phase locking over logical
+    resources.  Two interchangeable range protocols implement Section 3.1:
+
+    - [Key_locks]: individual record locks; scans use the *fetch-ahead*
+      protocol (speculative probe, lock the returned keys, verify).
+    - [Range_locks n]: a static order-preserving partition of each
+      table's key space into [n] slots; every access locks its slot.
+      Fewer, coarser locks — less concurrency, less overhead.
+    - [Table_locks]: the coarsest scheme the paper's Section 3.1 lists
+      among what "many systems currently support": one lock per table.
+    - [Optimistic]: the "optimistic methods" Section 4.1.1 allows the TC
+      to choose: lock-free reads/scans with observations recorded,
+      writes buffered, backward validation at commit (any observed key
+      or range that changed aborts the transaction), then the buffered
+      writes applied and committed.  Scans do not see the transaction's
+      own buffered writes.
+
+    The TC never lets two conflicting operations be outstanding at a DC
+    simultaneously (its obligation from Section 1.2): before dispatching
+    an operation it awaits acknowledgement of any conflicting in-flight
+    request.  Non-conflicting writes to versioned tables are pipelined,
+    which is what creates genuine out-of-LSN-order arrivals at the DC.
+
+    Operations return [`Blocked] instead of blocking the thread when a
+    lock is unavailable; the workload driver reschedules the transaction
+    and uses {!resolve_deadlock} when nothing can run. *)
+
+type cc_protocol = Key_locks | Range_locks of int | Table_locks | Optimistic
+
+type config = {
+  id : Untx_util.Tc_id.t;
+  cc_protocol : cc_protocol;
+  lwm_every : int;  (** send a low-water mark every n acknowledged ops *)
+  resend_after : int;  (** pump rounds without progress before resending *)
+  max_pump_rounds : int;  (** give up (bug guard) after this many stalls *)
+  pipeline_writes : bool;
+      (** dispatch versioned-table writes without awaiting each ack *)
+  combine_watermarks : bool;
+      (** send the combined [Watermarks] control instead of separate
+          EOSL/LWM messages (the Section 4.2.1 simplification) *)
+  group_commit : int;
+      (** force the log every n commits (1 = every commit).  Batched
+          commits are not durable until the group force — an explicit
+          latency/IO trade for the E-ablation benchmarks. *)
+  debug_checks : bool;
+}
+
+val default_config : Untx_util.Tc_id.t -> config
+
+(** How the kernel wires a TC to a DC.  [send] is asynchronous and may
+    be lossy/reordering/duplicating; [drain] surfaces any replies the
+    transport has delivered; [control] is the reliable session of
+    Section 4.2.1. *)
+type dc_link = {
+  dc_name : string;
+  send : Untx_msg.Wire.request -> unit;
+  control : Untx_msg.Wire.control -> Untx_msg.Wire.control_reply;
+  drain : unit -> Untx_msg.Wire.reply list;
+}
+
+type t
+
+type txn
+
+type 'a outcome = [ `Ok of 'a | `Blocked | `Fail of string ]
+
+val create : ?counters:Untx_util.Instrument.t -> config -> t
+
+val id : t -> Untx_util.Tc_id.t
+
+val attach_dc : t -> dc_link -> unit
+
+val map_table : t -> table:string -> dc:string -> versioned:bool -> unit
+(** Route a table to a DC.  [versioned] must match the DC-side table. *)
+
+val map_table_partitioned :
+  t -> table:string -> versioned:bool -> partition:(string -> string) -> unit
+(** Route a table whose keys are spread over several DCs (Figure 2:
+    Movies/Reviews partitioned by movie across DC1 and DC2).
+    [partition key] names the DC holding [key].  Scans must stay inside
+    one partition — arrange keys so a scan prefix pins the partition, as
+    the clustered movie-review schema does. *)
+
+(** {2 Transactions} *)
+
+val begin_txn : t -> txn
+
+val xid : txn -> int
+
+val is_active : txn -> bool
+
+val insert : t -> txn -> table:string -> key:string -> value:string -> unit outcome
+
+val update : t -> txn -> table:string -> key:string -> value:string -> unit outcome
+
+val delete : t -> txn -> table:string -> key:string -> unit outcome
+
+val read : t -> txn -> table:string -> key:string -> string option outcome
+
+val scan :
+  t -> txn -> table:string -> from_key:string -> limit:int ->
+  (string * string) list outcome
+
+val commit : t -> txn -> unit outcome
+(** Forces the log, finishes version housekeeping, awaits outstanding
+    acknowledgements, releases locks.  [`Fail] if a pipelined operation
+    had failed — the transaction is rolled back automatically. *)
+
+val abort : t -> txn -> reason:string -> unit
+(** Roll back: inverse operations (unversioned tables) and
+    [Abort_versions] (versioned tables), logged as compensations. *)
+
+(** {2 Lock-free sharing reads (Section 6.2)} *)
+
+val read_committed : t -> table:string -> key:string -> string option
+(** Versioned read-committed access to data owned by other TCs: sees
+    before-versions of uncommitted updates; takes no locks. *)
+
+val read_dirty : t -> table:string -> key:string -> string option
+
+val scan_committed :
+  t -> table:string -> from_key:string -> limit:int -> (string * string) list
+
+val scan_dirty :
+  t -> table:string -> from_key:string -> limit:int -> (string * string) list
+
+(** {2 Scheduling support} *)
+
+val wakeups : t -> int list
+(** Transactions whose blocked lock requests were granted since the last
+    call (drained). *)
+
+val resolve_deadlock : t -> int option
+(** Detect a waits-for cycle; abort the youngest member; return it. *)
+
+val quiesce : t -> unit
+(** Pump the transport until no request is outstanding, then push a
+    fresh low-water mark.  Test and bench helper. *)
+
+(** {2 Contract maintenance / recovery} *)
+
+val checkpoint : t -> bool
+(** Push LWM, ask every DC to advance the redo-scan start point to it,
+    and on unanimous grant log a checkpoint record and truncate the log.
+    [false] if some DC could not comply yet. *)
+
+val crash : t -> unit
+(** Lose volatile state: unforced log tail, transaction table, lock
+    table, in-flight requests. *)
+
+val recover : t -> unit
+(** Restart (Section 5.3.2 TC failure): tell each DC to reset state
+    beyond the stable log, resend logged operations from the redo-scan
+    start point (repeating history), then roll back loser transactions
+    and finish interrupted version cleanup. *)
+
+val on_dc_restart : t -> dc:string -> unit
+(** A DC lost its cache (Section 5.3.2 DC failure): resend logged
+    operations from the redo-scan start point to that DC. *)
+
+(** {2 Introspection} *)
+
+val rssp : t -> Untx_util.Lsn.t
+
+val stable_lsn : t -> Untx_util.Lsn.t
+
+val last_lsn : t -> Untx_util.Lsn.t
+
+val log_forces : t -> int
+
+val log_bytes : t -> int
+
+val log_records : t -> int
+
+val active_xids : t -> int list
+
+val lock_acquisitions : t -> int
+
+val messages_sent : t -> int
+
+val resends : t -> int
+
+val dump_locks : t -> string
+(** Lock-table diagnostics. *)

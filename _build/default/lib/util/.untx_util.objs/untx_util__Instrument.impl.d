@@ -1,0 +1,1 @@
+lib/util/instrument.ml: Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/util/instrument.mli: Format

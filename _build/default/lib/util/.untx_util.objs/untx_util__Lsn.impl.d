@@ -1,0 +1,1 @@
+lib/util/lsn.ml: Format Int Map Set Stdlib

@@ -1,0 +1,1 @@
+lib/util/lsn.mli: Format Map Set

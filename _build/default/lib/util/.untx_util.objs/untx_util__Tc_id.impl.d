@@ -1,0 +1,1 @@
+lib/util/tc_id.ml: Format Int Map Set

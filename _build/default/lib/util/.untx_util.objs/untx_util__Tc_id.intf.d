@@ -1,0 +1,1 @@
+lib/util/tc_id.mli: Format Map Set

@@ -1,0 +1,35 @@
+let encode fields =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (string_of_int (String.length f));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf f)
+    fields;
+  Buffer.contents buf
+
+let decode s =
+  let n = String.length s in
+  let rec go pos acc =
+    if pos >= n then List.rev acc
+    else
+      match String.index_from_opt s pos ':' with
+      | None -> invalid_arg "Codec.decode: missing length delimiter"
+      | Some colon ->
+        let len =
+          match int_of_string_opt (String.sub s pos (colon - pos)) with
+          | Some l when l >= 0 -> l
+          | _ -> invalid_arg "Codec.decode: bad length"
+        in
+        if colon + 1 + len > n then invalid_arg "Codec.decode: truncated field";
+        let field = String.sub s (colon + 1) len in
+        go (colon + 1 + len) (field :: acc)
+  in
+  go 0 []
+
+let encode_int i = string_of_int i
+
+let decode_int s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> invalid_arg "Codec.decode_int"

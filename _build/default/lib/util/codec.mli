@@ -1,0 +1,14 @@
+(** Length-prefixed field encoding.
+
+    A tiny, binary-safe serialization used for page cell payloads, page
+    metadata blobs and log-record size accounting.  Fields are arbitrary
+    byte strings; [decode (encode fs) = fs] for every field list. *)
+
+val encode : string list -> string
+
+val decode : string -> string list
+(** Raises [Invalid_argument] on malformed input. *)
+
+val encode_int : int -> string
+
+val decode_int : string -> int

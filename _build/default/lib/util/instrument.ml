@@ -1,0 +1,33 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () = Hashtbl.create 64
+
+let cell t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t name r;
+    r
+
+let bump t name = incr (cell t name)
+
+let bump_by t name n =
+  let r = cell t name in
+  r := !r + n
+
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let reset t = Hashtbl.iter (fun _ r -> r := 0) t
+
+let snapshot t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp ppf t =
+  let items = snapshot t in
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (name, v) -> Format.fprintf ppf "%-32s %d@," name v) items;
+  Format.fprintf ppf "@]"
+
+let global = create ()

@@ -1,0 +1,29 @@
+(** Named event counters.
+
+    The paper's E1 claim ("unbundling inevitably has longer code paths")
+    is quantified by counting layer crossings, messages, log appends,
+    latches and page I/Os through a shared counter registry rather than by
+    wall-clock alone. *)
+
+type t
+
+val create : unit -> t
+
+val bump : t -> string -> unit
+(** Increment counter [name] by one (created at zero on first use). *)
+
+val bump_by : t -> string -> int -> unit
+
+val get : t -> string -> int
+(** Current value; [0] if never bumped. *)
+
+val reset : t -> unit
+(** Zero every counter. *)
+
+val snapshot : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val pp : Format.formatter -> t -> unit
+
+val global : t
+(** A process-wide registry, convenient for benches. *)

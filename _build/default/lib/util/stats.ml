@@ -1,0 +1,69 @@
+type t = {
+  mutable samples : float list;
+  mutable sorted : float array option;
+  mutable count : int;
+  mutable total : float;
+  mutable sum_sq : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () =
+  {
+    samples = [];
+    sorted = None;
+    count = 0;
+    total = 0.;
+    sum_sq = 0.;
+    min_v = infinity;
+    max_v = neg_infinity;
+  }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.sorted <- None;
+  t.count <- t.count + 1;
+  t.total <- t.total +. x;
+  t.sum_sq <- t.sum_sq +. (x *. x);
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let count t = t.count
+
+let total t = t.total
+
+let mean t = if t.count = 0 then 0. else t.total /. float_of_int t.count
+
+let min t = if t.count = 0 then 0. else t.min_v
+
+let max t = if t.count = 0 then 0. else t.max_v
+
+let stddev t =
+  if t.count < 2 then 0.
+  else
+    let n = float_of_int t.count in
+    let m = t.total /. n in
+    sqrt (Float.max 0. ((t.sum_sq /. n) -. (m *. m)))
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list t.samples in
+    Array.sort Float.compare a;
+    t.sorted <- Some a;
+    a
+
+let percentile t p =
+  let a = sorted t in
+  let n = Array.length a in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
+    a.(idx)
+
+let pp_summary ppf t =
+  Format.fprintf ppf "n=%d mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f"
+    (count t) (mean t) (percentile t 50.) (percentile t 95.)
+    (percentile t 99.) (max t)

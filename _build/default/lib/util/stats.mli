@@ -1,0 +1,27 @@
+(** Running statistics and simple histograms for experiment reporting. *)
+
+type t
+(** A mutable accumulator of float samples. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val total : t -> float
+
+val mean : t -> float
+(** Mean of the samples; [0.] when empty. *)
+
+val min : t -> float
+
+val max : t -> float
+
+val stddev : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0,100\]]; nearest-rank on the sorted
+    samples; [0.] when empty.  O(n log n) on first call after adds. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+(* Standard Gray et al. computation method: closed-form inverse using the
+   zeta normalization constant, as used by YCSB. *)
+
+type t = { n : int; theta : float; zetan : float; alpha : float; eta : float }
+
+let zeta n theta =
+  let acc = ref 0. in
+  for i = 1 to n do
+    acc := !acc +. (1. /. Float.pow (float_of_int i) theta)
+  done;
+  !acc
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0. || theta >= 1. then
+    invalid_arg "Zipf.create: theta must be in [0,1)";
+  if theta = 0. then { n; theta; zetan = 0.; alpha = 0.; eta = 0. }
+  else
+    let zetan = zeta n theta in
+    let zeta2 = zeta 2 theta in
+    let alpha = 1. /. (1. -. theta) in
+    let eta =
+      (1. -. Float.pow (2. /. float_of_int n) (1. -. theta))
+      /. (1. -. (zeta2 /. zetan))
+    in
+    { n; theta; zetan; alpha; eta }
+
+let sample t rng =
+  if t.theta = 0. then Rng.int rng t.n
+  else
+    let u = Rng.float rng 1.0 in
+    let uz = u *. t.zetan in
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. Float.pow 0.5 t.theta then 1
+    else
+      let rank =
+        float_of_int t.n
+        *. Float.pow ((t.eta *. u) -. t.eta +. 1.) t.alpha
+      in
+      Stdlib.min (t.n - 1) (int_of_float rank)

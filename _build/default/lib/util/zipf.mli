@@ -1,0 +1,10 @@
+(** Zipfian key-popularity distribution for skewed workloads. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [create ~n ~theta] prepares a Zipf distribution over ranks
+    [0 .. n-1] with skew [theta] (0 = uniform; 0.99 = classic YCSB skew). *)
+
+val sample : t -> Rng.t -> int
+(** Draw a rank; rank 0 is the most popular. *)

@@ -1,0 +1,1 @@
+lib/wal/wal.ml: List Untx_util

@@ -1,0 +1,85 @@
+module Lsn = Untx_util.Lsn
+module Instrument = Untx_util.Instrument
+
+type 'a t = {
+  size : 'a -> int;
+  counters : Instrument.t;
+  mutable stable : 'a Lsn.Map.t;
+  mutable volatile : (Lsn.t * 'a) list; (* newest first *)
+  mutable next_lsn : Lsn.t;
+  mutable stable_lsn : Lsn.t;
+  mutable forces : int;
+  mutable appended_bytes : int;
+}
+
+let create ?(counters = Instrument.global) ~size () =
+  {
+    size;
+    counters;
+    stable = Lsn.Map.empty;
+    volatile = [];
+    next_lsn = Lsn.next Lsn.zero;
+    stable_lsn = Lsn.zero;
+    forces = 0;
+    appended_bytes = 0;
+  }
+
+let fresh_lsn t =
+  let lsn = t.next_lsn in
+  t.next_lsn <- Lsn.next lsn;
+  lsn
+
+let append t record =
+  let lsn = fresh_lsn t in
+  t.volatile <- (lsn, record) :: t.volatile;
+  t.appended_bytes <- t.appended_bytes + t.size record;
+  Instrument.bump t.counters "wal.appends";
+  lsn
+
+let reserve t = fresh_lsn t
+
+let force t =
+  t.forces <- t.forces + 1;
+  Instrument.bump t.counters "wal.forces";
+  List.iter
+    (fun (lsn, record) -> t.stable <- Lsn.Map.add lsn record t.stable)
+    t.volatile;
+  t.volatile <- [];
+  (* Even when the highest records were [reserve]d (no payload), every
+     assigned LSN below [next_lsn] is now covered by stable state. *)
+  t.stable_lsn <- Lsn.prev t.next_lsn
+
+let force_through t lsn = if Lsn.(t.stable_lsn < lsn) then force t
+
+let stable_lsn t = t.stable_lsn
+
+let last_lsn t = Lsn.prev t.next_lsn
+
+let crash t = t.volatile <- []
+(* next_lsn keeps counting: LSNs stay unique across the crash, and the
+   restart protocol tells the DC to forget everything above stable_lsn. *)
+
+let truncate t lsn =
+  t.stable <- Lsn.Map.filter (fun l _ -> Lsn.(l >= lsn)) t.stable
+
+let iter_from t lsn f =
+  Lsn.Map.iter (fun l record -> if Lsn.(l >= lsn) then f l record) t.stable
+
+let iter_volatile t f =
+  List.iter (fun (lsn, record) -> f lsn record) (List.rev t.volatile)
+
+let find t lsn =
+  match Lsn.Map.find_opt lsn t.stable with
+  | Some r -> Some r
+  | None ->
+    List.find_map
+      (fun (l, r) -> if Lsn.equal l lsn then Some r else None)
+      t.volatile
+
+let stable_count t = Lsn.Map.cardinal t.stable
+
+let volatile_count t = List.length t.volatile
+
+let forces t = t.forces
+
+let appended_bytes t = t.appended_bytes

@@ -1,0 +1,67 @@
+(** Write-ahead log with an explicit volatile tail.
+
+    One generic mechanism backs both logs in the unbundled kernel:
+
+    - the TC's logical operation log (undo/redo, Section 4.1.1), and
+    - the DC's private structure-modification log (Section 5.2.2).
+
+    Records are appended to a volatile tail; {!force} moves the tail to
+    the stable prefix.  A {!crash} loses exactly the unforced tail — the
+    partial-failure scenarios of Section 5.3 are driven from here.
+
+    LSNs are assigned at append time, before the operation reaches any
+    page: this is precisely what creates the out-of-order arrival problem
+    the abstract-LSN machinery solves. *)
+
+type 'a t
+
+val create :
+  ?counters:Untx_util.Instrument.t -> size:('a -> int) -> unit -> 'a t
+(** [size] measures a record's encoded size in bytes, for log-volume
+    accounting (E9 compares logical vs physical SMO logging by bytes). *)
+
+val append : 'a t -> 'a -> Untx_util.Lsn.t
+(** Append to the volatile tail; returns the record's LSN. *)
+
+val reserve : 'a t -> Untx_util.Lsn.t
+(** Allocate the next LSN without writing a record.  Used for reads:
+    they need unique, ordered request ids but are never redone. *)
+
+val force : 'a t -> unit
+(** Make the volatile tail stable (an fsync). *)
+
+val force_through : 'a t -> Untx_util.Lsn.t -> unit
+(** Force only if the stable LSN is still below the argument. *)
+
+val stable_lsn : 'a t -> Untx_util.Lsn.t
+(** LSN of the last stable record — the EOSL of Section 4.2.1. *)
+
+val last_lsn : 'a t -> Untx_util.Lsn.t
+(** Highest LSN assigned so far (stable or volatile). *)
+
+val crash : 'a t -> unit
+(** Lose the volatile tail.  The LSN counter restarts after the stable
+    prefix, as it would when a real log is reopened. *)
+
+val truncate : 'a t -> Untx_util.Lsn.t -> unit
+(** Discard stable records with LSN < the argument (contract
+    termination / checkpoint advancing the redo scan start point). *)
+
+val iter_from :
+  'a t -> Untx_util.Lsn.t -> (Untx_util.Lsn.t -> 'a -> unit) -> unit
+(** Visit stable records with LSN >= the argument, in LSN order. *)
+
+val iter_volatile : 'a t -> (Untx_util.Lsn.t -> 'a -> unit) -> unit
+(** Visit unforced records, in LSN order (normal-execution bookkeeping
+    only; these do not survive a crash). *)
+
+val find : 'a t -> Untx_util.Lsn.t -> 'a option
+(** Look up any record, stable or volatile, by LSN. *)
+
+val stable_count : 'a t -> int
+
+val volatile_count : 'a t -> int
+
+val forces : 'a t -> int
+
+val appended_bytes : 'a t -> int

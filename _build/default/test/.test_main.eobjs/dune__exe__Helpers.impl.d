@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest List Untx_dc Untx_kernel Untx_tc Untx_util

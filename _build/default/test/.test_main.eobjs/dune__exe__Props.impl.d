@@ -1,0 +1,1 @@
+test/props.ml: Gen Hashtbl Helpers List Printf QCheck QCheck_alcotest String Untx_btree Untx_dc Untx_kernel Untx_storage Untx_tc Untx_util Untx_wal

@@ -1,0 +1,1 @@
+test/suite_ablsn.ml: Alcotest List Printf Untx_dc Untx_util

@@ -1,0 +1,1 @@
+test/suite_baseline.ml: Alcotest List Printf Untx_baseline

@@ -1,0 +1,1 @@
+test/suite_btree.ml: Alcotest Hashtbl List Printf String Untx_btree Untx_storage Untx_util

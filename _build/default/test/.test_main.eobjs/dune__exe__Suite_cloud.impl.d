@@ -1,0 +1,1 @@
+test/suite_cloud.ml: Alcotest List Printf Untx_baseline Untx_cloud Untx_dc Untx_tc Untx_util

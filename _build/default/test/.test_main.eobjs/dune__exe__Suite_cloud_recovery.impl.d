@@ -1,0 +1,1 @@
+test/suite_cloud_recovery.ml: Alcotest Array Char Hashtbl List Option Printf Untx_cloud Untx_dc Untx_tc Untx_util

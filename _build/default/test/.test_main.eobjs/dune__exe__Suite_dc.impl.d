@@ -1,0 +1,1 @@
+test/suite_dc.ml: Alcotest List Printf Untx_dc Untx_msg Untx_storage Untx_util

@@ -1,0 +1,1 @@
+test/suite_deploy.ml: Alcotest List Untx_cloud Untx_dc Untx_tc Untx_util

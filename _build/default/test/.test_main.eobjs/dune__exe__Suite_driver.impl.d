@@ -1,0 +1,1 @@
+test/suite_driver.ml: Alcotest Helpers Untx_baseline Untx_kernel

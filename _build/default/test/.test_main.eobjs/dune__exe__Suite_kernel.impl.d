@@ -1,0 +1,1 @@
+test/suite_kernel.ml: Alcotest Helpers List Printf Untx_dc Untx_kernel Untx_tc

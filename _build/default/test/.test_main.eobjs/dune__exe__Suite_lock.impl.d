@@ -1,0 +1,1 @@
+test/suite_lock.ml: Alcotest Untx_tc

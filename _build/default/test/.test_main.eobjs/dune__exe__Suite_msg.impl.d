@@ -1,0 +1,1 @@
+test/suite_msg.ml: Alcotest Format List Untx_msg Untx_util

@@ -1,0 +1,1 @@
+test/suite_occ.ml: Alcotest Helpers List Printf Untx_kernel Untx_tc

@@ -1,0 +1,1 @@
+test/suite_recovery.ml: Alcotest Hashtbl Helpers List Option Printf String Untx_dc Untx_kernel Untx_util

@@ -1,0 +1,1 @@
+test/suite_storage.ml: Alcotest List Option Printf String Untx_storage

@@ -1,0 +1,1 @@
+test/suite_transport.ml: Alcotest Helpers List Printf QCheck QCheck_alcotest Untx_kernel Untx_msg Untx_util

@@ -1,0 +1,1 @@
+test/suite_wal.ml: Alcotest List String Untx_util Untx_wal

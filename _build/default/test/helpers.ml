@@ -1,0 +1,86 @@
+(* Shared helpers for the test suites. *)
+
+module Kernel = Untx_kernel.Kernel
+module Transport = Untx_kernel.Transport
+module Tc = Untx_tc.Tc
+module Dc = Untx_dc.Dc
+module Tc_id = Untx_util.Tc_id
+
+let ok = function
+  | `Ok v -> v
+  | `Blocked -> Alcotest.fail "unexpected `Blocked"
+  | `Fail msg -> Alcotest.fail ("unexpected `Fail: " ^ msg)
+
+let expect_fail = function
+  | `Ok _ -> Alcotest.fail "expected `Fail, got `Ok"
+  | `Blocked -> Alcotest.fail "expected `Fail, got `Blocked"
+  | `Fail msg -> msg
+
+let kernel_config
+    ?(policy = Transport.reliable)
+    ?(sync_policy = Dc.Full_ablsn)
+    ?(tc_reset_mode = Dc.Selective)
+    ?(cc_protocol = Tc.Key_locks)
+    ?(pipeline_writes = true)
+    ?(page_capacity = 256)
+    ?(cache_pages = 64)
+    ?(seed = 42)
+    () =
+  {
+    Kernel.tc =
+      {
+        (Tc.default_config (Tc_id.of_int 1)) with
+        cc_protocol;
+        pipeline_writes;
+        debug_checks = true;
+      };
+    dc =
+      {
+        Dc.page_capacity;
+        cache_pages;
+        sync_policy;
+        tc_reset_mode;
+        debug_checks = true;
+      };
+    policy;
+    seed;
+    auto_checkpoint_every = 0;
+  }
+
+let make_kernel ?policy ?sync_policy ?tc_reset_mode ?cc_protocol
+    ?pipeline_writes ?page_capacity ?cache_pages ?seed ?(versioned = true)
+    ?(table = "kv") () =
+  let k =
+    Kernel.create
+      (kernel_config ?policy ?sync_policy ?tc_reset_mode ?cc_protocol
+         ?pipeline_writes ?page_capacity ?cache_pages ?seed ())
+  in
+  Kernel.create_table k ~name:table ~versioned;
+  k
+
+(* Run one committed transaction applying [ops]. *)
+let committed k ops =
+  let txn = Kernel.begin_txn k in
+  List.iter (fun op -> ok (op txn)) ops;
+  ok (Kernel.commit k txn)
+
+let put k ~table key value =
+  committed k [ (fun txn -> Kernel.insert k txn ~table ~key ~value) ]
+
+let get k ~table key =
+  let txn = Kernel.begin_txn k in
+  let v = ok (Kernel.read k txn ~table ~key) in
+  ok (Kernel.commit k txn);
+  v
+
+(* Full observable table contents via a fresh read transaction. *)
+let snapshot k ~table =
+  let txn = Kernel.begin_txn k in
+  let rows = ok (Kernel.scan k txn ~table ~from_key:"" ~limit:max_int) in
+  ok (Kernel.commit k txn);
+  rows
+
+let check_wellformed k =
+  match Dc.check (Kernel.dc k) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("ill-formed index: " ^ msg)

@@ -1,0 +1,354 @@
+(* Property-based tests (qcheck): abstract-LSN semantics against a
+   reference model, codec roundtrips, page/B-tree model conformance,
+   lock-manager safety, WAL crash semantics. *)
+
+module Ablsn = Untx_dc.Ablsn
+module Stored_record = Untx_dc.Stored_record
+module Codec = Untx_util.Codec
+module Lsn = Untx_util.Lsn
+module Tc_id = Untx_util.Tc_id
+module Page = Untx_storage.Page
+module Page_id = Untx_storage.Page_id
+module Disk = Untx_storage.Disk
+module Cache = Untx_storage.Cache
+module Btree = Untx_btree.Btree
+module Lock_mgr = Untx_tc.Lock_mgr
+module Wal = Untx_wal.Wal
+
+let test prop = QCheck_alcotest.to_alcotest prop
+
+(* --- abstract LSNs ---------------------------------------------------- *)
+
+(* Reference semantics: a set of explicitly applied LSNs plus a global
+   cover from low-water marks. *)
+type ab_op = Add of int | Advance of int
+
+let ab_op_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun l -> Add (1 + (l mod 100))) (int_bound 99);
+        map (fun l -> Advance (1 + (l mod 100))) (int_bound 99);
+      ])
+
+let ab_ops_arb =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Add l -> Printf.sprintf "add %d" l
+             | Advance l -> Printf.sprintf "adv %d" l)
+           ops))
+    QCheck.Gen.(list_size (int_bound 40) ab_op_gen)
+
+let run_ref ops =
+  List.fold_left
+    (fun (applied, cover) op ->
+      match op with
+      | Add l -> ((if l > cover then l :: applied else applied), cover)
+      | Advance l -> (List.filter (fun a -> a > max cover l) applied, max cover l))
+    ([], 0) ops
+
+let run_ab ops =
+  List.fold_left
+    (fun ab op ->
+      match op with
+      | Add l -> Ablsn.add (Lsn.of_int l) ab
+      | Advance l -> Ablsn.advance ~lwm:(Lsn.of_int l) ab)
+    Ablsn.empty ops
+
+let prop_ablsn_model =
+  QCheck.Test.make ~name:"ablsn matches reference model" ~count:300 ab_ops_arb
+    (fun ops ->
+      let applied, cover = run_ref ops in
+      let ab = run_ab ops in
+      List.for_all
+        (fun l ->
+          let expected = l <= cover || List.mem l applied in
+          Ablsn.included (Lsn.of_int l) ab = expected)
+        (List.init 101 (fun i -> i + 1)))
+
+let prop_ablsn_merge_pointwise =
+  QCheck.Test.make ~name:"merge is pointwise OR" ~count:300
+    (QCheck.pair ab_ops_arb ab_ops_arb) (fun (ops_a, ops_b) ->
+      let a = run_ab ops_a and b = run_ab ops_b in
+      let m = Ablsn.merge a b in
+      List.for_all
+        (fun l ->
+          let l = Lsn.of_int l in
+          Ablsn.included l m = (Ablsn.included l a || Ablsn.included l b))
+        (List.init 101 (fun i -> i + 1)))
+
+let prop_ablsn_codec =
+  QCheck.Test.make ~name:"ablsn encode/decode roundtrip" ~count:300 ab_ops_arb
+    (fun ops ->
+      let ab = run_ab ops in
+      Ablsn.equal ab (Ablsn.decode (Ablsn.encode ab)))
+
+(* --- codecs ----------------------------------------------------------- *)
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"field codec roundtrip" ~count:300
+    QCheck.(list (string_gen QCheck.Gen.char))
+    (fun fields -> Codec.decode (Codec.encode fields) = fields)
+
+let record_arb =
+  let open QCheck in
+  let gen =
+    Gen.(
+      map3
+        (fun value deleted (tag, bv) ->
+          {
+            Stored_record.value;
+            deleted;
+            before =
+              (match tag mod 3 with
+              | 0 -> Stored_record.Absent
+              | 1 -> Stored_record.Null_before
+              | _ -> Stored_record.Value_before bv);
+            writer = Tc_id.of_int (String.length value mod 7);
+          })
+        (string_size (int_bound 20))
+        bool
+        (pair (int_bound 10) (string_size (int_bound 20))))
+  in
+  make gen
+
+let prop_record_roundtrip =
+  QCheck.Test.make ~name:"stored record roundtrip" ~count:300 record_arb
+    (fun r -> Stored_record.decode (Stored_record.encode r) = r)
+
+(* --- pages ------------------------------------------------------------ *)
+
+type page_op = Set of string * string | Remove of string
+
+let page_ops_arb =
+  let key_gen = QCheck.Gen.(map (fun i -> Printf.sprintf "k%02d" (i mod 30)) (int_bound 29)) in
+  let op_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map2 (fun k v -> Set (k, v)) key_gen (string_size (int_bound 10));
+          map (fun k -> Remove k) key_gen;
+        ])
+  in
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Set (k, v) -> Printf.sprintf "set %s=%s" k v
+             | Remove k -> "rm " ^ k)
+           ops))
+    QCheck.Gen.(list_size (int_bound 60) op_gen)
+
+let prop_page_model =
+  QCheck.Test.make ~name:"page matches assoc model" ~count:300 page_ops_arb
+    (fun ops ->
+      let page =
+        Page.create ~id:(Page_id.of_int 1) ~kind:Page.Leaf ~capacity:100_000
+      in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (function
+          | Set (k, v) ->
+            Page.set page ~key:k ~data:v;
+            Hashtbl.replace model k v
+          | Remove k ->
+            ignore (Page.remove page k);
+            Hashtbl.remove model k)
+        ops;
+      let expected =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) model []
+        |> List.sort compare
+      in
+      Page.cells page = expected
+      && Page.cell_count page = Hashtbl.length model)
+
+let prop_page_split_partition =
+  QCheck.Test.make ~name:"split_upper partitions cells" ~count:300
+    page_ops_arb (fun ops ->
+      let page =
+        Page.create ~id:(Page_id.of_int 1) ~kind:Page.Leaf ~capacity:100_000
+      in
+      List.iter
+        (function
+          | Set (k, v) -> Page.set page ~key:k ~data:v
+          | Remove k -> ignore (Page.remove page k))
+        ops;
+      QCheck.assume (Page.cell_count page >= 2);
+      let before = Page.cells page in
+      let split_key, moved = Page.split_upper page in
+      let kept = Page.cells page in
+      kept @ moved = before
+      && List.for_all (fun (k, _) -> k >= split_key) moved
+      && List.for_all (fun (k, _) -> k < split_key) kept
+      && moved <> [] && kept <> [])
+
+(* --- B-tree ----------------------------------------------------------- *)
+
+let prop_btree_model =
+  QCheck.Test.make ~name:"btree matches map model, stays well-formed"
+    ~count:60 page_ops_arb (fun ops ->
+      let disk = Disk.create () in
+      let cache = Cache.create ~disk ~capacity:512 () in
+      let tree =
+        Btree.create ~cache ~name:"p" ~page_capacity:96 ~hooks:Btree.null_hooks
+      in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (function
+          | Set (k, v) ->
+            Btree.set tree ~key:k ~data:v;
+            Hashtbl.replace model k v
+          | Remove k ->
+            ignore (Btree.remove tree k);
+            Hashtbl.remove model k)
+        ops;
+      Btree.check tree = Ok ()
+      && Hashtbl.fold
+           (fun k v acc -> acc && Btree.find tree k = Some v)
+           model true
+      && Btree.cell_count tree = Hashtbl.length model)
+
+(* --- lock manager ------------------------------------------------------ *)
+
+type lock_op = Acquire of int * int * Lock_mgr.mode | Release of int
+
+let lock_ops_arb =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          ( 3,
+            map3
+              (fun o r x ->
+                Acquire (o mod 6, r mod 8, if x then Lock_mgr.X else Lock_mgr.S))
+              (int_bound 5) (int_bound 7) bool );
+          (1, map (fun o -> Release (o mod 6)) (int_bound 5));
+        ])
+  in
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Acquire (o, r, m) ->
+               Printf.sprintf "acq o%d r%d %s" o r
+                 (match m with Lock_mgr.S -> "S" | Lock_mgr.X -> "X")
+             | Release o -> Printf.sprintf "rel o%d" o)
+           ops))
+    QCheck.Gen.(list_size (int_bound 60) op_gen)
+
+let rsrc r = Lock_mgr.Record { table = "t"; key = string_of_int r }
+
+let prop_lock_safety =
+  QCheck.Test.make ~name:"no incompatible co-holders" ~count:300 lock_ops_arb
+    (fun ops ->
+      let l = Lock_mgr.create () in
+      let ok = ref true in
+      List.iter
+        (function
+          | Acquire (o, r, m) -> ignore (Lock_mgr.acquire l ~owner:o (rsrc r) m)
+          | Release o -> ignore (Lock_mgr.release_all l ~owner:o))
+        ops;
+      (* safety: for every resource, X excludes everyone else *)
+      for r = 0 to 7 do
+        let holders =
+          List.filter
+            (fun o ->
+              Lock_mgr.holds l ~owner:o (rsrc r) Lock_mgr.S
+              || Lock_mgr.holds l ~owner:o (rsrc r) Lock_mgr.X)
+            [ 0; 1; 2; 3; 4; 5 ]
+        in
+        let x_holders =
+          List.filter
+            (fun o -> Lock_mgr.holds l ~owner:o (rsrc r) Lock_mgr.X)
+            holders
+        in
+        if x_holders <> [] && List.length holders > 1 then ok := false
+      done;
+      !ok)
+
+(* --- WAL ---------------------------------------------------------------- *)
+
+let prop_wal_crash_suffix =
+  QCheck.Test.make ~name:"crash loses exactly the unforced suffix" ~count:200
+    QCheck.(pair (list_of_size (QCheck.Gen.int_bound 30) small_string) (int_bound 30))
+    (fun (records, force_at) ->
+      let w = Wal.create ~size:String.length () in
+      List.iteri
+        (fun i r ->
+          ignore (Wal.append w r);
+          if i = force_at then Wal.force w)
+        records;
+      (* the force only fires if the workload reaches index [force_at] *)
+      let forced = if force_at < List.length records then force_at + 1 else 0 in
+      Wal.crash w;
+      let survived = ref [] in
+      Wal.iter_from w Lsn.zero (fun _ r -> survived := r :: !survived);
+      List.rev !survived = List.filteri (fun i _ -> i < forced) records)
+
+let suite =
+  List.map test
+    [
+      prop_ablsn_model;
+      prop_ablsn_merge_pointwise;
+      prop_ablsn_codec;
+      prop_codec_roundtrip;
+      prop_record_roundtrip;
+      prop_page_model;
+      prop_page_split_partition;
+      prop_btree_model;
+      prop_lock_safety;
+      prop_wal_crash_suffix;
+    ]
+
+(* --- cross-protocol scan equivalence ---------------------------------- *)
+
+(* All four TC concurrency-control protocols must return identical scan
+   results on identical data: the protocols differ in locking, never in
+   semantics. *)
+let prop_scan_protocol_equivalence =
+  let arb =
+    QCheck.make
+      ~print:(fun (keys, from_ix) ->
+        Printf.sprintf "keys=%d from=%d" (List.length keys) from_ix)
+      QCheck.Gen.(
+        pair
+          (list_size (int_bound 80)
+             (map (fun i -> Printf.sprintf "k%03d" (i mod 120)) (int_bound 119)))
+          (int_bound 119))
+  in
+  QCheck.Test.make ~name:"scan equivalence across CC protocols" ~count:30 arb
+    (fun (keys, from_ix) ->
+      let keys = List.sort_uniq String.compare keys in
+      let from_key = Printf.sprintf "k%03d" from_ix in
+      let scan_with cc =
+        let k = Helpers.make_kernel ~cc_protocol:cc () in
+        let module K = Untx_kernel.Kernel in
+        let txn = K.begin_txn k in
+        List.iter
+          (fun key ->
+            match K.insert k txn ~table:"kv" ~key ~value:("v" ^ key) with
+            | `Ok () -> ()
+            | `Blocked | `Fail _ -> failwith "insert")
+          keys;
+        (match K.commit k txn with `Ok () -> () | _ -> failwith "commit");
+        let txn = K.begin_txn k in
+        let rows =
+          match K.scan k txn ~table:"kv" ~from_key ~limit:50 with
+          | `Ok rows -> rows
+          | `Blocked | `Fail _ -> failwith "scan"
+        in
+        ignore (K.commit k txn);
+        rows
+      in
+      let reference = scan_with Untx_tc.Tc.Key_locks in
+      List.for_all
+        (fun cc -> scan_with cc = reference)
+        [ Untx_tc.Tc.Range_locks 16; Untx_tc.Tc.Table_locks;
+          Untx_tc.Tc.Optimistic ])
+
+let suite = suite @ [ test prop_scan_protocol_equivalence ]

@@ -1,0 +1,120 @@
+(* The monolithic baseline must provide the same transactional semantics
+   through its integrated path, including full crash recovery. *)
+
+module Mono = Untx_baseline.Mono
+
+let table = "kv"
+
+let ok = function
+  | `Ok v -> v
+  | `Blocked -> Alcotest.fail "unexpected `Blocked"
+  | `Fail msg -> Alcotest.fail ("unexpected `Fail: " ^ msg)
+
+let make () =
+  let m =
+    Mono.create
+      { Mono.default_config with page_capacity = 256; cache_pages = 64;
+        debug_checks = true }
+  in
+  Mono.create_table m ~name:table;
+  m
+
+let put m key value =
+  let txn = Mono.begin_txn m in
+  ok (Mono.insert m txn ~table ~key ~value);
+  ok (Mono.commit m txn)
+
+let get m key =
+  let txn = Mono.begin_txn m in
+  let v = ok (Mono.read m txn ~table ~key) in
+  ok (Mono.commit m txn);
+  v
+
+let populate m n =
+  let rec go i =
+    if i < n then begin
+      let txn = Mono.begin_txn m in
+      let hi = min n (i + 50) in
+      for j = i to hi - 1 do
+        ok
+          (Mono.insert m txn ~table
+             ~key:(Printf.sprintf "k%05d" j)
+             ~value:(Printf.sprintf "v%05d" j))
+      done;
+      ok (Mono.commit m txn);
+      go hi
+    end
+  in
+  go 0
+
+let expected n =
+  List.init n (fun j -> (Printf.sprintf "k%05d" j, Printf.sprintf "v%05d" j))
+
+let test_crud () =
+  let m = make () in
+  put m "a" "1";
+  Alcotest.(check (option string)) "read" (Some "1") (get m "a");
+  let txn = Mono.begin_txn m in
+  ok (Mono.update m txn ~table ~key:"a" ~value:"2");
+  ok (Mono.commit m txn);
+  Alcotest.(check (option string)) "updated" (Some "2") (get m "a");
+  let txn = Mono.begin_txn m in
+  ok (Mono.delete m txn ~table ~key:"a");
+  ok (Mono.commit m txn);
+  Alcotest.(check (option string)) "deleted" None (get m "a")
+
+let test_abort () =
+  let m = make () in
+  put m "a" "old";
+  let txn = Mono.begin_txn m in
+  ok (Mono.update m txn ~table ~key:"a" ~value:"new");
+  ok (Mono.insert m txn ~table ~key:"b" ~value:"temp");
+  Mono.abort m txn ~reason:"user";
+  Alcotest.(check (option string)) "restored" (Some "old") (get m "a");
+  Alcotest.(check (option string)) "insert undone" None (get m "b")
+
+let test_crash_recovery () =
+  let m = make () in
+  populate m 300;
+  (* a loser caught in the crash *)
+  let txn = Mono.begin_txn m in
+  ok (Mono.update m txn ~table ~key:"k00004" ~value:"dirty");
+  Mono.crash m;
+  Mono.recover m;
+  Alcotest.(check (option string))
+    "loser rolled back" (Some "v00004") (get m "k00004");
+  Alcotest.(check (list (pair string string)))
+    "all committed rows" (expected 300)
+    (Mono.dump_table m table);
+  (match Mono.check m with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg)
+
+let test_crash_after_checkpoint () =
+  let m = make () in
+  populate m 300;
+  Alcotest.(check bool) "checkpoint" true (Mono.checkpoint m);
+  put m "zz" "post";
+  Mono.crash m;
+  Mono.recover m;
+  Alcotest.(check (option string)) "pre-ckpt" (Some "v00100") (get m "k00100");
+  Alcotest.(check (option string)) "post-ckpt" (Some "post") (get m "zz")
+
+let test_scan_locks () =
+  let m = make () in
+  populate m 50;
+  let txn = Mono.begin_txn m in
+  let rows = ok (Mono.scan m txn ~table ~from_key:"k00010" ~limit:5) in
+  ok (Mono.commit m txn);
+  Alcotest.(check int) "scan rows" 5 (List.length rows);
+  Alcotest.(check string) "first" "k00010" (fst (List.hd rows))
+
+let suite =
+  [
+    Alcotest.test_case "crud" `Quick test_crud;
+    Alcotest.test_case "abort" `Quick test_abort;
+    Alcotest.test_case "crash recovery" `Quick test_crash_recovery;
+    Alcotest.test_case "crash after checkpoint" `Quick
+      test_crash_after_checkpoint;
+    Alcotest.test_case "scan" `Quick test_scan_locks;
+  ]

@@ -1,0 +1,219 @@
+(* Multi-TC / multi-DC deployments: the Section 6 sharing machinery and
+   the Section 6.3 movie scenario. *)
+
+module Deploy = Untx_cloud.Deploy
+module Movie = Untx_cloud.Movie
+module Two_pc = Untx_cloud.Two_pc
+module Tc = Untx_tc.Tc
+module Dc = Untx_dc.Dc
+module Tc_id = Untx_util.Tc_id
+module Mono = Untx_baseline.Mono
+
+let ok = function
+  | `Ok v -> v
+  | `Blocked -> Alcotest.fail "unexpected `Blocked"
+  | `Fail m -> Alcotest.fail ("unexpected `Fail: " ^ m)
+
+let res = function Ok v -> v | Error m -> Alcotest.fail m
+
+(* --- basic multi-TC sharing on one DC ------------------------------- *)
+
+(* Two updater TCs own disjoint key partitions of one shared versioned
+   table; a third reads committed data without locks. *)
+let shared_deploy () =
+  let d = Deploy.create () in
+  ignore (Deploy.add_dc d ~name:"dc1" Dc.default_config);
+  Deploy.create_table d ~dc:"dc1" ~name:"shared" ~versioned:true;
+  let add i =
+    let tc = Deploy.add_tc d ~name:(Printf.sprintf "tc%d" i)
+        (Tc.default_config (Tc_id.of_int i)) in
+    Tc.map_table tc ~table:"shared" ~dc:"dc1" ~versioned:true;
+    tc
+  in
+  (d, add 1, add 2, add 3)
+
+let put tc table key value =
+  let txn = Tc.begin_txn tc in
+  ok (Tc.insert tc txn ~table ~key ~value);
+  ok (Tc.commit tc txn)
+
+let test_two_writers_disjoint () =
+  let _, tc1, tc2, tc3 = shared_deploy () in
+  (* tc1 owns keys a*, tc2 owns keys b* — interleaved on shared pages *)
+  for i = 0 to 20 do
+    put tc1 "shared" (Printf.sprintf "a%03d" i) "from1";
+    put tc2 "shared" (Printf.sprintf "b%03d" i) "from2"
+  done;
+  Alcotest.(check (option string))
+    "reader sees tc1 data" (Some "from1")
+    (Tc.read_committed tc3 ~table:"shared" ~key:"a005");
+  Alcotest.(check (option string))
+    "reader sees tc2 data" (Some "from2")
+    (Tc.read_committed tc3 ~table:"shared" ~key:"b005")
+
+let test_read_committed_vs_dirty () =
+  let _, tc1, _, tc3 = shared_deploy () in
+  put tc1 "shared" "k" "v0";
+  let txn = Tc.begin_txn tc1 in
+  ok (Tc.update tc1 txn ~table:"shared" ~key:"k" ~value:"v1");
+  Tc.quiesce tc1;
+  (* uncommitted: committed readers see the before-version, dirty
+     readers see the new one *)
+  Alcotest.(check (option string))
+    "read committed sees before" (Some "v0")
+    (Tc.read_committed tc3 ~table:"shared" ~key:"k");
+  Alcotest.(check (option string))
+    "dirty read sees current" (Some "v1")
+    (Tc.read_dirty tc3 ~table:"shared" ~key:"k");
+  ok (Tc.commit tc1 txn);
+  Alcotest.(check (option string))
+    "after commit both see new" (Some "v1")
+    (Tc.read_committed tc3 ~table:"shared" ~key:"k")
+
+let test_uncommitted_insert_invisible_committed () =
+  let _, tc1, _, tc3 = shared_deploy () in
+  let txn = Tc.begin_txn tc1 in
+  ok (Tc.insert tc1 txn ~table:"shared" ~key:"fresh" ~value:"x");
+  Tc.quiesce tc1;
+  Alcotest.(check (option string))
+    "null before-version hides insert" None
+    (Tc.read_committed tc3 ~table:"shared" ~key:"fresh");
+  Alcotest.(check (option string))
+    "dirty read sees it" (Some "x")
+    (Tc.read_dirty tc3 ~table:"shared" ~key:"fresh");
+  Tc.abort tc1 txn ~reason:"test"
+
+let test_tc_crash_leaves_others_alone () =
+  let d, tc1, tc2, tc3 = shared_deploy () in
+  for i = 0 to 30 do
+    put tc1 "shared" (Printf.sprintf "a%03d" i) "one";
+    put tc2 "shared" (Printf.sprintf "b%03d" i) "two"
+  done;
+  (* tc1 leaves an uncommitted update, then dies *)
+  let txn = Tc.begin_txn tc1 in
+  ok (Tc.update tc1 txn ~table:"shared" ~key:"a010" ~value:"dirty");
+  Tc.quiesce tc1;
+  Deploy.crash_tc d "tc1";
+  (* tc2's data untouched, tc1's loser rolled back *)
+  Alcotest.(check (option string))
+    "tc2 data intact" (Some "two")
+    (Tc.read_committed tc3 ~table:"shared" ~key:"b010");
+  Alcotest.(check (option string))
+    "tc1 loser rolled back" (Some "one")
+    (Tc.read_committed tc3 ~table:"shared" ~key:"a010")
+
+let test_dc_crash_multi_tc () =
+  let d, tc1, tc2, tc3 = shared_deploy () in
+  for i = 0 to 30 do
+    put tc1 "shared" (Printf.sprintf "a%03d" i) "one";
+    put tc2 "shared" (Printf.sprintf "b%03d" i) "two"
+  done;
+  Deploy.crash_dc d "dc1";
+  Alcotest.(check (option string))
+    "tc1 data recovered" (Some "one")
+    (Tc.read_committed tc3 ~table:"shared" ~key:"a007");
+  Alcotest.(check (option string))
+    "tc2 data recovered" (Some "two")
+    (Tc.read_committed tc3 ~table:"shared" ~key:"b007")
+
+(* --- the movie scenario --------------------------------------------- *)
+
+let test_movie_workloads () =
+  let m = Movie.create ~n_user_tcs:2 ~n_movie_dcs:2 () in
+  Movie.seed_movies m 10;
+  Movie.seed_users m 8;
+  (* W2: several users review movie 3 *)
+  List.iter
+    (fun uid ->
+      res (Movie.w2_add_review m ~uid ~mid:3 ~text:(Printf.sprintf "r%d" uid)))
+    [ 0; 1; 2; 5 ];
+  res (Movie.w2_add_review m ~uid:2 ~mid:7 ~text:"other-movie");
+  Deploy.quiesce (Movie.deploy m);
+  (* W1: all reviews for movie 3, clustered on one DC *)
+  let reviews = Movie.w1_reviews_for_movie m ~mid:3 ~mode:`Committed in
+  Alcotest.(check int) "movie 3 has 4 reviews" 4 (List.length reviews);
+  (* W4: user 2's reviews from the user-clustered copy *)
+  let mine = Movie.w4_my_reviews m ~uid:2 in
+  Alcotest.(check int) "user 2 wrote 2 reviews" 2 (List.length mine);
+  (* W3: profile update *)
+  res (Movie.w3_update_profile m ~uid:5 ~profile:"updated");
+  Alcotest.(check int)
+    "w1 unaffected by w3" 4
+    (List.length (Movie.w1_reviews_for_movie m ~mid:3 ~mode:`Committed))
+
+let test_movie_tc_crash () =
+  let m = Movie.create ~n_user_tcs:2 ~n_movie_dcs:2 () in
+  Movie.seed_movies m 4;
+  Movie.seed_users m 4;
+  res (Movie.w2_add_review m ~uid:0 ~mid:1 ~text:"committed0");
+  res (Movie.w2_add_review m ~uid:1 ~mid:1 ~text:"committed1");
+  Deploy.quiesce (Movie.deploy m);
+  Movie.crash_user_tc m 0;
+  let reviews = Movie.w1_reviews_for_movie m ~mid:1 ~mode:`Committed in
+  Alcotest.(check int) "both committed reviews survive" 2
+    (List.length reviews);
+  (* the crashed TC keeps working *)
+  res (Movie.w2_add_review m ~uid:0 ~mid:2 ~text:"after-crash");
+  Alcotest.(check int) "post-crash review visible" 1
+    (List.length (Movie.w1_reviews_for_movie m ~mid:2 ~mode:`Committed))
+
+(* --- 2PC baseline ----------------------------------------------------- *)
+
+let test_two_pc () =
+  let t =
+    Two_pc.create ~partitions:[ "p0"; "p1"; "p2" ] Mono.default_config
+  in
+  Two_pc.create_table t ~name:"kv";
+  let d = Two_pc.begin_dtxn t in
+  res (Two_pc.write t d ~table:"kv" ~key:"alpha" ~value:"1");
+  res (Two_pc.write t d ~table:"kv" ~key:"beta" ~value:"2");
+  res (Two_pc.commit t d);
+  let d2 = Two_pc.begin_dtxn t in
+  Alcotest.(check (option string))
+    "committed visible" (Some "1")
+    (res (Two_pc.read t d2 ~table:"kv" ~key:"alpha"));
+  Two_pc.abort t d2;
+  Alcotest.(check bool) "2pc messages counted" true (Two_pc.messages t > 0)
+
+let test_two_pc_blocking () =
+  let t = Two_pc.create ~partitions:[ "p0"; "p1" ] Mono.default_config in
+  Two_pc.create_table t ~name:"kv";
+  (* seed so the keys exist *)
+  let d0 = Two_pc.begin_dtxn t in
+  res (Two_pc.write t d0 ~table:"kv" ~key:"x-block" ~value:"seed");
+  res (Two_pc.commit t d0);
+  let d = Two_pc.begin_dtxn t in
+  res (Two_pc.write t d ~table:"kv" ~key:"x-block" ~value:"indoubt");
+  Two_pc.crash_coordinator_in_doubt t d;
+  Alcotest.(check int) "one txn in doubt" 1 (Two_pc.in_doubt t);
+  (* another txn blocks on the in-doubt lock *)
+  let d2 = Two_pc.begin_dtxn t in
+  (match Two_pc.write t d2 ~table:"kv" ~key:"x-block" ~value:"waiter" with
+  | Error "blocked" -> ()
+  | Ok () -> Alcotest.fail "expected to block on in-doubt lock"
+  | Error m -> Alcotest.fail m);
+  Two_pc.abort t d2;
+  Two_pc.recover_coordinator t;
+  Alcotest.(check int) "resolved" 0 (Two_pc.in_doubt t);
+  let d3 = Two_pc.begin_dtxn t in
+  Alcotest.(check (option string))
+    "in-doubt txn committed on recovery" (Some "indoubt")
+    (res (Two_pc.read t d3 ~table:"kv" ~key:"x-block"));
+  Two_pc.abort t d3
+
+let suite =
+  [
+    Alcotest.test_case "two writers share a DC" `Quick
+      test_two_writers_disjoint;
+    Alcotest.test_case "read-committed vs dirty" `Quick
+      test_read_committed_vs_dirty;
+    Alcotest.test_case "uncommitted insert invisible" `Quick
+      test_uncommitted_insert_invisible_committed;
+    Alcotest.test_case "TC crash leaves other TCs alone" `Quick
+      test_tc_crash_leaves_others_alone;
+    Alcotest.test_case "DC crash with two TCs" `Quick test_dc_crash_multi_tc;
+    Alcotest.test_case "movie workloads W1-W4" `Quick test_movie_workloads;
+    Alcotest.test_case "movie TC crash" `Quick test_movie_tc_crash;
+    Alcotest.test_case "2PC commit" `Quick test_two_pc;
+    Alcotest.test_case "2PC blocking in doubt" `Quick test_two_pc_blocking;
+  ]

@@ -1,0 +1,96 @@
+(* Deployment plumbing: linking order, duplicate names, message
+   accounting, quiesce, partitioned routing through Deploy. *)
+
+module Deploy = Untx_cloud.Deploy
+module Tc = Untx_tc.Tc
+module Dc = Untx_dc.Dc
+module Tc_id = Untx_util.Tc_id
+
+let ok = function
+  | `Ok v -> v
+  | `Blocked -> Alcotest.fail "blocked"
+  | `Fail m -> Alcotest.fail m
+
+let test_add_order_irrelevant () =
+  (* TC added before its DCs: links are created when DCs arrive *)
+  let d = Deploy.create () in
+  let tc = Deploy.add_tc d ~name:"tc1" (Tc.default_config (Tc_id.of_int 1)) in
+  ignore (Deploy.add_dc d ~name:"dc1" Dc.default_config);
+  Deploy.create_table d ~dc:"dc1" ~name:"t" ~versioned:true;
+  Tc.map_table tc ~table:"t" ~dc:"dc1" ~versioned:true;
+  let txn = Tc.begin_txn tc in
+  ok (Tc.insert tc txn ~table:"t" ~key:"k" ~value:"v");
+  ok (Tc.commit tc txn);
+  Alcotest.(check (option string)) "works" (Some "v")
+    (Tc.read_committed tc ~table:"t" ~key:"k")
+
+let test_duplicate_names_rejected () =
+  let d = Deploy.create () in
+  ignore (Deploy.add_dc d ~name:"dc1" Dc.default_config);
+  (match Deploy.add_dc d ~name:"dc1" Dc.default_config with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate DC accepted");
+  ignore (Deploy.add_tc d ~name:"tc1" (Tc.default_config (Tc_id.of_int 1)));
+  match Deploy.add_tc d ~name:"tc1" (Tc.default_config (Tc_id.of_int 2)) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate TC accepted"
+
+let test_partitioned_routing () =
+  let d = Deploy.create () in
+  ignore (Deploy.add_dc d ~name:"dc-a" Dc.default_config);
+  ignore (Deploy.add_dc d ~name:"dc-b" Dc.default_config);
+  Deploy.create_table d ~dc:"dc-a" ~name:"t" ~versioned:true;
+  Deploy.create_table d ~dc:"dc-b" ~name:"t" ~versioned:true;
+  let tc = Deploy.add_tc d ~name:"tc1" (Tc.default_config (Tc_id.of_int 1)) in
+  Tc.map_table_partitioned tc ~table:"t" ~versioned:true
+    ~partition:(fun key -> if key < "m" then "dc-a" else "dc-b");
+  let txn = Tc.begin_txn tc in
+  ok (Tc.insert tc txn ~table:"t" ~key:"apple" ~value:"1");
+  ok (Tc.insert tc txn ~table:"t" ~key:"zebra" ~value:"2");
+  ok (Tc.commit tc txn);
+  (* each record landed on its own DC *)
+  let on dc key =
+    List.mem_assoc key
+      (List.map (fun (k, r) -> (k, r)) (Dc.dump_table (Deploy.dc d dc) "t"))
+  in
+  Alcotest.(check bool) "apple on dc-a" true (on "dc-a" "apple");
+  Alcotest.(check bool) "apple not on dc-b" false (on "dc-b" "apple");
+  Alcotest.(check bool) "zebra on dc-b" true (on "dc-b" "zebra");
+  (* cross-partition transaction was atomic under one TC log *)
+  Alcotest.(check (option string)) "read apple" (Some "1")
+    (Tc.read_committed tc ~table:"t" ~key:"apple");
+  Alcotest.(check (option string)) "read zebra" (Some "2")
+    (Tc.read_committed tc ~table:"t" ~key:"zebra")
+
+let test_message_accounting () =
+  let d = Deploy.create () in
+  ignore (Deploy.add_dc d ~name:"dc1" Dc.default_config);
+  Deploy.create_table d ~dc:"dc1" ~name:"t" ~versioned:true;
+  let tc = Deploy.add_tc d ~name:"tc1" (Tc.default_config (Tc_id.of_int 1)) in
+  Tc.map_table tc ~table:"t" ~dc:"dc1" ~versioned:true;
+  let before = Deploy.messages_total d in
+  let txn = Tc.begin_txn tc in
+  ok (Tc.insert tc txn ~table:"t" ~key:"k" ~value:"v");
+  ok (Tc.commit tc txn);
+  Deploy.quiesce d;
+  Alcotest.(check bool) "messages counted" true
+    (Deploy.messages_total d > before)
+
+let test_names_listing () =
+  let d = Deploy.create () in
+  ignore (Deploy.add_dc d ~name:"dc-z" Dc.default_config);
+  ignore (Deploy.add_dc d ~name:"dc-a" Dc.default_config);
+  ignore (Deploy.add_tc d ~name:"tc-b" (Tc.default_config (Tc_id.of_int 1)));
+  Alcotest.(check (list string)) "dcs sorted" [ "dc-a"; "dc-z" ]
+    (Deploy.dc_names d);
+  Alcotest.(check (list string)) "tcs" [ "tc-b" ] (Deploy.tc_names d)
+
+let suite =
+  [
+    Alcotest.test_case "link order irrelevant" `Quick test_add_order_irrelevant;
+    Alcotest.test_case "duplicate names rejected" `Quick
+      test_duplicate_names_rejected;
+    Alcotest.test_case "partitioned routing" `Quick test_partitioned_routing;
+    Alcotest.test_case "message accounting" `Quick test_message_accounting;
+    Alcotest.test_case "name listing" `Quick test_names_listing;
+  ]

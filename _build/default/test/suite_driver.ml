@@ -1,0 +1,119 @@
+(* The interleaved workload driver against both engines: completion
+   accounting, determinism, contention handling, and cross-engine result
+   agreement on contention-free workloads. *)
+
+open Helpers
+module Kernel = Untx_kernel.Kernel
+module Driver = Untx_kernel.Driver
+module Engine = Untx_kernel.Engine
+module Mono = Untx_baseline.Mono
+
+let mono_engine m : (module Engine.S) =
+  (module struct
+    type txn = Mono.txn
+
+    let begin_txn () = Mono.begin_txn m
+
+    let xid = Mono.xid
+
+    let is_active = Mono.is_active
+
+    let read txn ~table ~key = Mono.read m txn ~table ~key
+
+    let insert txn ~table ~key ~value = Mono.insert m txn ~table ~key ~value
+
+    let update txn ~table ~key ~value = Mono.update m txn ~table ~key ~value
+
+    let delete txn ~table ~key = Mono.delete m txn ~table ~key
+
+    let scan txn ~table ~from_key ~limit =
+      Mono.scan m txn ~table ~from_key ~limit
+
+    let commit txn = Mono.commit m txn
+
+    let abort txn ~reason = Mono.abort m txn ~reason
+
+    let wakeups () = Mono.wakeups m
+
+    let resolve_deadlock () = Mono.resolve_deadlock m
+  end)
+
+let spec =
+  {
+    Driver.default_spec with
+    txns = 120;
+    ops_per_txn = 5;
+    key_space = 400;
+    concurrency = 6;
+    scan_ratio = 0.1;
+  }
+
+let test_driver_on_kernel () =
+  let k = make_kernel () in
+  let e = Engine.of_kernel k in
+  Driver.preload e spec;
+  let r = Driver.run e spec in
+  Alcotest.(check int) "all txns completed" spec.Driver.txns
+    (r.Driver.committed + r.Driver.aborted);
+  Alcotest.(check bool) "most committed" true
+    (r.Driver.committed > spec.Driver.txns / 2);
+  check_wellformed k
+
+let test_driver_on_baseline () =
+  let m =
+    Mono.create
+      { Mono.default_config with page_capacity = 256; debug_checks = true }
+  in
+  Mono.create_table m ~name:spec.Driver.table;
+  let e = mono_engine m in
+  Driver.preload e spec;
+  let r = Driver.run e spec in
+  Alcotest.(check int) "all txns completed" spec.Driver.txns
+    (r.Driver.committed + r.Driver.aborted)
+
+let test_driver_deterministic () =
+  let run () =
+    let k = make_kernel () in
+    let e = Engine.of_kernel k in
+    Driver.preload e spec;
+    let r = Driver.run e spec in
+    (r.Driver.committed, r.Driver.aborted, r.Driver.op_count)
+  in
+  Alcotest.(check (triple int int int)) "two identical runs" (run ()) (run ())
+
+let test_driver_high_contention () =
+  (* A tiny hot key space forces blocking and deadlocks; the driver must
+     still complete every transaction. *)
+  let hot =
+    { spec with key_space = 8; zipf_theta = 0.9; txns = 80; concurrency = 8 }
+  in
+  let k = make_kernel () in
+  let e = Engine.of_kernel k in
+  Driver.preload e hot;
+  let r = Driver.run e hot in
+  Alcotest.(check int) "all completed despite contention" hot.Driver.txns
+    (r.Driver.committed + r.Driver.aborted);
+  Alcotest.(check bool) "contention observed" true
+    (r.Driver.blocked_events > 0);
+  check_wellformed k
+
+let test_driver_serial_no_blocking () =
+  let serial = { spec with concurrency = 1; txns = 50 } in
+  let k = make_kernel () in
+  let e = Engine.of_kernel k in
+  Driver.preload e serial;
+  let r = Driver.run e serial in
+  Alcotest.(check int) "no blocking when serial" 0 r.Driver.blocked_events;
+  Alcotest.(check int) "no deadlocks" 0 r.Driver.deadlocks;
+  Alcotest.(check int) "all committed" serial.Driver.txns r.Driver.committed
+
+let suite =
+  [
+    Alcotest.test_case "driver on unbundled kernel" `Quick
+      test_driver_on_kernel;
+    Alcotest.test_case "driver on baseline" `Quick test_driver_on_baseline;
+    Alcotest.test_case "driver determinism" `Quick test_driver_deterministic;
+    Alcotest.test_case "driver high contention" `Quick
+      test_driver_high_contention;
+    Alcotest.test_case "driver serial" `Quick test_driver_serial_no_blocking;
+  ]

@@ -1,0 +1,130 @@
+(* Lock manager: modes, queues, upgrades, deadlock detection. *)
+
+module Lock_mgr = Untx_tc.Lock_mgr
+
+let rec_ k = Lock_mgr.Record { table = "t"; key = k }
+
+let test_shared_compatible () =
+  let l = Lock_mgr.create () in
+  Alcotest.(check bool) "s1" true (Lock_mgr.acquire l ~owner:1 (rec_ "k") Lock_mgr.S = `Granted);
+  Alcotest.(check bool) "s2" true (Lock_mgr.acquire l ~owner:2 (rec_ "k") Lock_mgr.S = `Granted);
+  Alcotest.(check int) "two holders" 2 (Lock_mgr.live_locks l)
+
+let test_exclusive_conflicts () =
+  let l = Lock_mgr.create () in
+  ignore (Lock_mgr.acquire l ~owner:1 (rec_ "k") Lock_mgr.X);
+  Alcotest.(check bool) "x blocks s" true
+    (Lock_mgr.acquire l ~owner:2 (rec_ "k") Lock_mgr.S = `Blocked);
+  Alcotest.(check bool) "x blocks x" true
+    (Lock_mgr.acquire l ~owner:3 (rec_ "k") Lock_mgr.X = `Blocked);
+  Alcotest.(check bool) "waiting" true (Lock_mgr.waiting l ~owner:2)
+
+let test_reentrant () =
+  let l = Lock_mgr.create () in
+  ignore (Lock_mgr.acquire l ~owner:1 (rec_ "k") Lock_mgr.X);
+  Alcotest.(check bool) "x again" true
+    (Lock_mgr.acquire l ~owner:1 (rec_ "k") Lock_mgr.X = `Granted);
+  Alcotest.(check bool) "s under x" true
+    (Lock_mgr.acquire l ~owner:1 (rec_ "k") Lock_mgr.S = `Granted);
+  Alcotest.(check bool) "holds covers" true
+    (Lock_mgr.holds l ~owner:1 (rec_ "k") Lock_mgr.S)
+
+let test_upgrade () =
+  let l = Lock_mgr.create () in
+  ignore (Lock_mgr.acquire l ~owner:1 (rec_ "k") Lock_mgr.S);
+  Alcotest.(check bool) "sole holder upgrades" true
+    (Lock_mgr.acquire l ~owner:1 (rec_ "k") Lock_mgr.X = `Granted);
+  Alcotest.(check bool) "now exclusive" true
+    (Lock_mgr.holds l ~owner:1 (rec_ "k") Lock_mgr.X);
+  (* a second shared holder prevents upgrade *)
+  let l2 = Lock_mgr.create () in
+  ignore (Lock_mgr.acquire l2 ~owner:1 (rec_ "k") Lock_mgr.S);
+  ignore (Lock_mgr.acquire l2 ~owner:2 (rec_ "k") Lock_mgr.S);
+  Alcotest.(check bool) "upgrade blocked" true
+    (Lock_mgr.acquire l2 ~owner:1 (rec_ "k") Lock_mgr.X = `Blocked)
+
+let test_release_grants_waiters () =
+  let l = Lock_mgr.create () in
+  ignore (Lock_mgr.acquire l ~owner:1 (rec_ "k") Lock_mgr.X);
+  ignore (Lock_mgr.acquire l ~owner:2 (rec_ "k") Lock_mgr.S);
+  ignore (Lock_mgr.acquire l ~owner:3 (rec_ "k") Lock_mgr.S);
+  let granted = Lock_mgr.release_all l ~owner:1 in
+  Alcotest.(check (list int)) "both shared waiters granted" [ 2; 3 ] granted;
+  Alcotest.(check bool) "holder 2" true
+    (Lock_mgr.holds l ~owner:2 (rec_ "k") Lock_mgr.S);
+  Alcotest.(check bool) "holder 3" true
+    (Lock_mgr.holds l ~owner:3 (rec_ "k") Lock_mgr.S)
+
+let test_fifo_fairness () =
+  let l = Lock_mgr.create () in
+  ignore (Lock_mgr.acquire l ~owner:1 (rec_ "k") Lock_mgr.S);
+  (* X waiter queues *)
+  ignore (Lock_mgr.acquire l ~owner:2 (rec_ "k") Lock_mgr.X);
+  (* a later S request must not starve the X waiter *)
+  Alcotest.(check bool) "late S queues behind X" true
+    (Lock_mgr.acquire l ~owner:3 (rec_ "k") Lock_mgr.S = `Blocked);
+  let granted = Lock_mgr.release_all l ~owner:1 in
+  Alcotest.(check (list int)) "x granted first" [ 2 ] granted
+
+let test_cancel_waits () =
+  let l = Lock_mgr.create () in
+  ignore (Lock_mgr.acquire l ~owner:1 (rec_ "k") Lock_mgr.X);
+  ignore (Lock_mgr.acquire l ~owner:2 (rec_ "k") Lock_mgr.X);
+  Lock_mgr.cancel_waits l ~owner:2;
+  Alcotest.(check bool) "no longer waiting" false (Lock_mgr.waiting l ~owner:2);
+  let granted = Lock_mgr.release_all l ~owner:1 in
+  Alcotest.(check (list int)) "nothing granted" [] granted
+
+let test_deadlock_detection () =
+  let l = Lock_mgr.create () in
+  ignore (Lock_mgr.acquire l ~owner:1 (rec_ "a") Lock_mgr.X);
+  ignore (Lock_mgr.acquire l ~owner:2 (rec_ "b") Lock_mgr.X);
+  Alcotest.(check (option int)) "no cycle yet" None (Lock_mgr.find_deadlock l);
+  ignore (Lock_mgr.acquire l ~owner:1 (rec_ "b") Lock_mgr.X);
+  Alcotest.(check (option int)) "still no cycle" None (Lock_mgr.find_deadlock l);
+  ignore (Lock_mgr.acquire l ~owner:2 (rec_ "a") Lock_mgr.X);
+  (match Lock_mgr.find_deadlock l with
+  | Some victim ->
+    Alcotest.(check int) "youngest is victim" 2 victim
+  | None -> Alcotest.fail "cycle not found")
+
+let test_deadlock_three_way () =
+  let l = Lock_mgr.create () in
+  ignore (Lock_mgr.acquire l ~owner:1 (rec_ "a") Lock_mgr.X);
+  ignore (Lock_mgr.acquire l ~owner:2 (rec_ "b") Lock_mgr.X);
+  ignore (Lock_mgr.acquire l ~owner:3 (rec_ "c") Lock_mgr.X);
+  ignore (Lock_mgr.acquire l ~owner:1 (rec_ "b") Lock_mgr.X);
+  ignore (Lock_mgr.acquire l ~owner:2 (rec_ "c") Lock_mgr.X);
+  ignore (Lock_mgr.acquire l ~owner:3 (rec_ "a") Lock_mgr.X);
+  (match Lock_mgr.find_deadlock l with
+  | Some v -> Alcotest.(check bool) "victim in cycle" true (v >= 1 && v <= 3)
+  | None -> Alcotest.fail "three-way cycle not found");
+  (* breaking the cycle clears detection *)
+  ignore (Lock_mgr.release_all l ~owner:3);
+  Alcotest.(check (option int)) "cycle broken" None (Lock_mgr.find_deadlock l)
+
+let test_range_and_table_resources () =
+  let l = Lock_mgr.create () in
+  let r1 = Lock_mgr.Range { table = "t"; slot = 3 } in
+  let r2 = Lock_mgr.Range { table = "t"; slot = 4 } in
+  ignore (Lock_mgr.acquire l ~owner:1 r1 Lock_mgr.X);
+  Alcotest.(check bool) "different slots independent" true
+    (Lock_mgr.acquire l ~owner:2 r2 Lock_mgr.X = `Granted);
+  Alcotest.(check bool) "same slot conflicts" true
+    (Lock_mgr.acquire l ~owner:2 r1 Lock_mgr.S = `Blocked)
+
+let suite =
+  [
+    Alcotest.test_case "shared compatible" `Quick test_shared_compatible;
+    Alcotest.test_case "exclusive conflicts" `Quick test_exclusive_conflicts;
+    Alcotest.test_case "re-entrant" `Quick test_reentrant;
+    Alcotest.test_case "upgrade" `Quick test_upgrade;
+    Alcotest.test_case "release grants waiters" `Quick
+      test_release_grants_waiters;
+    Alcotest.test_case "fifo fairness" `Quick test_fifo_fairness;
+    Alcotest.test_case "cancel waits" `Quick test_cancel_waits;
+    Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+    Alcotest.test_case "three-way deadlock" `Quick test_deadlock_three_way;
+    Alcotest.test_case "range/table resources" `Quick
+      test_range_and_table_resources;
+  ]

@@ -1,0 +1,195 @@
+(* TC behaviours: the two range protocols, write pipelining under a
+   reordering transport, checkpoint/log truncation, LWM flow, deadlock
+   resolution. *)
+
+open Helpers
+module Kernel = Untx_kernel.Kernel
+module Transport = Untx_kernel.Transport
+module Tc = Untx_tc.Tc
+module Dc = Untx_dc.Dc
+module Lsn = Untx_util.Lsn
+
+let table = "kv"
+
+let seed_rows k n =
+  let rec go i =
+    if i < n then begin
+      let txn = Kernel.begin_txn k in
+      let hi = min n (i + 64) in
+      for j = i to hi - 1 do
+        ok
+          (Kernel.insert k txn ~table
+             ~key:(Printf.sprintf "k%04d" j)
+             ~value:(Printf.sprintf "v%04d" j))
+      done;
+      ok (Kernel.commit k txn);
+      go hi
+    end
+  in
+  go 0
+
+let scan_all k =
+  let txn = Kernel.begin_txn k in
+  let rows = ok (Kernel.scan k txn ~table ~from_key:"" ~limit:max_int) in
+  ok (Kernel.commit k txn);
+  rows
+
+let test_scan_protocols_agree () =
+  let run cc =
+    let k = make_kernel ~cc_protocol:cc () in
+    seed_rows k 150;
+    scan_all k
+  in
+  let by_key = run Tc.Key_locks in
+  let by_range = run (Tc.Range_locks 32) in
+  Alcotest.(check (list (pair string string)))
+    "identical results" by_key by_range;
+  Alcotest.(check int) "complete" 150 (List.length by_key)
+
+let test_range_locks_fewer_acquisitions () =
+  let locks_for cc =
+    let k = make_kernel ~cc_protocol:cc () in
+    seed_rows k 200;
+    let before = Tc.lock_acquisitions (Kernel.tc k) in
+    ignore (scan_all k);
+    Tc.lock_acquisitions (Kernel.tc k) - before
+  in
+  let key_locks = locks_for Tc.Key_locks in
+  let range_locks = locks_for (Tc.Range_locks 16) in
+  Alcotest.(check bool)
+    (Printf.sprintf "range (%d) < key (%d)" range_locks key_locks)
+    true
+    (range_locks < key_locks / 4)
+
+let test_range_locks_writes () =
+  let k = make_kernel ~cc_protocol:(Tc.Range_locks 8) () in
+  seed_rows k 60;
+  committed k
+    [ (fun txn -> Kernel.update k txn ~table ~key:"k0033" ~value:"rw") ];
+  Alcotest.(check (option string)) "update under range lock" (Some "rw")
+    (get k ~table "k0033")
+
+let test_pipelined_reordered_writes () =
+  (* Several non-conflicting writes of one transaction in flight at once
+     over a reordering transport: the DC sees genuine out-of-LSN-order
+     arrivals (Section 5.1) and the abstract LSN machinery absorbs it. *)
+  let policy =
+    { Transport.delay_min = 0; delay_max = 4; reorder = true;
+      dup_prob = 0.05; drop_prob = 0.05 }
+  in
+  let k = make_kernel ~policy ~seed:1234 () in
+  let txn = Kernel.begin_txn k in
+  for i = 0 to 39 do
+    ok
+      (Kernel.insert k txn ~table
+         ~key:(Printf.sprintf "p%02d" i)
+         ~value:(string_of_int i))
+  done;
+  ok (Kernel.commit k txn);
+  Kernel.quiesce k;
+  let rows = scan_all k in
+  Alcotest.(check int) "all present exactly once" 40 (List.length rows);
+  check_wellformed k
+
+let test_checkpoint_truncates_log () =
+  let k = make_kernel () in
+  seed_rows k 100;
+  let tc = Kernel.tc k in
+  let records_before = Tc.log_records tc in
+  Kernel.quiesce k;
+  Alcotest.(check bool) "granted" true (Kernel.checkpoint k);
+  Alcotest.(check bool) "rssp advanced" true Lsn.(Tc.rssp tc > Lsn.of_int 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "log shrank (%d -> %d)" records_before (Tc.log_records tc))
+    true
+    (Tc.log_records tc < records_before / 2)
+
+let test_checkpoint_not_granted_before_eosl () =
+  (* With a sync policy that stalls flushes, an immediate checkpoint
+     request cannot be granted. *)
+  let k = make_kernel ~sync_policy:Dc.Stall_until_lwm () in
+  let txn = Kernel.begin_txn k in
+  ok (Kernel.insert k txn ~table ~key:"k" ~value:"v");
+  ok (Kernel.commit k txn);
+  (* force more unacknowledged work so the LWM stays behind *)
+  let txn2 = Kernel.begin_txn k in
+  ok (Kernel.insert k txn2 ~table ~key:"k2" ~value:"v2");
+  Kernel.quiesce k;
+  ok (Kernel.commit k txn2);
+  Alcotest.(check bool) "eventually granted after quiesce" true
+    (Kernel.quiesce k;
+     Kernel.checkpoint k)
+
+let test_aborted_txn_after_failed_op () =
+  let k = make_kernel ~versioned:false () in
+  put k ~table "a" "committed";
+  let txn = Kernel.begin_txn k in
+  ok (Kernel.update k txn ~table ~key:"a" ~value:"x");
+  (match Kernel.insert k txn ~table ~key:"a" ~value:"dup" with
+  | `Fail _ -> ()
+  | _ -> Alcotest.fail "dup insert must fail");
+  (* the transaction can still proceed or abort cleanly *)
+  Kernel.abort k txn ~reason:"test";
+  Alcotest.(check (option string)) "rolled back" (Some "committed")
+    (get k ~table "a")
+
+let test_resends_counted_on_lossy_link () =
+  let policy =
+    { Transport.delay_min = 0; delay_max = 1; reorder = false;
+      dup_prob = 0.; drop_prob = 0.3 }
+  in
+  let k = make_kernel ~policy ~seed:77 () in
+  seed_rows k 50;
+  Kernel.quiesce k;
+  Alcotest.(check bool) "resends happened" true (Tc.resends (Kernel.tc k) > 0);
+  Alcotest.(check int) "yet state is exact" 50 (List.length (scan_all k))
+
+let test_wakeups_and_deadlock () =
+  (* Two transactions contending: T1 holds a, wants b; T2 holds b, wants
+     a.  resolve_deadlock aborts the youngest; the other completes. *)
+  let k = make_kernel () in
+  put k ~table "a" "0";
+  put k ~table "b" "0";
+  let tc = Kernel.tc k in
+  let t1 = Kernel.begin_txn k in
+  let t2 = Kernel.begin_txn k in
+  ok (Kernel.update k t1 ~table ~key:"a" ~value:"1");
+  ok (Kernel.update k t2 ~table ~key:"b" ~value:"2");
+  (match Kernel.update k t1 ~table ~key:"b" ~value:"1b" with
+  | `Blocked -> ()
+  | _ -> Alcotest.fail "t1 should block on b");
+  (match Kernel.update k t2 ~table ~key:"a" ~value:"2a" with
+  | `Blocked -> ()
+  | _ -> Alcotest.fail "t2 should block on a");
+  (match Tc.resolve_deadlock tc with
+  | Some victim -> Alcotest.(check int) "youngest dies" (Tc.xid t2) victim
+  | None -> Alcotest.fail "deadlock undetected");
+  Alcotest.(check bool) "t2 aborted" false (Tc.is_active t2);
+  (* t1 was granted b by the victim's release *)
+  let wakeups = Tc.wakeups tc in
+  Alcotest.(check bool) "t1 woken" true (List.mem (Tc.xid t1) wakeups);
+  ok (Kernel.update k t1 ~table ~key:"b" ~value:"1b");
+  ok (Kernel.commit k t1);
+  Alcotest.(check (option string)) "t1 effects" (Some "1b") (get k ~table "b");
+  Alcotest.(check (option string))
+    "a holds t1's committed value, not t2's" (Some "1") (get k ~table "a")
+
+let suite =
+  [
+    Alcotest.test_case "scan protocols agree" `Quick test_scan_protocols_agree;
+    Alcotest.test_case "range locks are fewer" `Quick
+      test_range_locks_fewer_acquisitions;
+    Alcotest.test_case "writes under range locks" `Quick
+      test_range_locks_writes;
+    Alcotest.test_case "pipelined reordered writes" `Quick
+      test_pipelined_reordered_writes;
+    Alcotest.test_case "checkpoint truncates log" `Quick
+      test_checkpoint_truncates_log;
+    Alcotest.test_case "checkpoint needs stability" `Quick
+      test_checkpoint_not_granted_before_eosl;
+    Alcotest.test_case "failed op then abort" `Quick
+      test_aborted_txn_after_failed_op;
+    Alcotest.test_case "resends on lossy link" `Quick
+      test_resends_counted_on_lossy_link;
+    Alcotest.test_case "wakeups and deadlock" `Quick test_wakeups_and_deadlock;
+  ]

@@ -1,0 +1,154 @@
+(* The adversarial transport itself: determinism, delivery semantics,
+   flush, crash-time drops — plus a property-level exactly-once check
+   over random policies at the kernel level. *)
+
+module Transport = Untx_kernel.Transport
+module Wire = Untx_msg.Wire
+module Op = Untx_msg.Op
+module Lsn = Untx_util.Lsn
+module Tc_id = Untx_util.Tc_id
+open Helpers
+module Kernel = Untx_kernel.Kernel
+
+let req i =
+  {
+    Wire.tc = Tc_id.of_int 1;
+    lsn = Lsn.of_int i;
+    op = Op.Read { table = "t"; key = string_of_int i; mode = Op.Own };
+  }
+
+let echo_dc (r : Wire.request) =
+  { Wire.lsn = r.lsn; result = Wire.Done; prior = None }
+
+let drain_ids t = List.map (fun (r : Wire.reply) -> Lsn.to_int r.lsn) (Transport.drain t)
+
+let test_reliable_fifo () =
+  let t = Transport.create ~seed:1 ~dc:echo_dc () in
+  Transport.send t (req 1);
+  Transport.send t (req 2);
+  Transport.send t (req 3);
+  Alcotest.(check (list int)) "in order, one tick" [ 1; 2; 3 ] (drain_ids t);
+  Alcotest.(check int) "nothing left" 0 (Transport.in_flight t)
+
+let test_delay () =
+  let policy =
+    { Transport.delay_min = 2; delay_max = 2; reorder = false; dup_prob = 0.;
+      drop_prob = 0. }
+  in
+  let t = Transport.create ~policy ~seed:1 ~dc:echo_dc () in
+  Transport.send t (req 1);
+  Alcotest.(check (list int)) "tick 1: nothing" [] (drain_ids t);
+  Alcotest.(check (list int)) "tick 2: request delivered, reply delayed" []
+    (drain_ids t);
+  (* two more ticks for the reply's own delay *)
+  let got = drain_ids t @ drain_ids t @ drain_ids t @ drain_ids t in
+  Alcotest.(check (list int)) "eventually" [ 1 ] got
+
+let test_drop_and_dup_counted () =
+  let policy =
+    { Transport.delay_min = 0; delay_max = 0; reorder = false;
+      dup_prob = 0.5; drop_prob = 0.3 }
+  in
+  let t = Transport.create ~policy ~seed:7 ~dc:echo_dc () in
+  for i = 1 to 200 do
+    Transport.send t (req i)
+  done;
+  let delivered = ref 0 in
+  for _ = 1 to 50 do
+    delivered := !delivered + List.length (Transport.drain t)
+  done;
+  Alcotest.(check bool) "some dropped" true (Transport.dropped t > 0);
+  Alcotest.(check bool) "some duplicated" true (Transport.duplicated t > 0);
+  Alcotest.(check bool) "deliveries reflect both" true (!delivered > 0)
+
+let test_determinism () =
+  let run () =
+    let policy = Transport.chaotic in
+    let t = Transport.create ~policy ~seed:99 ~dc:echo_dc () in
+    for i = 1 to 50 do
+      Transport.send t (req i)
+    done;
+    let acc = ref [] in
+    for _ = 1 to 30 do
+      acc := !acc @ drain_ids t
+    done;
+    !acc
+  in
+  Alcotest.(check (list int)) "same seed, same schedule" (run ()) (run ())
+
+let test_flush_delivers_everything () =
+  let t = Transport.create ~policy:Transport.chaotic ~seed:3 ~dc:echo_dc () in
+  for i = 1 to 40 do
+    Transport.send t (req i)
+  done;
+  ignore (Transport.flush t);
+  Alcotest.(check int) "empty after flush" 0 (Transport.in_flight t)
+
+let test_drop_in_flight () =
+  let policy =
+    { Transport.delay_min = 5; delay_max = 5; reorder = false; dup_prob = 0.;
+      drop_prob = 0. }
+  in
+  let t = Transport.create ~policy ~seed:3 ~dc:echo_dc () in
+  Transport.send t (req 1);
+  Transport.drop_in_flight t;
+  Alcotest.(check int) "gone" 0 (Transport.in_flight t);
+  let got = ref [] in
+  for _ = 1 to 12 do
+    got := !got @ drain_ids t
+  done;
+  Alcotest.(check (list int)) "never delivered" [] !got
+
+(* Property: exactly-once end-to-end over random adversarial policies. *)
+let prop_exactly_once =
+  let policy_gen =
+    QCheck.Gen.(
+      map3
+        (fun delay dup drop ->
+          {
+            Transport.delay_min = 0;
+            delay_max = delay mod 4;
+            reorder = true;
+            dup_prob = float_of_int (dup mod 30) /. 100.;
+            drop_prob = float_of_int (drop mod 30) /. 100.;
+          })
+        (int_bound 3) (int_bound 29) (int_bound 29))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (p, seed) ->
+        Printf.sprintf "delay<=%d dup=%.2f drop=%.2f seed=%d"
+          p.Transport.delay_max p.Transport.dup_prob p.Transport.drop_prob seed)
+      QCheck.Gen.(pair policy_gen (int_bound 1000))
+  in
+  QCheck.Test.make ~name:"kernel state independent of transport adversity"
+    ~count:15 arb (fun (policy, seed) ->
+      let run p s =
+        let k = make_kernel ~policy:p ~seed:s () in
+        for t = 0 to 19 do
+          let txn = Kernel.begin_txn k in
+          for i = 0 to 5 do
+            ok
+              (Kernel.insert k txn ~table:"kv"
+                 ~key:(Printf.sprintf "k%02d-%02d" t i)
+                 ~value:(string_of_int (t * i)))
+          done;
+          if t mod 4 = 0 then Kernel.abort k txn ~reason:"mix"
+          else ok (Kernel.commit k txn)
+        done;
+        Kernel.quiesce k;
+        snapshot k ~table:"kv"
+      in
+      run policy seed = run Transport.reliable 0)
+
+let suite =
+  [
+    Alcotest.test_case "reliable is FIFO" `Quick test_reliable_fifo;
+    Alcotest.test_case "delay semantics" `Quick test_delay;
+    Alcotest.test_case "drop/dup accounting" `Quick test_drop_and_dup_counted;
+    Alcotest.test_case "seeded determinism" `Quick test_determinism;
+    Alcotest.test_case "flush delivers all" `Quick
+      test_flush_delivers_everything;
+    Alcotest.test_case "drop in flight" `Quick test_drop_in_flight;
+    QCheck_alcotest.to_alcotest prop_exactly_once;
+  ]

@@ -1,0 +1,112 @@
+(* Unit tests for the write-ahead log: volatile tail semantics, forcing,
+   crash, truncation, LSN reservation. *)
+
+module Wal = Untx_wal.Wal
+module Lsn = Untx_util.Lsn
+
+let mk () = Wal.create ~size:String.length ()
+
+let lsn i = Lsn.of_int i
+
+let test_append_assigns_lsns () =
+  let w = mk () in
+  let a = Wal.append w "one" in
+  let b = Wal.append w "two" in
+  Alcotest.(check int) "first lsn" 1 (Lsn.to_int a);
+  Alcotest.(check int) "second lsn" 2 (Lsn.to_int b);
+  Alcotest.(check int) "last" 2 (Lsn.to_int (Wal.last_lsn w));
+  Alcotest.(check int) "nothing stable" 0 (Lsn.to_int (Wal.stable_lsn w))
+
+let test_force_moves_tail () =
+  let w = mk () in
+  ignore (Wal.append w "a");
+  ignore (Wal.append w "b");
+  Wal.force w;
+  Alcotest.(check int) "stable covers tail" 2 (Lsn.to_int (Wal.stable_lsn w));
+  Alcotest.(check int) "stable count" 2 (Wal.stable_count w);
+  Alcotest.(check int) "volatile empty" 0 (Wal.volatile_count w)
+
+let test_crash_loses_unforced () =
+  let w = mk () in
+  ignore (Wal.append w "keep");
+  Wal.force w;
+  ignore (Wal.append w "lose1");
+  ignore (Wal.append w "lose2");
+  Wal.crash w;
+  Alcotest.(check int) "stable intact" 1 (Wal.stable_count w);
+  Alcotest.(check int) "tail gone" 0 (Wal.volatile_count w);
+  (* LSNs remain unique after the crash *)
+  let next = Wal.append w "after" in
+  Alcotest.(check bool) "no LSN reuse" true (Lsn.to_int next > 3)
+
+let test_reserve () =
+  let w = mk () in
+  let a = Wal.append w "op" in
+  let r = Wal.reserve w in
+  let b = Wal.append w "op2" in
+  Alcotest.(check bool) "reserved between" true
+    (Lsn.to_int r = Lsn.to_int a + 1 && Lsn.to_int b = Lsn.to_int r + 1);
+  Wal.force w;
+  (* the reserved gap is covered by stability *)
+  Alcotest.(check int) "stable covers reserve" (Lsn.to_int b)
+    (Lsn.to_int (Wal.stable_lsn w));
+  Alcotest.(check (option string)) "no record at reserved" None
+    (Wal.find w r)
+
+let test_iter_from () =
+  let w = mk () in
+  for i = 1 to 5 do
+    ignore (Wal.append w (string_of_int i))
+  done;
+  Wal.force w;
+  let seen = ref [] in
+  Wal.iter_from w (lsn 3) (fun l r -> seen := (Lsn.to_int l, r) :: !seen);
+  Alcotest.(check (list (pair int string)))
+    "from lsn 3"
+    [ (3, "3"); (4, "4"); (5, "5") ]
+    (List.rev !seen)
+
+let test_truncate () =
+  let w = mk () in
+  for i = 1 to 5 do
+    ignore (Wal.append w (string_of_int i))
+  done;
+  Wal.force w;
+  Wal.truncate w (lsn 4);
+  Alcotest.(check int) "records dropped" 2 (Wal.stable_count w);
+  Alcotest.(check (option string)) "old gone" None (Wal.find w (lsn 2));
+  Alcotest.(check (option string)) "kept" (Some "4") (Wal.find w (lsn 4))
+
+let test_force_through () =
+  let w = mk () in
+  let a = Wal.append w "a" in
+  Wal.force_through w a;
+  Alcotest.(check int) "forced" 1 (Lsn.to_int (Wal.stable_lsn w));
+  let forces = Wal.forces w in
+  Wal.force_through w a;
+  Alcotest.(check int) "no redundant force" forces (Wal.forces w)
+
+let test_find_volatile () =
+  let w = mk () in
+  let a = Wal.append w "tail" in
+  Alcotest.(check (option string)) "find in tail" (Some "tail") (Wal.find w a)
+
+let test_bytes_accounting () =
+  let w = mk () in
+  ignore (Wal.append w "12345");
+  ignore (Wal.append w "123");
+  Alcotest.(check int) "bytes" 8 (Wal.appended_bytes w)
+
+let suite =
+  [
+    Alcotest.test_case "append assigns LSNs" `Quick test_append_assigns_lsns;
+    Alcotest.test_case "force moves tail" `Quick test_force_moves_tail;
+    Alcotest.test_case "crash loses unforced tail" `Quick
+      test_crash_loses_unforced;
+    Alcotest.test_case "reserve" `Quick test_reserve;
+    Alcotest.test_case "iter_from" `Quick test_iter_from;
+    Alcotest.test_case "truncate" `Quick test_truncate;
+    Alcotest.test_case "force_through" `Quick test_force_through;
+    Alcotest.test_case "find in volatile tail" `Quick test_find_volatile;
+    Alcotest.test_case "byte accounting" `Quick test_bytes_accounting;
+  ]
