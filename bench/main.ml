@@ -23,6 +23,8 @@ let experiments =
     ("e8", "cross-TC sharing modes", E8_sharing.run);
     ("e9", "system-transaction logging", E9_smo_logging.run);
     ("e10", "exactly-once contracts", E10_contracts.run);
+    ("e11", "chaos soak: crash points, torn I/O, recovery audit", E11_chaos.run);
+    ("chaos", "short fixed-seed chaos soak (the @chaos alias)", E11_chaos.run_short);
     ("ablations", "design-choice ablations A1-A5", A_ablations.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]

@@ -31,7 +31,8 @@ let link t ~tc_name ~dc_name =
   if not (Hashtbl.mem t.transports (tc_name, dc_name)) then begin
     let dc = Hashtbl.find t.dcs dc_name in
     let transport =
-      Transport.create ~policy:t.policy ~seed:(fresh_seed t)
+      Transport.create ~counters:t.counters ~policy:t.policy
+        ~seed:(fresh_seed t)
         ~dc:(fun req -> Dc.perform dc req)
         ()
     in
@@ -107,6 +108,17 @@ let crash_tc t name =
             if not (String.equal tcn name) then Tc.on_dc_restart tc ~dc:dc_name)
           t.tcs)
     t.dcs
+
+let crash_for_point t ~point ~tc ~dc =
+  let rec go attempts point =
+    try
+      match Untx_kernel.Kernel.component_of_point point with
+      | `Tc -> crash_tc t tc
+      | `Dc -> crash_dc t dc
+    with Untx_fault.Fault.Injected_crash p when attempts > 0 ->
+      go (attempts - 1) p
+  in
+  go 8 point
 
 let quiesce t = Hashtbl.iter (fun _ tc -> Tc.quiesce tc) t.tcs
 

@@ -44,6 +44,12 @@ val crash_tc : t -> string -> unit
 (** Crash + restart one TC.  Other TCs are untouched: the DCs reset only
     the failed TC's lost operations (record-granular on shared pages). *)
 
+val crash_for_point : t -> point:string -> tc:string -> dc:string -> unit
+(** Kill whichever component owns the fault point (see
+    {!Untx_kernel.Kernel.component_of_point}): a TC-side point crashes
+    the named TC, a DC-side point the named DC.  Plans that fire again
+    during recovery crash the restarted component in turn (bounded). *)
+
 val quiesce : t -> unit
 
 val messages_total : t -> int

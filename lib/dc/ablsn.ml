@@ -23,6 +23,12 @@ let advance ~lwm t =
   if Lsn.(lwm <= t.lw) then t
   else { lw = lwm; ins = Lsn.Set.filter (fun l -> Lsn.(l > lwm)) t.ins }
 
+let truncate ~upto t =
+  {
+    lw = Lsn.min t.lw upto;
+    ins = Lsn.Set.filter (fun l -> Lsn.(l <= upto)) t.ins;
+  }
+
 let merge a b =
   let lw = Lsn.max a.lw b.lw in
   let ins =

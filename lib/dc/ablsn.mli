@@ -37,6 +37,12 @@ val advance : lwm:Untx_util.Lsn.t -> t -> t
     been performed wherever it applies, so [lw] may rise to it and
     covered members of {LSNin} are discarded. *)
 
+val truncate : upto:Untx_util.Lsn.t -> t -> t
+(** Forget every claim above [upto] — applied when a failed TC's page
+    state is rewound to its stable log (Section 5.3.2): operations
+    beyond it were lost and their effects subtracted, so the abstract
+    LSN must stop vouching for them. *)
+
 val merge : t -> t -> t
 (** abLSN for a page consolidation: the "maximum" of the two pages'
     abstract LSNs (Section 5.2.2, page deletes). *)

@@ -8,6 +8,7 @@ module Disk = Untx_storage.Disk
 module Cache = Untx_storage.Cache
 module Wal = Untx_wal.Wal
 module Btree = Untx_btree.Btree
+module Fault = Untx_fault.Fault
 module Op = Untx_msg.Op
 module Wire = Untx_msg.Wire
 
@@ -154,6 +155,12 @@ let prepare_flush t page =
 (* ------------------------------------------------------------------ *)
 (* System transactions: B-tree hooks writing the DC-log                *)
 
+let p_split_mid = Fault.declare "dc.smo.split.mid"
+
+let p_consolidate_before_force = Fault.declare "dc.smo.consolidate.before_force"
+
+let p_checkpoint_mid = Fault.declare "dc.checkpoint.mid"
+
 let ablsns_image t page = (state_of t page).ablsns
 
 let on_split t (ev : Btree.split_event) =
@@ -190,9 +197,16 @@ let on_split t (ev : Btree.split_event) =
       }
   in
   let dlsn = Wal.append t.dc_log record in
+  (* Stamp before anything can raise: the new dlsn is volatile, so the
+     stamp pins all three mutated pages in the cache (can_flush requires
+     dlsn <= stable) until the record is forced.  Stamping after the
+     force would leave a window where an eviction flushes a mutated page
+     under its old stable dlsn — a torn SMO on disk that replay cannot
+     repair because the record never survived. *)
   old_st.dlsn <- dlsn;
   new_st.dlsn <- dlsn;
   parent_st.dlsn <- dlsn;
+  Fault.hit p_split_mid;
   t.total_splits <- t.total_splits + 1;
   Instrument.bump t.counters "dc.smo_splits"
 
@@ -239,11 +253,16 @@ let on_consolidate t (ev : Btree.consolidate_event) =
       }
   in
   let dlsn = Wal.append t.dc_log record in
-  (* The B-tree frees the victim's stable image right after this hook
-     returns, so the consolidation must be durable first. *)
-  Wal.force t.dc_log;
+  (* Stamp before the force: the volatile dlsn pins the mutated
+     survivor and parent in the cache (can_flush requires
+     dlsn <= stable), so a crash on either side of the force can never
+     find a half-consolidated page flushed under its old dlsn. *)
   surv_st.dlsn <- dlsn;
   parent_st.dlsn <- dlsn;
+  (* The B-tree frees the victim's stable image right after this hook
+     returns, so the consolidation must be durable first. *)
+  Fault.hit p_consolidate_before_force;
+  Wal.force t.dc_log;
   Page_id.Tbl.remove t.states freed_pid;
   t.total_consolidations <- t.total_consolidations + 1;
   Instrument.bump t.counters "dc.smo_consolidations"
@@ -266,7 +285,7 @@ let create ?(counters = Instrument.global) cfg =
       counters;
       disk;
       cache;
-      dc_log = Wal.create ~counters ~size:Smo_record.size ();
+      dc_log = Wal.create ~counters ~label:"wal.dc" ~size:Smo_record.size ();
       tables = Hashtbl.create 8;
       states = Page_id.Tbl.create 256;
       memo = Hashtbl.create 1024;
@@ -374,7 +393,7 @@ let memoized t (req : Wire.request) =
    modifications (splits, consolidations) happen inside the B-tree call
    under the installed hooks. *)
 
-let do_insert tbl ~tc ~key ~value prior =
+let do_insert tbl ~tc ~lsn ~key ~value prior =
   if tbl.sealed then Wire.Failed "table is sealed read-only"
   else
   match prior with
@@ -388,13 +407,14 @@ let do_insert tbl ~tc ~key ~value prior =
           | Some r -> r.Stored_record.before (* insert over a tombstone *)
           | None -> Stored_record.Null_before
         in
-        { Stored_record.value; deleted = false; before; writer = tc }
-      else Stored_record.plain ~writer:tc value
+        { Stored_record.value; deleted = false; before; writer = tc;
+          wlsn = lsn }
+      else Stored_record.plain ~writer:tc ~wlsn:lsn value
     in
     Btree.set tbl.tree ~key ~data:(Stored_record.encode record);
     Wire.Done
 
-let do_update tbl ~tc ~key ~value prior =
+let do_update tbl ~tc ~lsn ~key ~value prior =
   if tbl.sealed then Wire.Failed "table is sealed read-only"
   else
   match prior with
@@ -406,14 +426,15 @@ let do_update tbl ~tc ~key ~value prior =
           | Stored_record.Absent -> Stored_record.Value_before r.value
           | kept -> kept
         in
-        { Stored_record.value; deleted = false; before; writer = tc }
-      else Stored_record.plain ~writer:tc value
+        { Stored_record.value; deleted = false; before; writer = tc;
+          wlsn = lsn }
+      else Stored_record.plain ~writer:tc ~wlsn:lsn value
     in
     Btree.set tbl.tree ~key ~data:(Stored_record.encode record);
     Wire.Done
   | _ -> Wire.Failed "no such key"
 
-let do_delete tbl ~tc ~key prior =
+let do_delete tbl ~tc ~lsn ~key prior =
   if tbl.sealed then Wire.Failed "table is sealed read-only"
   else
   match prior with
@@ -425,7 +446,8 @@ let do_delete tbl ~tc ~key prior =
         | kept -> kept
       in
       let record =
-        { Stored_record.value = r.value; deleted = true; before; writer = tc }
+        { Stored_record.value = r.value; deleted = true; before; writer = tc;
+          wlsn = lsn }
       in
       Btree.set tbl.tree ~key ~data:(Stored_record.encode record)
     end
@@ -433,16 +455,18 @@ let do_delete tbl ~tc ~key prior =
     Wire.Done
   | _ -> Wire.Done (* deleting an absent record is a no-op *)
 
-let commit_version tbl key =
+let commit_version tbl ~lsn key =
   match find_record tbl.tree key with
   | None -> ()
   | Some r ->
     if r.Stored_record.deleted then ignore (Btree.remove tbl.tree key)
     else if r.before <> Stored_record.Absent then
       Btree.set tbl.tree ~key
-        ~data:(Stored_record.encode { r with before = Stored_record.Absent })
+        ~data:
+          (Stored_record.encode
+             { r with before = Stored_record.Absent; wlsn = lsn })
 
-let abort_version tbl key =
+let abort_version tbl ~lsn key =
   match find_record tbl.tree key with
   | None -> ()
   | Some r -> (
@@ -458,6 +482,7 @@ let abort_version tbl key =
                deleted = false;
                before = Stored_record.Absent;
                writer = r.writer;
+               wlsn = lsn;
              }))
 
 (* Single-key write shell: idempotence test against the covering page's
@@ -466,10 +491,6 @@ let abort_version tbl key =
 let write_one t tbl (req : Wire.request) key mutate =
   let leaf = Btree.find_leaf tbl.tree key in
   let st = state_of t leaf in
-  if String.length key >= 3 && String.sub key 0 3 = "k37" then
-    Format.eprintf "DBG k37 lsn=%a page=%a ab=%a included=%b@."
-      Lsn.pp req.lsn Page_id.pp (Page.id leaf) Ablsn.pp (ablsn_of st req.tc)
-      (Ablsn.included req.lsn (ablsn_of st req.tc));
   if Ablsn.included req.lsn (ablsn_of st req.tc) then begin
     t.dup_absorbed <- t.dup_absorbed + 1;
     Instrument.bump t.counters "dc.dup_absorbed";
@@ -576,15 +597,15 @@ let perform_unlatched t (req : Wire.request) =
       { Wire.lsn = req.lsn; result = do_probe tbl ~from_key ~limit;
         prior = None }
     | Op.Insert { key; value; _ } ->
-      write_one t tbl req key (do_insert tbl ~tc:req.tc ~key ~value)
+      write_one t tbl req key (do_insert tbl ~tc:req.tc ~lsn:req.lsn ~key ~value)
     | Op.Update { key; value; _ } ->
-      write_one t tbl req key (do_update tbl ~tc:req.tc ~key ~value)
+      write_one t tbl req key (do_update tbl ~tc:req.tc ~lsn:req.lsn ~key ~value)
     | Op.Delete { key; _ } ->
-      write_one t tbl req key (do_delete tbl ~tc:req.tc ~key)
+      write_one t tbl req key (do_delete tbl ~tc:req.tc ~lsn:req.lsn ~key)
     | Op.Commit_versions { keys; _ } ->
-      write_many t tbl req keys (commit_version tbl)
+      write_many t tbl req keys (commit_version tbl ~lsn:req.lsn)
     | Op.Abort_versions { keys; _ } ->
-      write_many t tbl req keys (abort_version tbl))
+      write_many t tbl req keys (abort_version tbl ~lsn:req.lsn))
 
 (* Operation atomicity (Section 4.1.2): the whole logical operation runs
    with its pages latched — eviction deferred — so no page can reach
@@ -629,6 +650,43 @@ let seal_table t ~name =
 (* ------------------------------------------------------------------ *)
 (* TC failure: cache reset (Section 5.3.2 / 6.1.2)                     *)
 
+(* A leaf image logged by an SMO captures whole cells — including
+   records whose TC-log coverage was still volatile when the image was
+   taken.  After a TC failure such records are lost history: replaying
+   the image verbatim would resurrect operations the TC can never
+   resend.  Every complete restart on behalf of a failed TC logs a
+   [Tc_restart] fence in the DC-log, so the subtraction is durable:
+   during any replay, an image is subject to every fence logged after
+   it, however long ago the restart itself happened. *)
+type fence = { f_tc : Tc_id.t; f_stable : Lsn.t; f_dlsn : Lsn.t }
+
+let fences_after fences dlsn =
+  List.filter (fun f -> Lsn.(dlsn < f.f_dlsn)) fences
+
+let collect_fences t =
+  let fences = ref [] in
+  let collect dlsn = function
+    | Smo_record.Tc_restart { tc; stable_lsn } ->
+      fences := { f_tc = tc; f_stable = stable_lsn; f_dlsn = dlsn } :: !fences
+    | _ -> ()
+  in
+  Wal.iter_from t.dc_log Lsn.zero collect;
+  Wal.iter_volatile t.dc_log collect;
+  !fences
+
+let image_tainted fences (img : Smo_record.page_image) =
+  fences <> []
+  && img.kind = Page.Leaf
+  && List.exists
+       (fun (_, data) ->
+         let r = Stored_record.decode data in
+         List.exists
+           (fun f ->
+             Tc_id.equal r.Stored_record.writer f.f_tc
+             && Lsn.(r.Stored_record.wlsn > f.f_stable))
+           fences)
+       img.cells
+
 exception Tainted_reset
 
 (* Rebuild an affected page's reset state: its stable base (the disk
@@ -647,6 +705,7 @@ exception Tainted_reset
    operation below the redo scan start point in its key range is inside
    its creation image, and everything later is resent by redo. *)
 let rebuild_page_from_stable t pid ~tc ~stable_lsn =
+  let fences = collect_fences t in
   let base =
     match Disk.read t.disk pid with
     | Some page ->
@@ -665,7 +724,13 @@ let rebuild_page_from_stable t pid ~tc ~stable_lsn =
   in
   let install (img : Smo_record.page_image) dlsn =
     if Lsn.(dlsn > cur_dlsn ()) then begin
-      if not (image_clean img) then raise Tainted_reset;
+      (* Tainted w.r.t. this restart, or w.r.t. an earlier TC restart
+         whose fence sits later in the log: either way the image bakes
+         in lost effects this in-place rebuild cannot subtract. *)
+      if
+        (not (image_clean img))
+        || image_tainted (fences_after fences dlsn) img
+      then raise Tainted_reset;
       let page =
         Page.create ~id:pid ~kind:img.kind ~capacity:t.cfg.page_capacity
       in
@@ -700,6 +765,7 @@ let rebuild_page_from_stable t pid ~tc ~stable_lsn =
         install survivor_image dlsn;
       if Page_id.equal freed_pid pid && Lsn.(dlsn > cur_dlsn ()) then
         found := None
+    | Smo_record.Tc_restart _ -> ()
   in
   Wal.iter_from t.dc_log Lsn.zero visit;
   Wal.iter_volatile t.dc_log visit;
@@ -840,7 +906,12 @@ let ensure_page t pid ~kind =
       { dlsn = Lsn.zero; ablsns = Tc_id.Map.empty; pending = Tc_id.Map.empty };
     page
 
-let install_image t (img : Smo_record.page_image) dlsn =
+(* [reverted] replaces a tainted image's content with an older,
+   consistent state of the same key range (the caller knows where it
+   lives); structure (pid, kind, sibling link) still comes from the
+   image.  Each fence truncates its failed TC's abstract LSN to that
+   TC's stable log so it stops vouching for subtracted effects. *)
+let install_image t ~fences ?reverted (img : Smo_record.page_image) dlsn =
   let newer_exists =
     match Cache.lookup t.cache img.pid with
     | None -> false
@@ -849,18 +920,33 @@ let install_image t (img : Smo_record.page_image) dlsn =
       Lsn.(st.dlsn >= dlsn)
   in
   if not newer_exists then begin
+    let cells, ablsns =
+      match reverted with
+      | Some (cells, ablsns) -> (cells, ablsns)
+      | None -> (img.cells, img.ablsns)
+    in
+    let ablsns =
+      List.fold_left
+        (fun abs f ->
+          Tc_id.Map.update f.f_tc
+            (Option.map (Ablsn.truncate ~upto:f.f_stable))
+            abs)
+        ablsns fences
+    in
     let page =
       Page.create ~id:img.pid ~kind:img.kind ~capacity:t.cfg.page_capacity
     in
-    Page.replace_cells page img.cells;
+    Page.replace_cells page cells;
     Page.set_next page img.next;
     Cache.install t.cache page;
-    set_state t img.pid
-      { dlsn; ablsns = img.ablsns; pending = Tc_id.Map.empty }
+    set_state t img.pid { dlsn; ablsns; pending = Tc_id.Map.empty }
   end
 
-let apply_smo t dlsn record =
+let apply_smo t ~fences dlsn record =
+  (* Only fences logged after this record can subtract from it. *)
+  let fences = fences_after fences dlsn in
   match record with
+  | Smo_record.Tc_restart _ -> ()
   | Smo_record.Create_table { table; versioned; root } ->
     if not (Hashtbl.mem t.tables table) then begin
       let tbl =
@@ -882,6 +968,18 @@ let apply_smo t dlsn record =
       let old_kind = if level = 0 then Page.Leaf else Page.Inner in
       let old_page = ensure_page t old_pid ~kind:old_kind in
       let old_st = state_of t old_page in
+      (* Captured before the prune below: a tainted image is replaced by
+         the old page's pre-split content for the moved key range, whose
+         suffix the TC redo re-applies. *)
+      let reverted =
+        if image_tainted fences new_image then
+          Some
+            ( List.filter
+                (fun (k, _) -> String.compare k split_key >= 0)
+                (Page.cells old_page),
+              old_st.ablsns )
+        else None
+      in
       if Lsn.(old_st.dlsn < dlsn) then begin
         let doomed =
           List.filter_map
@@ -895,9 +993,9 @@ let apply_smo t dlsn record =
         old_st.dlsn <- dlsn;
         Cache.mark_dirty t.cache old_page
       end;
-      install_image t new_image dlsn;
+      install_image t ~fences ?reverted new_image dlsn;
       (match new_root with
-      | Some root_img -> install_image t root_img dlsn
+      | Some root_img -> install_image t ~fences root_img dlsn
       | None ->
         let parent = ensure_page t parent_pid ~kind:Page.Inner in
         let parent_st = state_of t parent in
@@ -913,7 +1011,35 @@ let apply_smo t dlsn record =
     match Hashtbl.find_opt t.tables table with
     | None -> ()
     | Some tbl ->
-      install_image t survivor_image dlsn;
+      (* A tainted survivor image is replaced by re-merging the two
+         pages' current (consistent) replayed content. *)
+      let reverted =
+        if image_tainted fences survivor_image then begin
+          let content pid =
+            match Cache.lookup t.cache pid with
+            | Some page -> (Page.cells page, (state_of t page).ablsns)
+            | None -> ([], Tc_id.Map.empty)
+          in
+          let surv_cells, surv_ablsns = content survivor_image.pid in
+          let vict_cells, vict_ablsns = content freed_pid in
+          let merged =
+            Tc_id.Map.merge
+              (fun _ a b ->
+                match (a, b) with
+                | Some a, Some b -> Some (Ablsn.merge a b)
+                | (Some _ as one), None | None, (Some _ as one) -> one
+                | None, None -> None)
+              surv_ablsns vict_ablsns
+          in
+          Some
+            ( List.sort
+                (fun (a, _) (b, _) -> String.compare a b)
+                (surv_cells @ vict_cells),
+              merged )
+        end
+        else None
+      in
+      install_image t ~fences ?reverted survivor_image dlsn;
       Cache.free_page t.cache freed_pid;
       Page_id.Tbl.remove t.states freed_pid;
       (match new_root with
@@ -953,8 +1079,12 @@ let recover_unlatched t =
           ~hooks:(hooks_for t) ~root)
     (read_master t);
   (* 2. Replay the DC-log: system transactions re-execute before any TC
-     redo, out of their original order relative to TC operations. *)
-  Wal.iter_from t.dc_log Lsn.zero (fun dlsn record -> apply_smo t dlsn record);
+     redo, out of their original order relative to TC operations.  The
+     fences are gathered first — a [Tc_restart] strips images logged
+     before it, so replay must know about it ahead of reaching them. *)
+  let fences = collect_fences t in
+  Wal.iter_from t.dc_log Lsn.zero (fun dlsn record ->
+      apply_smo t ~fences dlsn record);
   (* 3. Tables created after the last master write are only in the log;
      make sure every catalogued root exists even if never flushed. *)
   Hashtbl.iter
@@ -964,7 +1094,8 @@ let recover_unlatched t =
   if t.cfg.debug_checks then
     match check t with
     | Ok () -> ()
-    | Error msg -> failwith ("Dc.recover: ill-formed index after replay: " ^ msg)
+    | Error msg ->
+      failwith ("Dc.recover: ill-formed index after replay: " ^ msg)
 
 let recover t = Cache.with_operation_latch t.cache (fun () -> recover_unlatched t)
 
@@ -1001,6 +1132,7 @@ let control t (ctl : Wire.control) =
     Wire.Ack
   | Wire.Checkpoint { tc; new_rssp } ->
     flush_all t;
+    Fault.hit p_checkpoint_mid;
     let granted =
       List.for_all
         (fun pid ->
@@ -1037,22 +1169,28 @@ let control t (ctl : Wire.control) =
        exactly the stable LSN it reported. *)
     t.lwm <- Tc_id.Map.remove tc t.lwm;
     t.eosl <- Tc_id.Map.add tc stable_lsn t.eosl;
+    (* Turn the partial failure into a complete one.  The DC-log's page
+       images may bake in operations beyond the failed TC's stable log;
+       the fence logged here makes replay subtract them — now and in
+       every later recovery, after this restart is long forgotten. *)
+    let complete_restart () =
+      t.escalated <- true;
+      crash t;
+      ignore (Wal.append t.dc_log (Smo_record.Tc_restart { tc; stable_lsn }));
+      Wal.force t.dc_log;
+      recover_unlatched t
+    in
     (match t.cfg.tc_reset_mode with
     | Selective -> (
       try Cache.with_operation_latch t.cache (fun () -> reset_for_tc t ~tc ~stable_lsn)
       with Tainted_reset ->
-        (* A lost operation is baked into every recoverable image of
-           some page: selective reset cannot subtract it.  Escalate to
-           a complete DC recovery; every TC must then redo. *)
-        t.escalated <- true;
+        (* A lost operation is baked into a recoverable image of some
+           page: selective reset cannot subtract it in place.  Escalate
+           to a complete DC recovery that strips the failed TC's
+           unstable effects during image replay. *)
         Instrument.bump t.counters "dc.reset_escalations";
-        crash t;
-        recover_unlatched t)
-    | Complete ->
-      (* Turn the partial failure into a complete one. *)
-      t.escalated <- true;
-      crash t;
-      recover_unlatched t);
+        complete_restart ())
+    | Complete -> complete_restart ());
     Wire.Ack
   | Wire.Restart_end _ ->
     exit_fence t;

@@ -41,6 +41,7 @@ type t =
       new_root : Page_id.t option;
       root : Page_id.t;
     }
+  | Tc_restart of { tc : Tc_id.t; stable_lsn : Untx_util.Lsn.t }
 
 let image_size img =
   List.fold_left
@@ -61,6 +62,7 @@ let size = function
   | Consolidate { table; survivor_image; removed_sep; _ } ->
     24 + String.length table + String.length removed_sep
     + image_size survivor_image
+  | Tc_restart _ -> 12
 
 let pp ppf = function
   | Create_table { table; versioned; root } ->
@@ -73,3 +75,6 @@ let pp ppf = function
   | Consolidate { table; survivor_image; freed_pid; _ } ->
     Format.fprintf ppf "consolidate %s %a <- %a" table Page_id.pp
       survivor_image.pid Page_id.pp freed_pid
+  | Tc_restart { tc; stable_lsn } ->
+    Format.fprintf ppf "tc-restart %a stable=%a" Tc_id.pp tc
+      Untx_util.Lsn.pp stable_lsn

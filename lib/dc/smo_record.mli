@@ -55,6 +55,16 @@ type t =
               freed) *)
       root : Untx_storage.Page_id.t;
     }
+  | Tc_restart of {
+      tc : Untx_util.Tc_id.t;
+      stable_lsn : Untx_util.Lsn.t;
+    }
+      (** A complete restart ran on behalf of this failed TC: every leaf
+          image logged {e before} this fence may bake in effects of the
+          TC's operations above [stable_lsn] — lost history that the
+          restart subtracted.  Logging the fence makes the subtraction
+          durable: any later replay of those images must strip them
+          again, long after the restart itself is forgotten. *)
 
 val size : t -> int
 (** Encoded size in bytes — E9's logical-vs-physical log volume metric. *)

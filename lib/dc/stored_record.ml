@@ -1,11 +1,19 @@
 module Tc_id = Untx_util.Tc_id
+module Lsn = Untx_util.Lsn
 module Codec = Untx_util.Codec
 
 type before = Absent | Null_before | Value_before of string
 
-type t = { value : string; deleted : bool; before : before; writer : Tc_id.t }
+type t = {
+  value : string;
+  deleted : bool;
+  before : before;
+  writer : Tc_id.t;
+  wlsn : Lsn.t;
+}
 
-let plain ~writer value = { value; deleted = false; before = Absent; writer }
+let plain ~writer ~wlsn value =
+  { value; deleted = false; before = Absent; writer; wlsn }
 
 let current t = if t.deleted then None else Some t.value
 
@@ -29,11 +37,12 @@ let encode t =
       before_tag;
       before_val;
       string_of_int (Tc_id.to_int t.writer);
+      string_of_int (Lsn.to_int t.wlsn);
     ]
 
 let decode s =
   match Codec.decode s with
-  | [ value; deleted; before_tag; before_val; writer ] ->
+  | [ value; deleted; before_tag; before_val; writer; wlsn ] ->
     let before =
       match before_tag with
       | "a" -> Absent
@@ -46,6 +55,7 @@ let decode s =
       deleted = String.equal deleted "1";
       before;
       writer = Tc_id.of_int (Codec.decode_int writer);
+      wlsn = Lsn.of_int (Codec.decode_int wlsn);
     }
   | _ -> invalid_arg "Stored_record.decode: bad field count"
 

@@ -13,7 +13,11 @@
       version followed by the intended insert"), so aborting the insert
       removes the record and read-committed readers skip it.
     - [deleted]: a versioned delete keeps the record as a tombstone
-      until the transaction's fate is known. *)
+      until the transaction's fate is known.
+    - [wlsn]: the LSN of the operation that last wrote the record.
+      After a TC failure, effects above the failed TC's stable log must
+      be subtracted from every recoverable page image (Section 5.3.2);
+      the write LSN is what identifies them. *)
 
 type before = Absent | Null_before | Value_before of string
 
@@ -22,9 +26,10 @@ type t = {
   deleted : bool;
   before : before;
   writer : Untx_util.Tc_id.t;
+  wlsn : Untx_util.Lsn.t;
 }
 
-val plain : writer:Untx_util.Tc_id.t -> string -> t
+val plain : writer:Untx_util.Tc_id.t -> wlsn:Untx_util.Lsn.t -> string -> t
 (** An unversioned committed record. *)
 
 val current : t -> string option

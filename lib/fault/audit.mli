@@ -1,0 +1,29 @@
+(** Post-recovery consistency auditor.
+
+    After a chaos cycle (workload → injected crash → recovery →
+    quiesce), this module proves the recovery was correct:
+
+    - {b structure}: every B-tree satisfies its invariants (key order,
+      fence keys, reachability) — [Dc.check];
+    - {b oracle}: a transactional scan sees exactly the shadow map of
+      committed effects — every committed transaction's writes are
+      visible, every aborted or in-flight transaction's are gone;
+    - {b version hygiene}: after quiescing, no record still carries a
+      before-version or a tombstone (all fates were resolved);
+    - {b idempotence}: re-delivering the entire stable log suffix from
+      the redo-scan start point — exactly what one more recovery would
+      resend — changes nothing (the abstract-LSN [included] test and
+      the result memo absorb every duplicate). *)
+
+type report = {
+  violations : string list;  (** empty iff the audit passed *)
+  redelivered : int;  (** stable-suffix operations re-delivered *)
+}
+
+val run :
+  Untx_kernel.Kernel.t ->
+  table:string ->
+  expected:(string * string) list ->
+  report
+(** [run k ~table ~expected] audits a quiesced kernel.  [expected] is
+    the shadow map's committed rows in key order. *)

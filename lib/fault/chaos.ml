@@ -1,0 +1,354 @@
+module Kernel = Untx_kernel.Kernel
+module Transport = Untx_kernel.Transport
+module Tc = Untx_tc.Tc
+module Dc = Untx_dc.Dc
+module Tc_id = Untx_util.Tc_id
+module Rng = Untx_util.Rng
+module Instrument = Untx_util.Instrument
+module Fault = Untx_fault.Fault
+
+type cycle = {
+  c_label : string;
+  c_seed : int;
+  c_fired : string list;
+  c_crashes : int;
+  c_committed : int;
+  c_redelivered : int;
+  c_violations : string list;
+  c_counters : (string * int) list;
+}
+
+let table = "kv"
+
+(* Lossier than Transport.chaotic: drops force the resend/backoff path
+   to carry real weight during both the workload and recovery redo. *)
+let lossy =
+  {
+    Transport.delay_min = 0;
+    delay_max = 2;
+    reorder = true;
+    dup_prob = 0.05;
+    drop_prob = 0.1;
+  }
+
+(* Cycle configuration is derived from the seed: small pages and a tiny
+   cache force splits, evictions and flushes, so the DC-side fault
+   points sit on well-trodden paths. *)
+let make_kernel ~counters ~seed =
+  let policy = if seed mod 3 = 0 then lossy else Transport.reliable in
+  let sync_policy =
+    match seed / 4 mod 3 with
+    | 0 -> Dc.Stall_until_lwm
+    | 1 -> Dc.Bounded 4
+    | _ -> Dc.Full_ablsn
+  in
+  let tc_reset_mode = if seed mod 5 = 0 then Dc.Complete else Dc.Selective in
+  let k =
+    Kernel.create ~counters
+      {
+        Kernel.tc =
+          {
+            (Tc.default_config (Tc_id.of_int 1)) with
+            lwm_every = 8;
+            debug_checks = true;
+          };
+        dc =
+          {
+            Dc.page_capacity = 160;
+            cache_pages = 6;
+            sync_policy;
+            tc_reset_mode;
+            debug_checks = true;
+          };
+        policy;
+        seed;
+        auto_checkpoint_every = (if seed mod 4 = 0 then 7 else 0);
+      }
+  in
+  Kernel.create_table k ~name:table ~versioned:(seed land 1 = 0);
+  k
+
+let commit_staged oracle staged =
+  Hashtbl.iter (fun key v -> Hashtbl.replace oracle key v) staged
+
+let oracle_rows oracle =
+  Hashtbl.fold
+    (fun key v acc -> match v with Some v -> (key, v) :: acc | None -> acc)
+    oracle []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let run_cycle ~label ~plan ~seed ~txns =
+  Fault.disarm ();
+  let counters = Instrument.create () in
+  let rng = Rng.create ~seed in
+  let k = make_kernel ~counters ~seed in
+  let oracle : (string, string option) Hashtbl.t = Hashtbl.create 128 in
+  let crashes = ref 0 and committed = ref 0 in
+  let handle = function
+    | Fault.Injected_crash p ->
+      incr crashes;
+      Kernel.crash_for_point k p
+    | Fault.Io_error p ->
+      (* The bounded retry in Disk gave up: an unrecovered media error.
+         Treat it as the DC host dying.  Prob rules would keep firing
+         during recovery reads, so the plan comes down first. *)
+      incr crashes;
+      Fault.disarm ();
+      Kernel.crash_for_point k p
+    | e -> raise e
+  in
+  (* Probe a transaction's unique marker key to learn its fate after an
+     ambiguously interrupted commit: the marker is the transaction's
+     first write, so it is visible iff the transaction committed. *)
+  let probe marker =
+    let attempt () =
+      let txn = Kernel.begin_txn k in
+      let v =
+        match Kernel.read k txn ~table ~key:marker with
+        | `Ok v -> v
+        | `Blocked | `Fail _ -> None
+      in
+      (match Kernel.commit k txn with
+      | `Ok () -> ()
+      | `Blocked | `Fail _ ->
+        if Tc.is_active txn then Kernel.abort k txn ~reason:"chaos probe");
+      v
+    in
+    try attempt ()
+    with (Fault.Injected_crash _ | Fault.Io_error _) as e ->
+      handle e;
+      (try attempt () with Fault.Injected_crash _ | Fault.Io_error _ -> None)
+  in
+  Fault.arm ~seed plan;
+  for i = 0 to txns - 1 do
+    if i = txns / 2 then begin
+      (* Mid-workload maintenance: quiesce then checkpoint, so the
+         checkpoint fault points sit on a realistic RSSP advance. *)
+      try
+        Kernel.quiesce k;
+        ignore (Kernel.checkpoint k)
+      with (Fault.Injected_crash _ | Fault.Io_error _) as e -> handle e
+    end;
+    let marker = Printf.sprintf "m%03d" i in
+    let staged : (string, string option) Hashtbl.t = Hashtbl.create 8 in
+    let cur = ref None in
+    let phase = ref `Body in
+    let resolve_by_marker () =
+      if probe marker <> None then begin
+        incr committed;
+        commit_staged oracle staged
+      end
+    in
+    try
+      let txn = Kernel.begin_txn k in
+      cur := Some txn;
+      (match Kernel.insert k txn ~table ~key:marker ~value:"1" with
+      | `Ok () -> Hashtbl.replace staged marker (Some "1")
+      | `Blocked | `Fail _ -> ());
+      (* Late in the cycle deletes dominate, to drive pages toward
+         underflow and give consolidation points a chance to fire. *)
+      let delete_bias = if 3 * i > 2 * txns then 0.7 else 0.25 in
+      for _ = 1 to 1 + Rng.int rng 4 do
+        let key = Printf.sprintf "k%02d" (Rng.int rng 50) in
+        let current =
+          if Hashtbl.mem staged key then Hashtbl.find staged key
+          else Option.join (Hashtbl.find_opt oracle key)
+        in
+        match current with
+        | None -> (
+          let value = Printf.sprintf "v%06d" (Rng.int rng 1_000_000) in
+          match Kernel.insert k txn ~table ~key ~value with
+          | `Ok () -> Hashtbl.replace staged key (Some value)
+          | `Blocked | `Fail _ -> ())
+        | Some _ ->
+          if Rng.chance rng delete_bias then (
+            match Kernel.delete k txn ~table ~key with
+            | `Ok () -> Hashtbl.replace staged key None
+            | `Blocked | `Fail _ -> ())
+          else
+            let value = Printf.sprintf "v%06d" (Rng.int rng 1_000_000) in
+            (match Kernel.update k txn ~table ~key ~value with
+            | `Ok () -> Hashtbl.replace staged key (Some value)
+            | `Blocked | `Fail _ -> ())
+      done;
+      phase := `Commit;
+      match Kernel.commit k txn with
+      | `Ok () ->
+        incr committed;
+        commit_staged oracle staged
+      | `Blocked | `Fail _ -> ()
+    with (Fault.Injected_crash p | Fault.Io_error p) as e -> (
+      handle e;
+      let component = Kernel.component_of_point p in
+      match (!phase, component, !cur) with
+      | `Body, `Tc, _ ->
+        (* The transaction died with the TC; recovery rolled it back and
+           the handle is stale.  The oracle never saw its writes. *)
+        ()
+      | `Body, `Dc, Some txn ->
+        (* The TC survived, so the transaction is a live loser holding
+           locks: roll it back like suite_recovery's open_loser. *)
+        if Tc.is_active txn then
+          Kernel.abort k txn ~reason:"chaos: rollback after DC crash"
+      | `Body, `Dc, None -> ()
+      | `Commit, `Tc, _ ->
+        (* The Commit record may or may not have reached the stable log
+           before the kill; the marker knows. *)
+        resolve_by_marker ()
+      | `Commit, `Dc, Some txn ->
+        (* The TC survived, so it must finish what it started: commit is
+           re-entrant (a second Commit record is benign, cleanups are
+           idempotent).  A further planned kill can land inside the
+           retry itself; while the transaction stays active it still
+           holds its locks, so keep retrying — the plan is finite — and
+           roll back as a last resort rather than leak the locks. *)
+        let rec settle attempts =
+          if not (Tc.is_active txn) then
+            (* Tc.commit had already finished (the crash hit the
+               post-commit auto-checkpoint); the marker settles it. *)
+            resolve_by_marker ()
+          else if attempts = 0 then (
+            Kernel.abort k txn ~reason:"chaos: commit retries exhausted";
+            resolve_by_marker ())
+          else
+            try
+              match Kernel.commit k txn with
+              | `Ok () ->
+                incr committed;
+                commit_staged oracle staged
+              | `Blocked | `Fail _ -> ()
+            with (Fault.Injected_crash _ | Fault.Io_error _) as e ->
+              handle e;
+              settle (attempts - 1)
+        in
+        settle 4
+      | `Commit, `Dc, None -> ())
+  done;
+  (* Quiesce with the plan still armed: rules that only trigger under
+     drain pressure get a last chance, and a kill here must be as
+     recoverable as any other. *)
+  let rec quiesce_settle attempts =
+    try Kernel.quiesce k
+    with (Fault.Injected_crash _ | Fault.Io_error _) as e when attempts > 0 ->
+      handle e;
+      quiesce_settle (attempts - 1)
+  in
+  quiesce_settle 4;
+  let fired = Fault.fired_points () in
+  Fault.disarm ();
+  let report = Audit.run k ~table ~expected:(oracle_rows oracle) in
+  {
+    c_label = label;
+    c_seed = seed;
+    c_fired = fired;
+    c_crashes = !crashes;
+    c_committed = !committed;
+    c_redelivered = report.Audit.redelivered;
+    c_violations = report.Audit.violations;
+    c_counters = Instrument.snapshot counters;
+  }
+
+(* --- the standard plan sweep ------------------------------------------ *)
+
+let plans () =
+  let crash_sweeps =
+    [
+      ("wal.tc.force.begin", [ 1; 4; 9 ]);
+      ("wal.tc.force.mid", [ 1; 2; 7 ]);
+      ("wal.dc.force.begin", [ 1; 3; 8 ]);
+      ("wal.dc.force.mid", [ 1; 2; 4 ]);
+      ("dc.flush.before_page_write", [ 1; 3; 7 ]);
+      ("dc.flush.after_page_write", [ 1; 3; 7 ]);
+      ("dc.smo.split.mid", [ 1; 2; 3 ]);
+      ("dc.smo.consolidate.before_force", [ 1; 2 ]);
+      ("dc.checkpoint.mid", [ 1 ]);
+      ("tc.commit.before_force", [ 1; 6; 14 ]);
+      ("tc.commit.after_force", [ 1; 6; 14 ]);
+      ("disk.page_write.torn", [ 1; 3; 6 ]);
+    ]
+  in
+  let singles =
+    List.concat_map
+      (fun (point, nths) ->
+        List.map
+          (fun n ->
+            (Printf.sprintf "%s@%d" point n, [ Fault.crash_at point n ]))
+          nths)
+      crash_sweeps
+  in
+  let pair a na b nb =
+    ( Printf.sprintf "%s@%d+%s@%d" a na b nb,
+      [ Fault.crash_at a na; Fault.crash_at b nb ] )
+  in
+  let doubles =
+    [
+      (* Crash again while recovering from the first crash. *)
+      pair "tc.commit.before_force" 2 "tc.recover.mid" 1;
+      pair "tc.commit.after_force" 3 "tc.recover.mid" 3;
+      pair "wal.tc.force.mid" 2 "tc.recover.mid" 2;
+      (* Two independent DC kills in one cycle. *)
+      pair "dc.flush.after_page_write" 2 "dc.flush.before_page_write" 5;
+      (* Torn write, then a later crash over the repaired page. *)
+      pair "disk.page_write.torn" 1 "wal.dc.force.begin" 6;
+    ]
+  in
+  let io =
+    [
+      ("disk.page_write.io@1", [ Fault.io_error_at "disk.page_write.io" 1 ]);
+      ("disk.page_read.io@2", [ Fault.io_error_at "disk.page_read.io" 2 ]);
+      ( "disk.page_write.io~3%",
+        [ Fault.io_error_with_prob "disk.page_write.io" 0.03 ] );
+    ]
+  in
+  singles @ doubles @ io
+
+type summary = {
+  s_cycles : int;
+  s_fired : int;
+  s_crashes : int;
+  s_violating : cycle list;
+  s_fires_by_point : (string * int) list;
+  s_counters : (string * int) list;
+}
+
+let summarize cycles =
+  let fires = Hashtbl.create 32 in
+  let counters = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun p ->
+          Hashtbl.replace fires p
+            (1 + Option.value ~default:0 (Hashtbl.find_opt fires p)))
+        c.c_fired;
+      List.iter
+        (fun (name, v) ->
+          Hashtbl.replace counters name
+            (v + Option.value ~default:0 (Hashtbl.find_opt counters name)))
+        c.c_counters)
+    cycles;
+  let sorted tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  {
+    s_cycles = List.length cycles;
+    s_fired = List.length (List.filter (fun c -> c.c_fired <> []) cycles);
+    s_crashes = List.fold_left (fun acc c -> acc + c.c_crashes) 0 cycles;
+    s_violating = List.filter (fun c -> c.c_violations <> []) cycles;
+    s_fires_by_point = sorted fires;
+    s_counters = sorted counters;
+  }
+
+let soak ?(base_seed = 0xC1D9) ?(seeds_per_plan = 7) ?(txns = 24) () =
+  let cycles =
+    List.concat
+      (List.mapi
+         (fun pi (label, plan) ->
+           List.init seeds_per_plan (fun si ->
+               run_cycle ~label ~plan
+                 ~seed:(base_seed + (131 * pi) + (17 * si))
+                 ~txns))
+         (plans ()))
+  in
+  (cycles, summarize cycles)

@@ -1,0 +1,57 @@
+(** Deterministic chaos-soak engine.
+
+    One {e cycle} builds a fresh kernel from a seed, runs a randomized
+    transactional workload against a shadow-map oracle while a fault
+    plan is armed, translates every injected crash into a hard kill of
+    the owning component ([Kernel.crash_for_point]), quiesces through
+    the resend path, and hands the survivor to {!Audit.run}.
+
+    Everything — workload, transport policy, fault plan, crash instant —
+    is a pure function of the seed and the plan, so any violation is
+    reproducible by rerunning the cycle with the same arguments.
+
+    A commit interrupted by a crash is ambiguous (the Commit record may
+    or may not have reached the stable log).  Every transaction's first
+    write is a unique marker key; after a TC crash the engine probes the
+    marker to learn the transaction's fate and updates the oracle
+    accordingly — exactly the "did my transaction commit?" probe an
+    application would issue. *)
+
+type cycle = {
+  c_label : string;  (** human-readable plan description *)
+  c_seed : int;
+  c_fired : string list;  (** fault points that fired, in firing order *)
+  c_crashes : int;  (** injected hard kills (incl. during recovery) *)
+  c_committed : int;  (** transactions the oracle counts as committed *)
+  c_redelivered : int;  (** stable ops re-delivered by the audit *)
+  c_violations : string list;
+  c_counters : (string * int) list;  (** Instrument snapshot *)
+}
+
+val run_cycle :
+  label:string ->
+  plan:Untx_fault.Fault.rule list ->
+  seed:int ->
+  txns:int ->
+  cycle
+(** Run one workload→crash→recover→audit cycle. *)
+
+val plans : unit -> (string * Untx_fault.Fault.rule list) list
+(** The standard plan sweep: every registered crash point at several
+    Nth-hit positions, double-failure plans that also crash during
+    recovery (["tc.recover.mid"]), and transient-I/O-error plans. *)
+
+type summary = {
+  s_cycles : int;
+  s_fired : int;  (** cycles in which at least one rule fired *)
+  s_crashes : int;
+  s_violating : cycle list;
+  s_fires_by_point : (string * int) list;
+  s_counters : (string * int) list;  (** summed across cycles *)
+}
+
+val soak :
+  ?base_seed:int -> ?seeds_per_plan:int -> ?txns:int -> unit ->
+  cycle list * summary
+(** Sweep every plan from {!plans} across [seeds_per_plan] seeds
+    (default 7, [base_seed] 0xC1D9, [txns] 24 per cycle). *)

@@ -34,7 +34,7 @@ let dc_name = "dc1"
 let create ?(counters = Instrument.global) config =
   let dc = Dc.create ~counters config.dc in
   let transport =
-    Transport.create ~policy:config.policy ~seed:config.seed
+    Transport.create ~counters ~policy:config.policy ~seed:config.seed
       ~dc:(fun req -> Dc.perform dc req)
       ()
   in
@@ -96,9 +96,11 @@ let abort t txn ~reason = Tc.abort t.k_tc txn ~reason
 
 let checkpoint t = Tc.checkpoint t.k_tc
 
-let quiesce t =
-  ignore (Transport.flush t.k_transport);
-  Tc.quiesce t.k_tc
+(* Quiescing goes through the TC's await/resend loop, not
+   [Transport.flush]: outstanding requests complete because the contracts
+   (unique ids, resend with backoff, idempotence) work, not because the
+   harness cheats the network. *)
+let quiesce t = Tc.quiesce t.k_tc
 
 let crash_dc t =
   (* Messages in transit die with the DC's sockets. *)
@@ -118,3 +120,27 @@ let crash_both t =
   Tc.crash t.k_tc;
   Dc.recover t.k_dc;
   Tc.recover t.k_tc
+
+(* --- fault-injection harness glue --------------------------------- *)
+
+let component_of_point point =
+  if
+    String.starts_with ~prefix:"tc." point
+    || String.starts_with ~prefix:"wal.tc." point
+  then `Tc
+  else `Dc
+(* dc.*, wal.dc.*, disk.* and cache points all live in the DC process. *)
+
+let crash_for_point t point =
+  let rec go attempts point =
+    try
+      match component_of_point point with
+      | `Tc -> crash_tc t
+      | `Dc -> crash_dc t
+    with Untx_fault.Fault.Injected_crash p when attempts > 0 ->
+      (* The plan fired again *during* recovery (e.g. "tc.recover.mid"):
+         the freshly restarted component dies too.  Nth rules are
+         consumed when they fire, so this terminates. *)
+      go (attempts - 1) p
+  in
+  go 8 point

@@ -1,4 +1,5 @@
 module Rng = Untx_util.Rng
+module Instrument = Untx_util.Instrument
 module Wire = Untx_msg.Wire
 
 type policy = {
@@ -21,6 +22,7 @@ type t = {
   mutable policy : policy;
   rng : Rng.t;
   dc : Wire.request -> Wire.reply;
+  counters : Instrument.t;
   mutable now : int;
   mutable seq : int;
   mutable to_dc : Wire.request item list;
@@ -28,13 +30,15 @@ type t = {
   mutable delivered : int;
   mutable dropped : int;
   mutable duplicated : int;
+  mutable force_delivered : int;
 }
 
-let create ?(policy = reliable) ~seed ~dc () =
+let create ?(counters = Instrument.global) ?(policy = reliable) ~seed ~dc () =
   {
     policy;
     rng = Rng.create ~seed;
     dc;
+    counters;
     now = 0;
     seq = 0;
     to_dc = [];
@@ -42,6 +46,7 @@ let create ?(policy = reliable) ~seed ~dc () =
     delivered = 0;
     dropped = 0;
     duplicated = 0;
+    force_delivered = 0;
   }
 
 let set_policy t policy = t.policy <- policy
@@ -51,10 +56,12 @@ let schedule t queue payload =
   let copies =
     if Rng.chance t.rng p.drop_prob then begin
       t.dropped <- t.dropped + 1;
+      Instrument.bump t.counters "transport.dropped";
       0
     end
     else if Rng.chance t.rng p.dup_prob then begin
       t.duplicated <- t.duplicated + 1;
+      Instrument.bump t.counters "transport.duplicated";
       2
     end
     else 1
@@ -95,6 +102,7 @@ let deliver_requests t =
   List.iter
     (fun item ->
       t.delivered <- t.delivered + 1;
+      Instrument.bump t.counters "transport.delivered";
       let reply = t.dc item.payload in
       t.to_tc <- schedule t t.to_tc reply)
     due
@@ -109,16 +117,23 @@ let drain t =
 let flush t =
   let saved = t.policy in
   t.policy <- reliable;
-  let out = ref [] in
+  let out = ref [] (* newest first; reversed on return *) in
+  let n = ref 0 in
   while t.to_dc <> [] || t.to_tc <> [] do
     t.now <- t.now + 1000;
     deliver_requests t;
     let due, rest = take_due t t.to_tc in
     t.to_tc <- rest;
-    out := !out @ List.map (fun item -> item.payload) due
+    List.iter
+      (fun item ->
+        incr n;
+        out := item.payload :: !out)
+      due
   done;
   t.policy <- saved;
-  !out
+  t.force_delivered <- t.force_delivered + !n;
+  Instrument.bump_by t.counters "transport.flush_delivered" !n;
+  List.rev !out
 
 let drop_in_flight t =
   t.to_dc <- [];
@@ -131,3 +146,5 @@ let requests_delivered t = t.delivered
 let dropped t = t.dropped
 
 let duplicated t = t.duplicated
+
+let force_delivered t = t.force_delivered

@@ -27,7 +27,17 @@ val chaotic : policy
 
 type t
 
-val create : ?policy:policy -> seed:int -> dc:(Untx_msg.Wire.request -> Untx_msg.Wire.reply) -> unit -> t
+val create :
+  ?counters:Untx_util.Instrument.t ->
+  ?policy:policy ->
+  seed:int ->
+  dc:(Untx_msg.Wire.request -> Untx_msg.Wire.reply) ->
+  unit ->
+  t
+(** Delivery, drop, duplication and flush events are mirrored into
+    [counters] (["transport.delivered"], ["transport.dropped"],
+    ["transport.duplicated"], ["transport.flush_delivered"]) so
+    experiments report them uniformly with everything else. *)
 
 val set_policy : t -> policy -> unit
 
@@ -37,7 +47,9 @@ val drain : t -> Untx_msg.Wire.reply list
 (** Advance one tick and surface due replies. *)
 
 val flush : t -> Untx_msg.Wire.reply list
-(** Deliver everything in flight (reliably), for quiescing. *)
+(** Deliver everything in flight (reliably).  A test-only escape hatch:
+    the kernel quiesces through the TC's resend path instead, which
+    exercises the paper's contracts. *)
 
 val drop_in_flight : t -> unit
 (** Lose every message currently in transit (component crash). *)
@@ -49,3 +61,6 @@ val requests_delivered : t -> int
 val dropped : t -> int
 
 val duplicated : t -> int
+
+val force_delivered : t -> int
+(** Total messages surfaced by {!flush} calls. *)

@@ -1,4 +1,12 @@
 module Instrument = Untx_util.Instrument
+module Fault = Untx_fault.Fault
+
+(* The cache is the DC's buffer manager, hence the dc.* point names:
+   a crash on either side of the page write is the classic
+   half-flushed-checkpoint scenario of paper Section 5.3. *)
+let p_flush_before = Fault.declare "dc.flush.before_page_write"
+
+let p_flush_after = Fault.declare "dc.flush.after_page_write"
 
 type entry = { page : Page.t; mutable dirty : bool; mutable ticket : int }
 
@@ -49,7 +57,9 @@ let flush_entry t entry =
     end
     else begin
       t.prepare_flush entry.page;
+      Fault.hit p_flush_before;
       Disk.write t.disk entry.page;
+      Fault.hit p_flush_after;
       entry.dirty <- false;
       Instrument.bump t.counters "cache.flushes";
       true

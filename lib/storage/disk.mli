@@ -8,7 +8,14 @@
 
     Pages written here are deep-copied, so later in-cache mutation cannot
     leak into "stable" state — the classic bug this substrate must make
-    impossible. *)
+    impossible.
+
+    Fault points (see {!Untx_fault.Fault}): ["disk.page_write.io"] and
+    ["disk.page_read.io"] inject transient I/O errors that are retried a
+    bounded number of times before propagating; ["disk.page_write.torn"]
+    simulates a crash mid-write that persists only a prefix of the new
+    image — the torn image fails its checksum on the next {!read}, which
+    falls back to the last fully written image. *)
 
 type t
 
@@ -49,3 +56,12 @@ val reads : t -> int
 val writes : t -> int
 
 val bytes_written : t -> int
+
+val io_retries : t -> int
+(** Transient injected I/O errors absorbed by retrying. *)
+
+val torn_writes : t -> int
+(** Injected torn writes (crash mid-write, prefix persisted). *)
+
+val torn_detected : t -> int
+(** Torn images detected (checksum) and discarded by {!read}. *)

@@ -2,6 +2,7 @@ module Lsn = Untx_util.Lsn
 module Tc_id = Untx_util.Tc_id
 module Instrument = Untx_util.Instrument
 module Wal = Untx_wal.Wal
+module Fault = Untx_fault.Fault
 module Op = Untx_msg.Op
 module Wire = Untx_msg.Wire
 
@@ -12,6 +13,8 @@ type config = {
   cc_protocol : cc_protocol;
   lwm_every : int;
   resend_after : int;
+  resend_backoff_max : int;
+  resend_max_retries : int;
   max_pump_rounds : int;
   pipeline_writes : bool;
   combine_watermarks : bool;
@@ -25,12 +28,20 @@ let default_config id =
     cc_protocol = Key_locks;
     lwm_every = 16;
     resend_after = 4;
+    resend_backoff_max = 64;
+    resend_max_retries = 32;
     max_pump_rounds = 100_000;
     pipeline_writes = true;
     combine_watermarks = false;
     group_commit = 1;
     debug_checks = false;
   }
+
+let p_commit_before_force = Fault.declare "tc.commit.before_force"
+
+let p_commit_after_force = Fault.declare "tc.commit.after_force"
+
+let p_recover_mid = Fault.declare "tc.recover.mid"
 
 type dc_link = {
   dc_name : string;
@@ -60,9 +71,15 @@ type txn = {
 type pending = {
   p_req : Wire.request;
   p_link : dc_link;
-  mutable p_age : int;
+  mutable p_age : int; (* stalled pump rounds since last (re)send *)
+  mutable p_backoff : int; (* rounds to wait before the next resend *)
+  mutable p_retries : int;
   p_xid : int option;
   p_wants_reply : bool;
+  mutable p_fenced : bool;
+      (* the target DC restarted and the redo scan owns this request: it
+         must not resend (or count as an in-flight conflict) until the
+         scan re-dispatches it at its place in LSN order *)
 }
 
 type 'a outcome = [ `Ok of 'a | `Blocked | `Fail of string ]
@@ -99,7 +116,7 @@ let create ?(counters = Instrument.global) cfg =
   {
     cfg;
     counters;
-    log = Wal.create ~counters ~size:Log_record.size ();
+    log = Wal.create ~counters ~label:"wal.tc" ~size:Log_record.size ();
     locks = Lock_mgr.create ();
     links = Hashtbl.create 4;
     routes = Hashtbl.create 16;
@@ -202,8 +219,9 @@ let send_lwm t =
 
 let dispatch t link (req : Wire.request) ~xid ~wants_reply =
   Hashtbl.replace t.pendings (Lsn.to_int req.lsn)
-    { p_req = req; p_link = link; p_age = 0; p_xid = xid;
-      p_wants_reply = wants_reply };
+    { p_req = req; p_link = link; p_age = 0;
+      p_backoff = t.cfg.resend_after; p_retries = 0; p_xid = xid;
+      p_wants_reply = wants_reply; p_fenced = false };
   t.outstanding <- Lsn.Set.add req.lsn t.outstanding;
   (match xid with
   | Some x -> (
@@ -247,15 +265,31 @@ let pump t =
     t.links;
   !progressed
 
+(* A reply that never arrives is indistinguishable from a slow one; the
+   unique-request-id + idempotence contract makes resending always safe,
+   so the TC resends with bounded exponential backoff.  A request that
+   exhausts its retry budget is a harness bug (the DC is simulated in
+   the same process), so it fails loudly rather than hanging in
+   [await]. *)
 let resend_stale t =
   Hashtbl.iter
     (fun _ p ->
-      p.p_age <- p.p_age + 1;
-      if p.p_age >= t.cfg.resend_after then begin
-        p.p_age <- 0;
-        t.resend_count <- t.resend_count + 1;
-        Instrument.bump t.counters "tc.resends";
-        p.p_link.send p.p_req
+      if not p.p_fenced then begin
+        p.p_age <- p.p_age + 1;
+        if p.p_age >= p.p_backoff then begin
+          if p.p_retries >= t.cfg.resend_max_retries then begin
+            Instrument.bump t.counters "tc.request_timeouts";
+            failwith
+              (Printf.sprintf "Tc: request %d timed out after %d resends"
+                 (Lsn.to_int p.p_req.lsn) p.p_retries)
+          end;
+          p.p_age <- 0;
+          p.p_retries <- p.p_retries + 1;
+          p.p_backoff <- Stdlib.min (2 * p.p_backoff) t.cfg.resend_backoff_max;
+          t.resend_count <- t.resend_count + 1;
+          Instrument.bump t.counters "tc.resends";
+          p.p_link.send p.p_req
+        end
       end)
     t.pendings
 
@@ -278,12 +312,15 @@ let await_reply t lsn =
   Hashtbl.remove t.completed key;
   r
 
-(* The TC's obligation: never two conflicting operations in flight. *)
+(* The TC's obligation: never two conflicting operations in flight.
+   Fenced pendings don't count: their messages died with the DC, and the
+   redo scan is about to re-dispatch them in LSN order. *)
 let await_conflicts t op =
   await t (fun () ->
       not
         (Hashtbl.fold
-           (fun _ p acc -> acc || Op.conflicts p.p_req.Wire.op op)
+           (fun _ p acc ->
+             acc || ((not p.p_fenced) && Op.conflicts p.p_req.Wire.op op))
            t.pendings false))
 
 (* A synchronous unlogged request (reads, probes, scans): unique request
@@ -568,8 +605,14 @@ let scan_fetch_ahead t txn link ~table ~from_key ~limit =
           let verify = probe t link ~table ~from_key:cursor ~limit:batch in
           if verify <> keys then loop cursor (* speculate again *)
           else begin
+            (* The DC counts only visible rows toward the limit, so the
+               reply can run past the probed (and locked) window when it
+               skips invisible records; keep only rows we hold locks for
+               — the tail is re-fetched by the next batch. *)
+            let last = List.nth keys (List.length keys - 1) in
             let pairs =
               scan_rows t link ~table ~from_key:cursor ~limit:(List.length keys)
+              |> List.filter (fun (k, _) -> String.compare k last <= 0)
             in
             List.iter
               (fun (k, v) ->
@@ -788,7 +831,9 @@ let rec commit t txn =
       t.unforced_commits <- t.unforced_commits + 1;
       if t.unforced_commits >= Stdlib.max 1 t.cfg.group_commit then begin
         t.unforced_commits <- 0;
+        Fault.hit p_commit_before_force;
         Wal.force t.log;
+        Fault.hit p_commit_after_force;
         send_eosl t
       end;
       List.iter
@@ -884,10 +929,10 @@ type analysis = {
   mutable a_ops : (Lsn.t * Op.t * Op.t option) list; (* newest first *)
 }
 
-let resend_logged t lsn op =
+let resend_logged ?xid t lsn op =
   let link = route_op t op in
   await_conflicts t op;
-  dispatch t link { Wire.tc = t.cfg.id; lsn; op } ~xid:None ~wants_reply:true;
+  dispatch t link { Wire.tc = t.cfg.id; lsn; op } ~xid ~wants_reply:true;
   ignore (await_reply t lsn);
   (* Redo is sequential in LSN order, so once this operation is
      re-acknowledged every operation at or below it is settled. *)
@@ -929,7 +974,8 @@ let recover t =
   Wal.iter_from t.log t.rssp (fun lsn record ->
       match record with
       | Log_record.Op_log { op; _ } | Log_record.Compensation { op; _ } ->
-        resend_logged t lsn op
+        resend_logged t lsn op;
+        Fault.hit p_recover_mid
       | _ -> ());
   t.lwm_cap <- None;
   (* Undo losers; finish interrupted post-commit version cleanup. *)
@@ -988,17 +1034,37 @@ let recover t =
 let on_dc_restart t ~dc =
   (* The DC rebuilt itself from stable state; every logged operation from
      the redo scan start point may be missing there.  Resend them (the
-     DC's idempotence test absorbs the ones it still has), then let
-     normal resend handle still-pending requests. *)
+     DC's idempotence test absorbs the ones it still has). *)
   let link =
     match Hashtbl.find_opt t.links dc with
     | Some link -> link
     | None -> invalid_arg ("Tc.on_dc_restart: unknown DC " ^ dc)
   in
+  (* Replies to the DC's pre-crash requests died with it.  Letting the
+     backoff path resend those pendings would race the redo cursor: a
+     later operation could reach the rebuilt DC before an earlier one on
+     the same key, be marked applied against near-empty state, and make
+     the in-order redo of that LSN absorb as a duplicate — un-doing
+     history.  Instead, fence them in place (suppressing resend and the
+     conflict test) and let the scan re-dispatch each at its place in
+     LSN order, keeping its transaction binding.  Fencing rather than
+     removing keeps this re-runnable: if the plan kills the DC again
+     mid-scan, the next restart finds the still-fenced survivors and
+     folds them in again. *)
+  Hashtbl.iter
+    (fun _ p -> if String.equal p.p_link.dc_name dc then p.p_fenced <- true)
+    t.pendings;
   let resend lsn record =
     match record with
     | Log_record.Op_log { op; _ } | Log_record.Compensation { op; _ } ->
-      if String.equal (route_op t op).dc_name dc then resend_logged t lsn op
+      if String.equal (route_op t op).dc_name dc then begin
+        let xid =
+          match Hashtbl.find_opt t.pendings (Lsn.to_int lsn) with
+          | Some p when p.p_fenced -> p.p_xid
+          | _ -> None
+        in
+        resend_logged ?xid t lsn op
+      end
     | _ -> ()
   in
   ignore (link.control (Wire.Redo_fence_begin { tc = t.cfg.id }));
@@ -1007,10 +1073,26 @@ let on_dc_restart t ~dc =
   Wal.iter_volatile t.log resend;
   t.lwm_cap <- None;
   ignore (link.control (Wire.Redo_fence_end { tc = t.cfg.id }));
-  Hashtbl.iter
-    (fun _ p ->
-      if String.equal p.p_link.dc_name dc then p.p_link.send p.p_req)
-    t.pendings
+  (* Any pending still fenced was never logged: a synchronous read whose
+     awaiting caller unwound with the crash.  Nothing will ever consume
+     its reply; retire it. *)
+  let dead =
+    Hashtbl.fold
+      (fun key p acc -> if p.p_fenced then (key, p) :: acc else acc)
+      t.pendings []
+  in
+  List.iter
+    (fun (key, p) ->
+      Hashtbl.remove t.pendings key;
+      t.outstanding <- Lsn.Set.remove p.p_req.Wire.lsn t.outstanding;
+      match p.p_xid with
+      | Some x -> (
+        match Hashtbl.find_opt t.txns x with
+        | Some txn ->
+          txn.outstanding <- Lsn.Set.remove p.p_req.Wire.lsn txn.outstanding
+        | None -> ())
+      | None -> ())
+    dead
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)
@@ -1032,5 +1114,12 @@ let lock_acquisitions t = Lock_mgr.total_acquisitions t.locks
 let messages_sent t = t.msgs
 
 let resends t = t.resend_count
+
+let iter_stable_ops t f =
+  Wal.iter_from t.log t.rssp (fun lsn record ->
+      match record with
+      | Log_record.Op_log { op; _ } | Log_record.Compensation { op; _ } ->
+        f lsn op
+      | _ -> ())
 
 let dump_locks t = Lock_mgr.dump t.locks

@@ -39,6 +39,13 @@ type config = {
   cc_protocol : cc_protocol;
   lwm_every : int;  (** send a low-water mark every n acknowledged ops *)
   resend_after : int;  (** pump rounds without progress before resending *)
+  resend_backoff_max : int;
+      (** the resend interval doubles after every resend of a request
+          (exponential backoff), capped at this many stalled rounds *)
+  resend_max_retries : int;
+      (** per-request resend budget; exhausting it raises (bug guard —
+          with an in-process DC a request can only be lost, not the DC
+          itself), counted as ["tc.request_timeouts"] *)
   max_pump_rounds : int;  (** give up (bug guard) after this many stalls *)
   pipeline_writes : bool;
       (** dispatch versioned-table writes without awaiting each ack *)
@@ -186,6 +193,12 @@ val lock_acquisitions : t -> int
 val messages_sent : t -> int
 
 val resends : t -> int
+
+val iter_stable_ops :
+  t -> (Untx_util.Lsn.t -> Untx_msg.Op.t -> unit) -> unit
+(** Visit every operation in the stable log from the redo scan start
+    point, in LSN order — the exact suffix recovery would resend.  The
+    post-recovery auditor re-delivers it to prove idempotence. *)
 
 val dump_locks : t -> string
 (** Lock-table diagnostics. *)

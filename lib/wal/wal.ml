@@ -1,9 +1,12 @@
 module Lsn = Untx_util.Lsn
 module Instrument = Untx_util.Instrument
+module Fault = Untx_fault.Fault
 
 type 'a t = {
   size : 'a -> int;
   counters : Instrument.t;
+  p_force_begin : string;
+  p_force_mid : string;
   mutable stable : 'a Lsn.Map.t;
   mutable volatile : (Lsn.t * 'a) list; (* newest first *)
   mutable next_lsn : Lsn.t;
@@ -12,10 +15,12 @@ type 'a t = {
   mutable appended_bytes : int;
 }
 
-let create ?(counters = Instrument.global) ~size () =
+let create ?(counters = Instrument.global) ?(label = "wal") ~size () =
   {
     size;
     counters;
+    p_force_begin = Fault.declare (label ^ ".force.begin");
+    p_force_mid = Fault.declare (label ^ ".force.mid");
     stable = Lsn.Map.empty;
     volatile = [];
     next_lsn = Lsn.next Lsn.zero;
@@ -39,11 +44,19 @@ let append t record =
 let reserve t = fresh_lsn t
 
 let force t =
+  Fault.hit t.p_force_begin;
   t.forces <- t.forces + 1;
   Instrument.bump t.counters "wal.forces";
+  (* Records stabilize oldest-first, one at a time, with a fault point
+     between them: a crash mid-force leaves a stable *prefix* of the
+     batch (the torn-log-tail scenario), which the subsequent [crash]
+     preserves because stable state is never rolled back. *)
   List.iter
-    (fun (lsn, record) -> t.stable <- Lsn.Map.add lsn record t.stable)
-    t.volatile;
+    (fun (lsn, record) ->
+      t.stable <- Lsn.Map.add lsn record t.stable;
+      if Lsn.(t.stable_lsn < lsn) then t.stable_lsn <- lsn;
+      Fault.hit t.p_force_mid)
+    (List.rev t.volatile);
   t.volatile <- [];
   (* Even when the highest records were [reserve]d (no payload), every
      assigned LSN below [next_lsn] is now covered by stable state. *)

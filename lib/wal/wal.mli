@@ -16,9 +16,19 @@
 type 'a t
 
 val create :
-  ?counters:Untx_util.Instrument.t -> size:('a -> int) -> unit -> 'a t
+  ?counters:Untx_util.Instrument.t ->
+  ?label:string ->
+  size:('a -> int) ->
+  unit ->
+  'a t
 (** [size] measures a record's encoded size in bytes, for log-volume
-    accounting (E9 compares logical vs physical SMO logging by bytes). *)
+    accounting (E9 compares logical vs physical SMO logging by bytes).
+
+    [label] (default ["wal"]) names this log's fault points:
+    [<label>.force.begin] fires before any record stabilizes and
+    [<label>.force.mid] after each one, so a crash plan can leave a
+    stable prefix of a forced batch.  The TC's log uses ["wal.tc"], the
+    DC's ["wal.dc"]. *)
 
 val append : 'a t -> 'a -> Untx_util.Lsn.t
 (** Append to the volatile tail; returns the record's LSN. *)

@@ -108,6 +108,7 @@ let record_arb =
               | 1 -> Stored_record.Null_before
               | _ -> Stored_record.Value_before bv);
             writer = Tc_id.of_int (String.length value mod 7);
+            wlsn = Lsn.of_int (tag mod 97);
           })
         (string_size (int_bound 20))
         bool

@@ -72,17 +72,26 @@ let test_determinism () =
     for _ = 1 to 30 do
       acc := !acc @ drain_ids t
     done;
-    !acc
+    (!acc, Transport.requests_delivered t, Transport.dropped t,
+     Transport.duplicated t)
   in
-  Alcotest.(check (list int)) "same seed, same schedule" (run ()) (run ())
+  let order_a, del_a, drop_a, dup_a = run () in
+  let order_b, del_b, drop_b, dup_b = run () in
+  Alcotest.(check (list int)) "same seed, same schedule" order_a order_b;
+  Alcotest.(check (list int)) "same seed, same counters"
+    [ del_a; drop_a; dup_a ] [ del_b; drop_b; dup_b ];
+  Alcotest.(check bool) "the adversary actually dropped" true (drop_a > 0)
 
 let test_flush_delivers_everything () =
   let t = Transport.create ~policy:Transport.chaotic ~seed:3 ~dc:echo_dc () in
   for i = 1 to 40 do
     Transport.send t (req i)
   done;
-  ignore (Transport.flush t);
-  Alcotest.(check int) "empty after flush" 0 (Transport.in_flight t)
+  let flushed = Transport.flush t in
+  Alcotest.(check int) "empty after flush" 0 (Transport.in_flight t);
+  Alcotest.(check int) "flush reports what it force-delivered"
+    (Transport.force_delivered t) (List.length flushed);
+  Alcotest.(check bool) "something was in flight" true (flushed <> [])
 
 let test_drop_in_flight () =
   let policy =
@@ -98,6 +107,28 @@ let test_drop_in_flight () =
     got := !got @ drain_ids t
   done;
   Alcotest.(check (list int)) "never delivered" [] !got
+
+let test_drop_in_flight_preserves_counters () =
+  let policy =
+    { Transport.delay_min = 1; delay_max = 1; reorder = false;
+      dup_prob = 0.5; drop_prob = 0.3 }
+  in
+  let t = Transport.create ~policy ~seed:21 ~dc:echo_dc () in
+  for i = 1 to 60 do
+    Transport.send t (req i);
+    ignore (Transport.drain t)
+  done;
+  let delivered = Transport.requests_delivered t in
+  let dropped = Transport.dropped t and duplicated = Transport.duplicated t in
+  Alcotest.(check bool) "counters primed" true (dropped > 0 && duplicated > 0);
+  (* A crash loses the in-flight messages but must not rewrite history:
+     the accounting of what already happened stays put. *)
+  Transport.drop_in_flight t;
+  Alcotest.(check int) "in_flight zeroed" 0 (Transport.in_flight t);
+  Alcotest.(check (list int)) "delivered/dropped/duplicated untouched"
+    [ delivered; dropped; duplicated ]
+    [ Transport.requests_delivered t; Transport.dropped t;
+      Transport.duplicated t ]
 
 (* Property: exactly-once end-to-end over random adversarial policies. *)
 let prop_exactly_once =
@@ -150,5 +181,7 @@ let suite =
     Alcotest.test_case "flush delivers all" `Quick
       test_flush_delivers_everything;
     Alcotest.test_case "drop in flight" `Quick test_drop_in_flight;
+    Alcotest.test_case "drop in flight preserves counters" `Quick
+      test_drop_in_flight_preserves_counters;
     QCheck_alcotest.to_alcotest prop_exactly_once;
   ]

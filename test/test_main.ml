@@ -19,6 +19,8 @@ let () =
       ("extensions", Suite_extensions.suite);
       ("occ", Suite_occ.suite);
       ("recovery", Suite_recovery.suite);
+      ("fault", Suite_fault.suite);
+      ("chaos", Suite_chaos.suite);
       ("cloud-recovery", Suite_cloud_recovery.suite);
       ("properties", Props.suite);
     ]
