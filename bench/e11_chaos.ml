@@ -29,11 +29,16 @@ let interesting_counters =
     "tc.resends";
     "tc.request_timeouts";
     "tc.recoveries";
+    "tc.control_resends";
     "transport.delivered";
+    "transport.control_delivered";
     "transport.dropped";
     "transport.duplicated";
+    "transport.frames_corrupted";
+    "transport.corrupt_dropped";
     "transport.flush_delivered";
     "dc.dup_absorbed";
+    "dc.control_dups_absorbed";
     "disk.io_retries";
     "disk.torn_writes";
     "disk.torn_pages_detected";

@@ -46,13 +46,14 @@ let run () =
   let em = mono_engine m in
   Driver.preload em spec;
   let rm, tm = time (fun () -> Driver.run em spec) in
-  let row label (r : Driver.result) t msgs forces locks log_bytes =
+  let row label (r : Driver.result) t msgs wire_bytes forces locks log_bytes =
     [
       label;
       fmt_f (float_of_int r.Driver.committed /. t);
       fmt_f2 (Untx_util.Stats.percentile r.Driver.latency 50.);
       fmt_f2 (Untx_util.Stats.percentile r.Driver.latency 99.);
       fmt_f2 (per msgs r.Driver.committed);
+      string_of_int (wire_bytes / max 1 r.Driver.committed);
       fmt_f2 (per forces r.Driver.committed);
       fmt_f2 (per locks r.Driver.committed);
       string_of_int (log_bytes / max 1 r.Driver.committed);
@@ -63,24 +64,27 @@ let run () =
       "E1  Code-path length: same mix (50% reads, 6 ops/txn), identical \
        drivers"
     ~header:
-      [ "engine"; "txns/s"; "p50 ms"; "p99 ms"; "msgs/txn"; "forces/txn";
-        "locks/txn"; "log B/txn" ]
+      [ "engine"; "txns/s"; "p50 ms"; "p99 ms"; "msgs/txn"; "wire B/txn";
+        "forces/txn"; "locks/txn"; "log B/txn" ]
     [
       row "unbundled (versioned)" rv tv
         (Tc.messages_sent (Kernel.tc kv))
+        (Transport.bytes_sent (Kernel.transport kv))
         (Tc.log_forces (Kernel.tc kv))
         (Tc.lock_acquisitions (Kernel.tc kv))
         (Tc.log_bytes (Kernel.tc kv));
       row "unbundled (unversioned)" ru tu
         (Tc.messages_sent (Kernel.tc ku))
+        (Transport.bytes_sent (Kernel.transport ku))
         (Tc.log_forces (Kernel.tc ku))
         (Tc.lock_acquisitions (Kernel.tc ku))
         (Tc.log_bytes (Kernel.tc ku));
-      row "monolithic baseline" rm tm 0 (Mono.log_forces m)
+      row "monolithic baseline" rm tm 0 0 (Mono.log_forces m)
         (Mono.lock_acquisitions m) (Mono.log_bytes m);
     ];
   Printf.printf
     "claim check: the monolith exchanges 0 messages; the unbundled kernel \
      pays per-op messages\n\
-     (and an extra read-before-write on unversioned tables) for its \
-     deployment flexibility.\n"
+     (wire B/txn is measured from the encoded frames, both channels) and an \
+     extra read-before-write\n\
+     on unversioned tables for its deployment flexibility.\n"

@@ -30,10 +30,13 @@ let fresh_seed t =
 let link t ~tc_name ~dc_name =
   if not (Hashtbl.mem t.transports (tc_name, dc_name)) then begin
     let dc = Hashtbl.find t.dcs dc_name in
+    (* Each (TC, DC) pair gets its own two-channel byte plane; control
+       traffic rides the same adversary as data. *)
     let transport =
       Transport.create ~counters:t.counters ~policy:t.policy
         ~seed:(fresh_seed t)
-        ~dc:(fun req -> Dc.perform dc req)
+        ~data:(Dc.handle_request_frame dc)
+        ~control:(Dc.handle_control_frame dc)
         ()
     in
     Hashtbl.add t.transports (tc_name, dc_name) transport;
@@ -41,8 +44,8 @@ let link t ~tc_name ~dc_name =
     Tc.attach_dc tc
       {
         Tc.dc_name;
-        send = (fun req -> Transport.send transport req);
-        control = (fun ctl -> Dc.control dc ctl);
+        send = Transport.send transport;
+        send_control = Transport.send_control transport;
         drain = (fun () -> Transport.drain transport);
       }
   end
@@ -102,11 +105,21 @@ let crash_tc t name =
      other TCs' unflushed work: they must redo. *)
   Hashtbl.iter
     (fun dc_name dc ->
-      if Dc.take_escalation dc then
+      if Dc.take_escalation dc then begin
+        Instrument.bump t.counters "deploy.escalation_redo";
+        (* The complete restart killed the DC's sockets: frames in flight
+           to or from it died with them, exactly as in [crash_dc].  In
+           particular the other TCs' pre-crash watermarks must not reach
+           the rebuilt DC — their redo is about to run under a capped
+           low-water mark, and a stale high claim would let mid-redo
+           stall-policy flushes over-claim coverage (absorbing the rest
+           of the redo as duplicates). *)
+        drop_in_flight_for t ~dc_name;
         Hashtbl.iter
           (fun tcn tc ->
             if not (String.equal tcn name) then Tc.on_dc_restart tc ~dc:dc_name)
-          t.tcs)
+          t.tcs
+      end)
     t.dcs
 
 let crash_for_point t ~point ~tc ~dc =

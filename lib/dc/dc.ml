@@ -50,6 +50,20 @@ type table = {
   mutable tree : Btree.t;
 }
 
+(* The control channel's idempotence state, one session per TC: control
+   messages arrive over the same lossy transport as data operations, so
+   the DC must absorb duplicates and reorderings here too.  Control
+   messages are order-sensitive (a Restart_begin must not overtake the
+   watermarks that preceded it), so unlike data ops they are applied
+   strictly in sequence: a frame arriving ahead of its turn is buffered
+   until the TC's resend of the gap fills it in. *)
+type ctl_session = {
+  mutable cs_epoch : int;
+  mutable cs_applied : int; (* highest control seq applied, contiguous *)
+  cs_replies : (int, Wire.control_reply) Hashtbl.t; (* seq -> memoized reply *)
+  cs_buffer : (int, Wire.control) Hashtbl.t; (* out-of-order arrivals *)
+}
+
 type t = {
   cfg : config;
   counters : Instrument.t;
@@ -59,6 +73,7 @@ type t = {
   tables : (string, table) Hashtbl.t;
   states : pstate Page_id.Tbl.t;
   memo : (int * int, Wire.reply) Hashtbl.t; (* (tc, lsn) -> original reply *)
+  ctl_sessions : (int, ctl_session) Hashtbl.t; (* keyed by Tc_id.to_int *)
   mutable eosl : Lsn.t Tc_id.Map.t;
   mutable lwm : Lsn.t Tc_id.Map.t;
   current_table : string ref; (* table whose tree is being operated on *)
@@ -289,6 +304,7 @@ let create ?(counters = Instrument.global) cfg =
       tables = Hashtbl.create 8;
       states = Page_id.Tbl.create 256;
       memo = Hashtbl.create 1024;
+      ctl_sessions = Hashtbl.create 4;
       eosl = Tc_id.Map.empty;
       lwm = Tc_id.Map.empty;
       current_table = ref "";
@@ -887,6 +903,7 @@ let crash t =
   Cache.crash t.cache;
   Page_id.Tbl.reset t.states;
   Hashtbl.reset t.memo;
+  Hashtbl.reset t.ctl_sessions;
   Wal.crash t.dc_log;
   t.eosl <- Tc_id.Map.empty;
   t.lwm <- Tc_id.Map.empty
@@ -1175,7 +1192,17 @@ let control t (ctl : Wire.control) =
        every later recovery, after this restart is long forgotten. *)
     let complete_restart () =
       t.escalated <- true;
+      (* This restart is driven *by* a control message, not by this DC's
+         own process dying: the control sessions (this one included —
+         we are mid-application of its current seq) must survive, or
+         every TC's later control frames would be seen as unfillable
+         gaps.  TCs that must redo learn of the escalation through
+         [take_escalation] and open fresh epochs then. *)
+      let sessions =
+        Hashtbl.fold (fun k s acc -> (k, s) :: acc) t.ctl_sessions []
+      in
       crash t;
+      List.iter (fun (k, s) -> Hashtbl.replace t.ctl_sessions k s) sessions;
       ignore (Wal.append t.dc_log (Smo_record.Tc_restart { tc; stable_lsn }));
       Wal.force t.dc_log;
       recover_unlatched t
@@ -1195,6 +1222,117 @@ let control t (ctl : Wire.control) =
   | Wire.Restart_end _ ->
     exit_fence t;
     Wire.Ack
+
+(* ------------------------------------------------------------------ *)
+(* Transport endpoints: the DC side of the serialized message plane    *)
+
+(* An undecodable frame is dropped like a lost message: no reply, and
+   the TC's resend carries it.  (The transport's checksum gate already
+   rejects corruption; this guards against version or framing bugs.) *)
+let handle_request_frame t frame =
+  match Wire.decode_request frame with
+  | exception Invalid_argument _ ->
+    Instrument.bump t.counters "dc.bad_frames";
+    None
+  | req -> Some (Wire.encode_reply (perform t req))
+
+let session t tc =
+  let key = Tc_id.to_int tc in
+  match Hashtbl.find_opt t.ctl_sessions key with
+  | Some s -> s
+  | None ->
+    (* Epoch 0 so that the TC's first real epoch (1 or later) is always
+       adopted as new on first contact. *)
+    let s =
+      {
+        cs_epoch = 0;
+        cs_applied = 0;
+        cs_replies = Hashtbl.create 32;
+        cs_buffer = Hashtbl.create 8;
+      }
+    in
+    Hashtbl.add t.ctl_sessions key s;
+    s
+
+(* Keep memoized control replies for a window of recent seqs: a
+   duplicate can only be a recently-resent frame, and the TC stops
+   resending a seq once any reply for it arrives. *)
+let ctl_memo_window = 1024
+
+let handle_control_frame t frame =
+  match Wire.decode_control frame with
+  | exception Invalid_argument _ ->
+    Instrument.bump t.counters "dc.bad_frames";
+    None
+  | m ->
+    let s = session t (Wire.control_tc m.Wire.c_ctl) in
+    if m.Wire.c_epoch < s.cs_epoch then begin
+      (* A straggler from a dead session: silently dropped — nothing on
+         the TC side awaits it (the new epoch voided its pending). *)
+      Instrument.bump t.counters "dc.control_stale_epoch";
+      None
+    end
+    else begin
+      if m.Wire.c_epoch > s.cs_epoch then begin
+        (* The link restarted: the TC's sequence numbering begins again
+           at 1 and everything memoized for the old session is void. *)
+        s.cs_epoch <- m.Wire.c_epoch;
+        s.cs_applied <- 0;
+        Hashtbl.reset s.cs_replies;
+        Hashtbl.reset s.cs_buffer
+      end;
+      if m.Wire.c_seq <= s.cs_applied then begin
+        (* Duplicate of an applied message: answer from the memo, never
+           re-apply (control messages are not all idempotent — a second
+           Restart_begin would re-enter the fence). *)
+        Instrument.bump t.counters "dc.control_dups_absorbed";
+        let reply =
+          match Hashtbl.find_opt s.cs_replies m.Wire.c_seq with
+          | Some r -> r
+          | None -> Wire.Ack (* beyond the memo window: long since settled *)
+        in
+        Some
+          (Wire.encode_control_reply
+             { Wire.r_epoch = s.cs_epoch; r_seq = m.Wire.c_seq; r_reply = reply })
+      end
+      else if m.Wire.c_seq > s.cs_applied + 1 then begin
+        (* Ahead of its turn: park it and wait for the TC's resend to
+           fill the gap.  No reply — the sender's backoff keeps the
+           buffered frame's own resend alive until it is applied. *)
+        Instrument.bump t.counters "dc.control_buffered";
+        Hashtbl.replace s.cs_buffer m.Wire.c_seq m.Wire.c_ctl;
+        None
+      end
+      else begin
+        let apply seq ctl =
+          let r = control t ctl in
+          (* [control] may have run a complete restart; the session
+             records survive it (see [complete_restart]), so this update
+             lands on live state. *)
+          s.cs_applied <- seq;
+          Hashtbl.replace s.cs_replies seq r;
+          Hashtbl.remove s.cs_replies (seq - ctl_memo_window);
+          r
+        in
+        let first = apply m.Wire.c_seq m.Wire.c_ctl in
+        (* The gap this frame filled may release buffered successors.
+           Their replies are only memoized: the TC's resend of each will
+           collect them via the duplicate path above. *)
+        let rec drain_buffer () =
+          let next = s.cs_applied + 1 in
+          match Hashtbl.find_opt s.cs_buffer next with
+          | Some ctl ->
+            Hashtbl.remove s.cs_buffer next;
+            ignore (apply next ctl);
+            drain_buffer ()
+          | None -> ()
+        in
+        drain_buffer ();
+        Some
+          (Wire.encode_control_reply
+             { Wire.r_epoch = s.cs_epoch; r_seq = m.Wire.c_seq; r_reply = first })
+      end
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)

@@ -67,6 +67,26 @@ val perform : t -> Untx_msg.Wire.request -> Untx_msg.Wire.reply
     from the result memo. *)
 
 val control : t -> Untx_msg.Wire.control -> Untx_msg.Wire.control_reply
+(** Apply one control message directly.  Tests drive this; the kernel
+    delivers control traffic as frames through
+    {!handle_control_frame}, which adds the idempotence/ordering
+    layer. *)
+
+val handle_request_frame : t -> string -> string option
+(** Transport endpoint for the data channel: decode a request frame,
+    {!perform} it, return the encoded reply frame.  An undecodable frame
+    is dropped (counted as ["dc.bad_frames"]) — indistinguishable from
+    loss, so the TC's resend carries it. *)
+
+val handle_control_frame : t -> string -> string option
+(** Transport endpoint for the control channel.  Enforces the control
+    contract of Section 4.2 on the per-TC session table: frames from a
+    dead epoch are discarded; duplicates are absorbed and re-answered
+    from a reply memo (["dc.control_dups_absorbed"]); frames arriving
+    ahead of their sequence turn are buffered (["dc.control_buffered"])
+    until the TC's resend fills the gap; in-turn frames are applied via
+    {!control} and acknowledged.  [None] means no reply travels back —
+    the TC's backoff resend recovers. *)
 
 val crash : t -> unit
 (** Lose all volatile state: page cache, in-memory abstract LSNs, result

@@ -300,7 +300,28 @@ let plans () =
         [ Fault.io_error_with_prob "disk.page_write.io" 0.03 ] );
     ]
   in
-  singles @ doubles @ io
+  (* Not crashes: the transport catches this fault itself and flips a
+     byte of the frame, so a probability rule corrupts a fraction of all
+     traffic (both channels) for the whole cycle; the checksum gate turns
+     each hit into a loss the resend contracts must absorb.  The paired
+     plans make sure recovery redo also runs over a corrupting wire. *)
+  let corruption =
+    [
+      ( "transport.frame.corrupt~10%",
+        [ Fault.crash_with_prob "transport.frame.corrupt" 0.10 ] );
+      ( "transport.frame.corrupt~5%+tc.commit.before_force@3",
+        [
+          Fault.crash_with_prob "transport.frame.corrupt" 0.05;
+          Fault.crash_at "tc.commit.before_force" 3;
+        ] );
+      ( "transport.frame.corrupt~5%+dc.flush.after_page_write@2",
+        [
+          Fault.crash_with_prob "transport.frame.corrupt" 0.05;
+          Fault.crash_at "dc.flush.after_page_write" 2;
+        ] );
+    ]
+  in
+  singles @ doubles @ io @ corruption
 
 type summary = {
   s_cycles : int;

@@ -33,17 +33,20 @@ let dc_name = "dc1"
 
 let create ?(counters = Instrument.global) config =
   let dc = Dc.create ~counters config.dc in
+  (* One serialized message plane: both channels carry encoded frames
+     under the same adversarial policy, and the DC sees only bytes. *)
   let transport =
     Transport.create ~counters ~policy:config.policy ~seed:config.seed
-      ~dc:(fun req -> Dc.perform dc req)
+      ~data:(Dc.handle_request_frame dc)
+      ~control:(Dc.handle_control_frame dc)
       ()
   in
   let tc = Tc.create ~counters config.tc in
   Tc.attach_dc tc
     {
       Tc.dc_name;
-      send = (fun req -> Transport.send transport req);
-      control = (fun ctl -> Dc.control dc ctl);
+      send = Transport.send transport;
+      send_control = Transport.send_control transport;
       drain = (fun () -> Transport.drain transport);
     };
   {

@@ -1,6 +1,7 @@
 module Rng = Untx_util.Rng
 module Instrument = Untx_util.Instrument
 module Wire = Untx_msg.Wire
+module Fault = Untx_fault.Fault
 
 type policy = {
   delay_min : int;
@@ -16,43 +17,82 @@ let reliable =
 let chaotic =
   { delay_min = 0; delay_max = 3; reorder = true; dup_prob = 0.1; drop_prob = 0.1 }
 
-type 'a item = { due : int; seq : int; payload : 'a }
+(* A delivery attempt passes through this point; when a rule fires, the
+   frame is corrupted in place.  The receiving edge's checksum check
+   then rejects and drops it — the resend path carries it, like any
+   other lost message. *)
+let p_frame_corrupt = Fault.declare "transport.frame.corrupt"
+
+type channel = Data | Control
+
+type item = { due : int; seq : int; frame : string }
 
 type t = {
   mutable policy : policy;
+  mutable control_policy : policy;
   rng : Rng.t;
-  dc : Wire.request -> Wire.reply;
+  data_handler : string -> string option;
+  control_handler : string -> string option;
   counters : Instrument.t;
   mutable now : int;
   mutable seq : int;
-  mutable to_dc : Wire.request item list;
-  mutable to_tc : Wire.reply item list;
+  mutable dc_data : item list; (* TC -> DC request frames *)
+  mutable dc_ctl : item list; (* TC -> DC control frames *)
+  mutable tc_data : item list; (* DC -> TC reply frames *)
+  mutable tc_ctl : item list; (* DC -> TC control-reply frames *)
   mutable delivered : int;
   mutable dropped : int;
   mutable duplicated : int;
   mutable force_delivered : int;
+  mutable corrupt_dropped : int;
+  mutable data_bytes : int;
+  mutable control_bytes : int;
 }
 
-let create ?(counters = Instrument.global) ?(policy = reliable) ~seed ~dc () =
+let create ?(counters = Instrument.global) ?(policy = reliable) ?control_policy
+    ~seed ~data ~control () =
   {
     policy;
+    control_policy = Option.value control_policy ~default:policy;
     rng = Rng.create ~seed;
-    dc;
+    data_handler = data;
+    control_handler = control;
     counters;
     now = 0;
     seq = 0;
-    to_dc = [];
-    to_tc = [];
+    dc_data = [];
+    dc_ctl = [];
+    tc_data = [];
+    tc_ctl = [];
     delivered = 0;
     dropped = 0;
     duplicated = 0;
     force_delivered = 0;
+    corrupt_dropped = 0;
+    data_bytes = 0;
+    control_bytes = 0;
   }
 
-let set_policy t policy = t.policy <- policy
+let set_policy t policy =
+  t.policy <- policy;
+  t.control_policy <- policy
 
-let schedule t queue payload =
-  let p = t.policy in
+let set_control_policy t policy = t.control_policy <- policy
+
+let policy_for t = function Data -> t.policy | Control -> t.control_policy
+
+let schedule t ch queue frame =
+  let p = policy_for t ch in
+  (* The sender pays for every frame handed to the plane, in measured
+     encoded bytes — including ones the adversary then loses. *)
+  let len = String.length frame in
+  (match ch with
+  | Data ->
+    t.data_bytes <- t.data_bytes + len;
+    Instrument.bump_by t.counters "transport.data_bytes" len
+  | Control ->
+    t.control_bytes <- t.control_bytes + len;
+    Instrument.bump_by t.counters "transport.control_bytes" len);
   let copies =
     if Rng.chance t.rng p.drop_prob then begin
       t.dropped <- t.dropped + 1;
@@ -72,22 +112,22 @@ let schedule t queue payload =
       let span = p.delay_max - p.delay_min in
       let delay = p.delay_min + if span > 0 then Rng.int t.rng (span + 1) else 0 in
       t.seq <- t.seq + 1;
-      add ({ due = t.now + delay; seq = t.seq; payload } :: queue) (n - 1)
+      add ({ due = t.now + delay; seq = t.seq; frame } :: queue) (n - 1)
     end
   in
   add queue copies
 
-let send t req = t.to_dc <- schedule t t.to_dc req
+let send t frame = t.dc_data <- schedule t Data t.dc_data frame
+
+let send_control t frame = t.dc_ctl <- schedule t Control t.dc_ctl frame
 
 (* Split a queue into due and not-yet-due; due messages come back in
    delivery order (FIFO by seq, or shuffled when reordering). *)
-let take_due t queue =
+let take_due t ch queue =
   let due, rest = List.partition (fun item -> item.due <= t.now) queue in
+  let due = List.sort (fun (a : item) b -> Int.compare a.seq b.seq) due in
   let due =
-    List.sort (fun (a : _ item) (b : _ item) -> Int.compare a.seq b.seq) due
-  in
-  let due =
-    if t.policy.reorder && List.length due > 1 then begin
+    if (policy_for t ch).reorder && List.length due > 1 then begin
       let arr = Array.of_list due in
       Rng.shuffle t.rng arr;
       Array.to_list arr
@@ -96,50 +136,116 @@ let take_due t queue =
   in
   (due, rest)
 
+(* The receiving edge of either channel: maybe corrupt (fault point),
+   then verify the checksum.  A frame that fails verification is
+   dropped; only frames that pass are handed to the endpoint. *)
+let receive t frame =
+  let frame =
+    match Fault.hit p_frame_corrupt with
+    | () -> frame
+    | exception (Fault.Injected_crash _ | Fault.Io_error _) ->
+      Instrument.bump t.counters "transport.frames_corrupted";
+      let b = Bytes.of_string frame in
+      let i = Rng.int t.rng (Bytes.length b) in
+      let flip = 1 + Rng.int t.rng 255 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor flip));
+      Bytes.unsafe_to_string b
+  in
+  if Wire.frame_ok frame then Some frame
+  else begin
+    t.corrupt_dropped <- t.corrupt_dropped + 1;
+    Instrument.bump t.counters "transport.corrupt_dropped";
+    None
+  end
+
+(* All frames due in one delivery round are coalesced into a single
+   batch (amortizing per-message overhead in a real deployment); the
+   counters record how much coalescing the workload's traffic shape
+   actually allows. *)
+let count_batch t n =
+  if n > 0 then begin
+    Instrument.bump t.counters "transport.batches";
+    Instrument.bump_by t.counters "transport.batched_frames" n
+  end
+
 let deliver_requests t =
-  let due, rest = take_due t t.to_dc in
-  t.to_dc <- rest;
+  let due_d, rest_d = take_due t Data t.dc_data in
+  t.dc_data <- rest_d;
+  let due_c, rest_c = take_due t Control t.dc_ctl in
+  t.dc_ctl <- rest_c;
+  count_batch t (List.length due_d + List.length due_c);
   List.iter
     (fun item ->
-      t.delivered <- t.delivered + 1;
-      Instrument.bump t.counters "transport.delivered";
-      let reply = t.dc item.payload in
-      t.to_tc <- schedule t t.to_tc reply)
-    due
+      match receive t item.frame with
+      | None -> ()
+      | Some frame -> (
+        t.delivered <- t.delivered + 1;
+        Instrument.bump t.counters "transport.delivered";
+        match t.data_handler frame with
+        | None -> ()
+        | Some reply -> t.tc_data <- schedule t Data t.tc_data reply))
+    due_d;
+  List.iter
+    (fun item ->
+      match receive t item.frame with
+      | None -> ()
+      | Some frame -> (
+        Instrument.bump t.counters "transport.control_delivered";
+        match t.control_handler frame with
+        | None -> ()
+        | Some reply -> t.tc_ctl <- schedule t Control t.tc_ctl reply))
+    due_c
+
+let take_replies t =
+  let due_d, rest_d = take_due t Data t.tc_data in
+  t.tc_data <- rest_d;
+  let due_c, rest_c = take_due t Control t.tc_ctl in
+  t.tc_ctl <- rest_c;
+  count_batch t (List.length due_d + List.length due_c);
+  let keep items = List.filter_map (fun item -> receive t item.frame) items in
+  (keep due_d, keep due_c)
 
 let drain t =
   t.now <- t.now + 1;
   deliver_requests t;
-  let due, rest = take_due t t.to_tc in
-  t.to_tc <- rest;
-  List.map (fun item -> item.payload) due
+  take_replies t
 
 let flush t =
-  let saved = t.policy in
+  let saved_data = t.policy and saved_ctl = t.control_policy in
   t.policy <- reliable;
-  let out = ref [] (* newest first; reversed on return *) in
+  t.control_policy <- reliable;
+  let out_d = ref [] and out_c = ref [] (* newest first; reversed on return *) in
   let n = ref 0 in
-  while t.to_dc <> [] || t.to_tc <> [] do
+  while t.dc_data <> [] || t.dc_ctl <> [] || t.tc_data <> [] || t.tc_ctl <> [] do
     t.now <- t.now + 1000;
     deliver_requests t;
-    let due, rest = take_due t t.to_tc in
-    t.to_tc <- rest;
+    let replies, ctl_replies = take_replies t in
     List.iter
-      (fun item ->
+      (fun f ->
         incr n;
-        out := item.payload :: !out)
-      due
+        out_d := f :: !out_d)
+      replies;
+    List.iter
+      (fun f ->
+        incr n;
+        out_c := f :: !out_c)
+      ctl_replies
   done;
-  t.policy <- saved;
+  t.policy <- saved_data;
+  t.control_policy <- saved_ctl;
   t.force_delivered <- t.force_delivered + !n;
   Instrument.bump_by t.counters "transport.flush_delivered" !n;
-  List.rev !out
+  (List.rev !out_d, List.rev !out_c)
 
 let drop_in_flight t =
-  t.to_dc <- [];
-  t.to_tc <- []
+  t.dc_data <- [];
+  t.dc_ctl <- [];
+  t.tc_data <- [];
+  t.tc_ctl <- []
 
-let in_flight t = List.length t.to_dc + List.length t.to_tc
+let in_flight t =
+  List.length t.dc_data + List.length t.dc_ctl + List.length t.tc_data
+  + List.length t.tc_ctl
 
 let requests_delivered t = t.delivered
 
@@ -148,3 +254,11 @@ let dropped t = t.dropped
 let duplicated t = t.duplicated
 
 let force_delivered t = t.force_delivered
+
+let corrupt_dropped t = t.corrupt_dropped
+
+let data_bytes_sent t = t.data_bytes
+
+let control_bytes_sent t = t.control_bytes
+
+let bytes_sent t = t.data_bytes + t.control_bytes

@@ -1,4 +1,4 @@
-(** The unreliable message channel between a TC and a DC.
+(** The unreliable message plane between a TC and a DC.
 
     The paper treats the unbundled kernel as a distributed system
     (Section 4.1): requests may be delayed, reordered, duplicated or
@@ -6,9 +6,25 @@
     must mask all of it.  This transport makes those behaviours
     injectable and deterministic.
 
+    The plane carries encoded {!Untx_msg.Wire} frames — real bytes, not
+    shared heap values — on two logical channels: {e data} (operation
+    requests and replies) and {e control} (watermarks, checkpoints,
+    restart protocol).  Each channel has its own adversarial policy;
+    every frame is charged to per-channel byte counters at send time, so
+    experiments report measured encoded bytes, not estimates.
+
     Time is logical: each {!drain} call advances one tick, delivers due
-    requests to the DC (collecting its replies into the reverse
-    direction, under the same policy), and returns due replies. *)
+    frames to the DC-side handlers (collecting their reply frames into
+    the reverse direction, under the same policy), and returns due
+    replies.  All frames due in a delivery round are coalesced into one
+    batch (["transport.batches"] / ["transport.batched_frames"]).
+
+    A delivery attempt passes the ["transport.frame.corrupt"] fault
+    point: when a rule fires, a random byte of the frame is flipped.
+    The receiving edge validates every frame's checksum
+    ({!Untx_msg.Wire.frame_ok}) and silently drops failures
+    (["transport.corrupt_dropped"]) — corruption is indistinguishable
+    from loss, and the sender's resend path carries it. *)
 
 type policy = {
   delay_min : int;
@@ -30,37 +46,70 @@ type t
 val create :
   ?counters:Untx_util.Instrument.t ->
   ?policy:policy ->
+  ?control_policy:policy ->
   seed:int ->
-  dc:(Untx_msg.Wire.request -> Untx_msg.Wire.reply) ->
+  data:(string -> string option) ->
+  control:(string -> string option) ->
   unit ->
   t
-(** Delivery, drop, duplication and flush events are mirrored into
-    [counters] (["transport.delivered"], ["transport.dropped"],
-    ["transport.duplicated"], ["transport.flush_delivered"]) so
-    experiments report them uniformly with everything else. *)
+(** [data] and [control] are the DC-side endpoints: each takes a
+    received frame and returns an optional reply frame.  [control_policy]
+    defaults to [policy] — both channels face the same adversary unless
+    a test separates them.  Delivery, drop, duplication, batching, byte
+    and corruption events are mirrored into [counters]
+    (["transport.delivered"], ["transport.control_delivered"],
+    ["transport.dropped"], ["transport.duplicated"],
+    ["transport.batches"], ["transport.batched_frames"],
+    ["transport.data_bytes"], ["transport.control_bytes"],
+    ["transport.frames_corrupted"], ["transport.corrupt_dropped"],
+    ["transport.flush_delivered"]) so experiments report them uniformly
+    with everything else. *)
 
 val set_policy : t -> policy -> unit
+(** Set the adversary for both channels. *)
 
-val send : t -> Untx_msg.Wire.request -> unit
+val set_control_policy : t -> policy -> unit
+(** Override the control channel's adversary only. *)
 
-val drain : t -> Untx_msg.Wire.reply list
-(** Advance one tick and surface due replies. *)
+val send : t -> string -> unit
+(** Enqueue an encoded request frame on the data channel. *)
 
-val flush : t -> Untx_msg.Wire.reply list
+val send_control : t -> string -> unit
+(** Enqueue an encoded control frame on the control channel. *)
+
+val drain : t -> string list * string list
+(** Advance one tick and surface due (reply frames, control-reply
+    frames). *)
+
+val flush : t -> string list * string list
 (** Deliver everything in flight (reliably).  A test-only escape hatch:
     the kernel quiesces through the TC's resend path instead, which
     exercises the paper's contracts. *)
 
 val drop_in_flight : t -> unit
-(** Lose every message currently in transit (component crash). *)
+(** Lose every frame currently in transit, both channels (component
+    crash). *)
 
 val in_flight : t -> int
 
 val requests_delivered : t -> int
+(** Data-channel request frames delivered to the DC endpoint. *)
 
 val dropped : t -> int
 
 val duplicated : t -> int
 
 val force_delivered : t -> int
-(** Total messages surfaced by {!flush} calls. *)
+(** Total frames surfaced by {!flush} calls. *)
+
+val corrupt_dropped : t -> int
+(** Frames rejected by the receiving edge's checksum check. *)
+
+val data_bytes_sent : t -> int
+(** Measured encoded bytes handed to the data channel (both
+    directions). *)
+
+val control_bytes_sent : t -> int
+
+val bytes_sent : t -> int
+(** [data_bytes_sent + control_bytes_sent]. *)

@@ -1,5 +1,6 @@
 module Lsn = Untx_util.Lsn
 module Tc_id = Untx_util.Tc_id
+module Codec = Untx_util.Codec
 
 type request = { tc : Tc_id.t; lsn : Lsn.t; op : Op.t }
 
@@ -24,7 +25,240 @@ type control =
 
 type control_reply = Ack | Checkpoint_done of { granted : bool }
 
-let request_size { op; _ } = 16 + Op.size op
+type control_msg = { c_epoch : int; c_seq : int; c_ctl : control }
+
+type control_reply_msg = {
+  r_epoch : int;
+  r_seq : int;
+  r_reply : control_reply;
+}
+
+let control_tc = function
+  | End_of_stable_log { tc; _ }
+  | Low_water_mark { tc; _ }
+  | Watermarks { tc; _ }
+  | Checkpoint { tc; _ }
+  | Restart_begin { tc; _ }
+  | Restart_end { tc }
+  | Redo_fence_begin { tc }
+  | Redo_fence_end { tc } -> tc
+
+(* ------------------------------------------------------------------ *)
+(* Frames.
+
+   Layout: 1 kind byte, 4-byte big-endian payload length, payload,
+   4-byte big-endian FNV-1a checksum over everything before it.  The
+   payload is a {!Untx_util.Codec} field list, so the whole frame is
+   binary-safe and self-delimiting; any mutation is caught by the
+   structure checks or the checksum and surfaces as
+   [Invalid_argument]. *)
+
+let header_len = 5
+
+let trailer_len = 4
+
+let fnv32 s lo hi =
+  let h = ref 0x811c9dc5 in
+  for i = lo to hi - 1 do
+    h := !h lxor Char.code (String.unsafe_get s i);
+    h := !h * 0x01000193 land 0xFFFFFFFF
+  done;
+  !h
+
+let put_u32 b off v =
+  Bytes.set b off (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 3) (Char.chr (v land 0xff))
+
+let get_u32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let frame kind payload =
+  let len = String.length payload in
+  let b = Bytes.create (header_len + len + trailer_len) in
+  Bytes.set b 0 kind;
+  put_u32 b 1 len;
+  Bytes.blit_string payload 0 b header_len len;
+  let body = Bytes.sub_string b 0 (header_len + len) in
+  put_u32 b (header_len + len) (fnv32 body 0 (header_len + len));
+  Bytes.unsafe_to_string b
+
+let frame_kind s =
+  let n = String.length s in
+  if n < header_len + trailer_len then None
+  else
+    let len = get_u32 s 1 in
+    if n <> header_len + len + trailer_len then None
+    else if get_u32 s (header_len + len) <> fnv32 s 0 (header_len + len) then
+      None
+    else
+      match s.[0] with
+      | 'Q' -> Some `Request
+      | 'R' -> Some `Reply
+      | 'C' -> Some `Control
+      | 'K' -> Some `Control_reply
+      | _ -> None
+
+let frame_ok s = frame_kind s <> None
+
+let unframe kind s =
+  match frame_kind s with
+  | Some k when k = kind -> String.sub s header_len (get_u32 s 1)
+  | _ -> invalid_arg "Wire: bad frame"
+
+(* ---- field helpers ---- *)
+
+let int_field = string_of_int
+
+let int_of_field f =
+  match int_of_string_opt f with
+  | Some i when i >= 0 -> i
+  | _ -> invalid_arg "Wire: bad int field"
+
+let lsn_of_field f = Lsn.of_int (int_of_field f)
+
+let tc_of_field f = Tc_id.of_int (int_of_field f)
+
+let opt_field = function None -> "-" | Some v -> "+" ^ v
+
+let opt_of_field f =
+  if String.equal f "-" then None
+  else if String.length f >= 1 && f.[0] = '+' then
+    Some (String.sub f 1 (String.length f - 1))
+  else invalid_arg "Wire: bad option field"
+
+(* ---- requests ---- *)
+
+let encode_request { tc; lsn; op } =
+  frame 'Q'
+    (Codec.encode
+       (int_field (Tc_id.to_int tc)
+       :: int_field (Lsn.to_int lsn)
+       :: Op.to_fields op))
+
+let decode_request s =
+  match Codec.decode (unframe `Request s) with
+  | tc :: lsn :: op_fields ->
+    { tc = tc_of_field tc; lsn = lsn_of_field lsn; op = Op.of_fields op_fields }
+  | _ -> invalid_arg "Wire.decode_request"
+
+(* ---- replies ---- *)
+
+let result_fields = function
+  | Done -> [ "D" ]
+  | Value v -> [ "V"; opt_field v ]
+  | Pairs ps -> "P" :: List.concat_map (fun (k, v) -> [ k; v ]) ps
+  | Next_keys ks -> "N" :: ks
+  | Failed m -> [ "F"; m ]
+
+let result_of_fields = function
+  | [ "D" ] -> Done
+  | [ "V"; v ] -> Value (opt_of_field v)
+  | "P" :: rest ->
+    let rec pairs = function
+      | [] -> []
+      | k :: v :: tl -> (k, v) :: pairs tl
+      | [ _ ] -> invalid_arg "Wire: odd pair list"
+    in
+    Pairs (pairs rest)
+  | "N" :: ks -> Next_keys ks
+  | [ "F"; m ] -> Failed m
+  | _ -> invalid_arg "Wire: bad result"
+
+let encode_reply { lsn; result; prior } =
+  frame 'R'
+    (Codec.encode
+       (int_field (Lsn.to_int lsn) :: opt_field prior :: result_fields result))
+
+let decode_reply s =
+  match Codec.decode (unframe `Reply s) with
+  | lsn :: prior :: rest ->
+    {
+      lsn = lsn_of_field lsn;
+      prior = opt_of_field prior;
+      result = result_of_fields rest;
+    }
+  | _ -> invalid_arg "Wire.decode_reply"
+
+(* ---- control ---- *)
+
+let control_fields ctl =
+  let tc_f tc = int_field (Tc_id.to_int tc) in
+  let lsn_f l = int_field (Lsn.to_int l) in
+  match ctl with
+  | End_of_stable_log { tc; eosl } -> [ "E"; tc_f tc; lsn_f eosl ]
+  | Low_water_mark { tc; lwm } -> [ "L"; tc_f tc; lsn_f lwm ]
+  | Watermarks { tc; eosl; lwm } -> [ "W"; tc_f tc; lsn_f eosl; lsn_f lwm ]
+  | Checkpoint { tc; new_rssp } -> [ "C"; tc_f tc; lsn_f new_rssp ]
+  | Restart_begin { tc; stable_lsn } -> [ "RB"; tc_f tc; lsn_f stable_lsn ]
+  | Restart_end { tc } -> [ "RE"; tc_f tc ]
+  | Redo_fence_begin { tc } -> [ "FB"; tc_f tc ]
+  | Redo_fence_end { tc } -> [ "FE"; tc_f tc ]
+
+let control_of_fields = function
+  | [ "E"; tc; eosl ] ->
+    End_of_stable_log { tc = tc_of_field tc; eosl = lsn_of_field eosl }
+  | [ "L"; tc; lwm ] ->
+    Low_water_mark { tc = tc_of_field tc; lwm = lsn_of_field lwm }
+  | [ "W"; tc; eosl; lwm ] ->
+    Watermarks
+      { tc = tc_of_field tc; eosl = lsn_of_field eosl; lwm = lsn_of_field lwm }
+  | [ "C"; tc; rssp ] ->
+    Checkpoint { tc = tc_of_field tc; new_rssp = lsn_of_field rssp }
+  | [ "RB"; tc; stable ] ->
+    Restart_begin { tc = tc_of_field tc; stable_lsn = lsn_of_field stable }
+  | [ "RE"; tc ] -> Restart_end { tc = tc_of_field tc }
+  | [ "FB"; tc ] -> Redo_fence_begin { tc = tc_of_field tc }
+  | [ "FE"; tc ] -> Redo_fence_end { tc = tc_of_field tc }
+  | _ -> invalid_arg "Wire: bad control"
+
+let encode_control { c_epoch; c_seq; c_ctl } =
+  frame 'C'
+    (Codec.encode
+       (int_field c_epoch :: int_field c_seq :: control_fields c_ctl))
+
+let decode_control s =
+  match Codec.decode (unframe `Control s) with
+  | epoch :: seq :: rest ->
+    {
+      c_epoch = int_of_field epoch;
+      c_seq = int_of_field seq;
+      c_ctl = control_of_fields rest;
+    }
+  | _ -> invalid_arg "Wire.decode_control"
+
+let control_reply_fields = function
+  | Ack -> [ "A" ]
+  | Checkpoint_done { granted } -> [ "G"; (if granted then "1" else "0") ]
+
+let control_reply_of_fields = function
+  | [ "A" ] -> Ack
+  | [ "G"; "1" ] -> Checkpoint_done { granted = true }
+  | [ "G"; "0" ] -> Checkpoint_done { granted = false }
+  | _ -> invalid_arg "Wire: bad control reply"
+
+let encode_control_reply { r_epoch; r_seq; r_reply } =
+  frame 'K'
+    (Codec.encode
+       (int_field r_epoch :: int_field r_seq :: control_reply_fields r_reply))
+
+let decode_control_reply s =
+  match Codec.decode (unframe `Control_reply s) with
+  | epoch :: seq :: rest ->
+    {
+      r_epoch = int_of_field epoch;
+      r_seq = int_of_field seq;
+      r_reply = control_reply_of_fields rest;
+    }
+  | _ -> invalid_arg "Wire.decode_control_reply"
+
+(* The real size of a request on the wire — what the transport's byte
+   accounting charges, not an estimate. *)
+let request_size r = String.length (encode_request r)
 
 let pp_result ppf = function
   | Done -> Format.pp_print_string ppf "done"

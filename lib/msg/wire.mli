@@ -1,12 +1,17 @@
 (** Messages crossing the TC:DC boundary (the API of Section 4.2.1).
 
-    Operation requests and replies travel over an unreliable, reorderable
-    transport — they carry the unique request id (the TC-log LSN) that
-    makes resend + idempotence work.  Control traffic
-    ([end_of_stable_log], [low_water_mark], [checkpoint], [restart]) is
-    modelled as a reliable, ordered session: in a real deployment these
-    few low-rate interactions would run over a sequenced channel, and
-    nothing in the paper's recovery argument depends on them being lossy. *)
+    Every interaction is serialized: requests, replies, control messages
+    and control replies all travel as length-prefixed, checksummed byte
+    frames ({!encode_request} and friends), so the boundary carries
+    [bytes], never shared heap values.  Operation requests carry the
+    unique request id (the TC-log LSN) that makes resend + idempotence
+    work.  Control traffic ([end_of_stable_log], [low_water_mark],
+    [checkpoint], [restart]) is governed by the same contracts: each
+    control message is wrapped in a {!control_msg} envelope carrying a
+    per-(TC, DC)-link session epoch and a unique control-sequence id;
+    the TC resends unacknowledged control frames with backoff and the DC
+    absorbs duplicates and reorderings through a per-TC control
+    idempotence table, exactly as it does for data operations. *)
 
 type request = {
   tc : Untx_util.Tc_id.t;
@@ -61,7 +66,58 @@ type control_reply =
           requested redo-scan start point could not be made stable yet;
           the TC must keep its old RSSP and retry later *)
 
+type control_msg = { c_epoch : int; c_seq : int; c_ctl : control }
+(** The control-channel envelope.  [c_seq] is the unique, densely
+    increasing id of this message on its (TC, DC) link — the control
+    analogue of a request LSN.  [c_epoch] identifies the control
+    session: the TC starts a new epoch when either end of the link
+    restarts, which invalidates every frame of the old session still in
+    flight (a stale pre-crash watermark must not be applied to
+    freshly-reset state). *)
+
+type control_reply_msg = {
+  r_epoch : int;
+  r_seq : int;  (** echo of the request's envelope, for TC-side matching *)
+  r_reply : control_reply;
+}
+
+val control_tc : control -> Untx_util.Tc_id.t
+(** The TC a control message speaks for (every variant carries one). *)
+
+(** {2 Frames}
+
+    [encode_*] produce self-contained binary frames: a kind byte, a
+    4-byte big-endian payload length, the payload (a
+    {!Untx_util.Codec} field list), and a 4-byte FNV-1a checksum.
+    [decode_*] raise [Invalid_argument] on anything malformed — wrong
+    kind, bad length, checksum mismatch, unparseable payload — and
+    never return a silently wrong value. *)
+
+val encode_request : request -> string
+
+val decode_request : string -> request
+
+val encode_reply : reply -> string
+
+val decode_reply : string -> reply
+
+val encode_control : control_msg -> string
+
+val decode_control : string -> control_msg
+
+val encode_control_reply : control_reply_msg -> string
+
+val decode_control_reply : string -> control_reply_msg
+
+val frame_ok : string -> bool
+(** Structural + checksum validation without a full decode — what a
+    receiving endpoint checks before accepting a frame.  A frame that
+    fails this test is dropped by the transport (and the sender's
+    resend path carries it). *)
+
 val request_size : request -> int
+(** The exact encoded frame length of the request — measured from the
+    codec, not estimated. *)
 
 val pp_result : Format.formatter -> result -> unit
 

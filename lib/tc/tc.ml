@@ -45,9 +45,36 @@ let p_recover_mid = Fault.declare "tc.recover.mid"
 
 type dc_link = {
   dc_name : string;
-  send : Wire.request -> unit;
-  control : Wire.control -> Wire.control_reply;
-  drain : unit -> Wire.reply list;
+  send : string -> unit; (* encoded request frame, data channel *)
+  send_control : string -> unit; (* encoded control frame *)
+  drain : unit -> string list * string list;
+      (* due (reply frames, control-reply frames) *)
+}
+
+(* An unacknowledged control message: the control-channel analogue of a
+   data [pending], resent with the same backoff machinery.  The encoded
+   frame is cached so every resend puts identical bytes on the wire. *)
+type ctl_pending = {
+  cp_seq : int;
+  cp_frame : string;
+  mutable cp_age : int;
+  mutable cp_backoff : int;
+  mutable cp_retries : int;
+  cp_awaited : bool; (* a caller will consume the reply (checkpoint &c) *)
+}
+
+(* Per-link control-session state wrapped around the kernel-provided
+   link.  [ls_epoch] numbers the control session: it advances whenever
+   either end of the link restarts, so frames from before a crash can
+   never be applied to freshly-reset state.  [ls_next_seq] hands out the
+   unique, densely-increasing control-sequence ids the DC's idempotence
+   table orders by. *)
+type link_state = {
+  ls_link : dc_link;
+  mutable ls_epoch : int;
+  mutable ls_next_seq : int;
+  ls_ctl_pending : (int, ctl_pending) Hashtbl.t; (* seq -> *)
+  ls_ctl_replies : (int, Wire.control_reply) Hashtbl.t; (* awaited replies *)
 }
 
 type txn_state = Active | Committed | Aborted
@@ -70,7 +97,8 @@ type txn = {
 
 type pending = {
   p_req : Wire.request;
-  p_link : dc_link;
+  p_frame : string; (* the encoded frame; resends repeat it verbatim *)
+  p_link : link_state;
   mutable p_age : int; (* stalled pump rounds since last (re)send *)
   mutable p_backoff : int; (* rounds to wait before the next resend *)
   mutable p_retries : int;
@@ -93,7 +121,7 @@ type t = {
   counters : Instrument.t;
   log : Log_record.t Wal.t;
   mutable locks : Lock_mgr.t;
-  links : (string, dc_link) Hashtbl.t;
+  links : (string, link_state) Hashtbl.t;
   routes : (string, route) Hashtbl.t;
   txns : (int, txn) Hashtbl.t;
   pendings : (int, pending) Hashtbl.t; (* keyed by LSN *)
@@ -136,7 +164,15 @@ let create ?(counters = Instrument.global) cfg =
 
 let id t = t.cfg.id
 
-let attach_dc t link = Hashtbl.replace t.links link.dc_name link
+let attach_dc t link =
+  Hashtbl.replace t.links link.dc_name
+    {
+      ls_link = link;
+      ls_epoch = 1;
+      ls_next_seq = 1;
+      ls_ctl_pending = Hashtbl.create 16;
+      ls_ctl_replies = Hashtbl.create 8;
+    }
 
 let map_table t ~table ~dc ~versioned =
   if not (Hashtbl.mem t.links dc) then
@@ -187,8 +223,53 @@ let is_active txn = txn.state = Active
 (* ------------------------------------------------------------------ *)
 (* Message plumbing                                                    *)
 
+(* Post a control message on a link: assign the next control-sequence
+   id, encode, track the pending until an acknowledgement arrives
+   through the pump loop, send.  Control traffic is asynchronous and
+   contract-governed — nothing returns synchronously; callers that need
+   the reply (checkpoint grants, restart barriers) pass [~awaited:true]
+   and collect it with [await_control_reply]. *)
+let post_control ?(awaited = false) t ls ctl =
+  let seq = ls.ls_next_seq in
+  ls.ls_next_seq <- seq + 1;
+  let frame =
+    Wire.encode_control { Wire.c_epoch = ls.ls_epoch; c_seq = seq; c_ctl = ctl }
+  in
+  Hashtbl.replace ls.ls_ctl_pending seq
+    {
+      cp_seq = seq;
+      cp_frame = frame;
+      cp_age = 0;
+      cp_backoff = t.cfg.resend_after;
+      cp_retries = 0;
+      cp_awaited = awaited;
+    };
+  Instrument.bump t.counters "tc.control_sent";
+  Instrument.bump_by t.counters "tc.control_unacked" 1;
+  ls.ls_link.send_control frame;
+  seq
+
 let broadcast_control t ctl =
-  Hashtbl.iter (fun _ link -> ignore (link.control ctl)) t.links
+  Hashtbl.iter (fun _ ls -> ignore (post_control t ls ctl)) t.links
+
+let control_unacked t =
+  Hashtbl.fold (fun _ ls acc -> acc + Hashtbl.length ls.ls_ctl_pending) t.links 0
+
+(* Drop a link's control-session state (the pendings died with a crash,
+   or a new epoch voids them), keeping the unacked gauge honest. *)
+let clear_ctl t ls =
+  Instrument.bump_by t.counters "tc.control_unacked"
+    (-Hashtbl.length ls.ls_ctl_pending);
+  Hashtbl.reset ls.ls_ctl_pending;
+  Hashtbl.reset ls.ls_ctl_replies
+
+(* Open a fresh control session on a link: frames of the old epoch
+   still in flight (either direction) become stale and the DC resets
+   its per-TC applied-sequence state on first contact. *)
+let new_epoch t ls =
+  ls.ls_epoch <- ls.ls_epoch + 1;
+  ls.ls_next_seq <- 1;
+  clear_ctl t ls
 
 let send_eosl t =
   broadcast_control t
@@ -218,8 +299,9 @@ let send_lwm t =
       (Wire.Low_water_mark { tc = t.cfg.id; lwm = current_lwm t })
 
 let dispatch t link (req : Wire.request) ~xid ~wants_reply =
+  let frame = Wire.encode_request req in
   Hashtbl.replace t.pendings (Lsn.to_int req.lsn)
-    { p_req = req; p_link = link; p_age = 0;
+    { p_req = req; p_frame = frame; p_link = link; p_age = 0;
       p_backoff = t.cfg.resend_after; p_retries = 0; p_xid = xid;
       p_wants_reply = wants_reply; p_fenced = false };
   t.outstanding <- Lsn.Set.add req.lsn t.outstanding;
@@ -231,7 +313,7 @@ let dispatch t link (req : Wire.request) ~xid ~wants_reply =
   | None -> ());
   t.msgs <- t.msgs + 1;
   Instrument.bump t.counters "tc.requests_sent";
-  link.send req
+  link.ls_link.send frame
 
 let handle_reply t (r : Wire.reply) =
   match Hashtbl.find_opt t.pendings (Lsn.to_int r.lsn) with
@@ -253,15 +335,43 @@ let handle_reply t (r : Wire.reply) =
     t.acked_since_lwm <- t.acked_since_lwm + 1;
     if t.acked_since_lwm >= t.cfg.lwm_every then send_lwm t
 
+(* A control acknowledgement matched against the link's session: stale
+   epochs and duplicate acks are ignored; a first ack retires the
+   pending and, when a caller awaits it, parks the reply for
+   [await_control_reply]. *)
+let handle_control_reply t ls (m : Wire.control_reply_msg) =
+  if m.Wire.r_epoch <> ls.ls_epoch then false
+  else
+    match Hashtbl.find_opt ls.ls_ctl_pending m.Wire.r_seq with
+    | None -> false (* duplicate ack *)
+    | Some cp ->
+      Hashtbl.remove ls.ls_ctl_pending m.Wire.r_seq;
+      Instrument.bump_by t.counters "tc.control_unacked" (-1);
+      if cp.cp_awaited then
+        Hashtbl.replace ls.ls_ctl_replies m.Wire.r_seq m.Wire.r_reply;
+      true
+
 let pump t =
   let progressed = ref false in
   Hashtbl.iter
-    (fun _ link ->
+    (fun _ ls ->
+      let replies, ctl_replies = ls.ls_link.drain () in
       List.iter
-        (fun r ->
-          progressed := true;
-          handle_reply t r)
-        (link.drain ()))
+        (fun frame ->
+          match Wire.decode_reply frame with
+          | r ->
+            progressed := true;
+            handle_reply t r
+          | exception Invalid_argument _ ->
+            Instrument.bump t.counters "tc.bad_frames")
+        replies;
+      List.iter
+        (fun frame ->
+          match Wire.decode_control_reply frame with
+          | m -> if handle_control_reply t ls m then progressed := true
+          | exception Invalid_argument _ ->
+            Instrument.bump t.counters "tc.bad_frames")
+        ctl_replies)
     t.links;
   !progressed
 
@@ -288,10 +398,34 @@ let resend_stale t =
           p.p_backoff <- Stdlib.min (2 * p.p_backoff) t.cfg.resend_backoff_max;
           t.resend_count <- t.resend_count + 1;
           Instrument.bump t.counters "tc.resends";
-          p.p_link.send p.p_req
+          p.p_link.ls_link.send p.p_frame
         end
       end)
-    t.pendings
+    t.pendings;
+  (* Unacked control messages age and resend under the same backoff
+     discipline: the DC's control-idempotence table absorbs the
+     duplicates this creates. *)
+  Hashtbl.iter
+    (fun _ ls ->
+      Hashtbl.iter
+        (fun _ cp ->
+          cp.cp_age <- cp.cp_age + 1;
+          if cp.cp_age >= cp.cp_backoff then begin
+            if cp.cp_retries >= t.cfg.resend_max_retries then begin
+              Instrument.bump t.counters "tc.control_timeouts";
+              failwith
+                (Printf.sprintf
+                   "Tc: control %d to %s timed out after %d resends" cp.cp_seq
+                   ls.ls_link.dc_name cp.cp_retries)
+            end;
+            cp.cp_age <- 0;
+            cp.cp_retries <- cp.cp_retries + 1;
+            cp.cp_backoff <- Stdlib.min (2 * cp.cp_backoff) t.cfg.resend_backoff_max;
+            Instrument.bump t.counters "tc.control_resends";
+            ls.ls_link.send_control cp.cp_frame
+          end)
+        ls.ls_ctl_pending)
+    t.links
 
 let await t pred =
   let stalls = ref 0 in
@@ -311,6 +445,28 @@ let await_reply t lsn =
   let r = Hashtbl.find t.completed key in
   Hashtbl.remove t.completed key;
   r
+
+(* Collect the reply of an awaited control message previously posted
+   with [post_control ~awaited:true]: the grant/ack arrives through the
+   pump loop like any other frame. *)
+let await_control_reply t ls seq =
+  await t (fun () -> Hashtbl.mem ls.ls_ctl_replies seq);
+  let r = Hashtbl.find ls.ls_ctl_replies seq in
+  Hashtbl.remove ls.ls_ctl_replies seq;
+  r
+
+(* A control barrier: post to every link, then pump until every DC has
+   acknowledged.  Posting everywhere before awaiting keeps the round
+   trips concurrent.  Used where the restart protocol needs a
+   happens-before edge (e.g. Restart_begin must be applied before redo
+   traffic arrives). *)
+let broadcast_sync t ctl =
+  let waits =
+    Hashtbl.fold
+      (fun _ ls acc -> (ls, post_control ~awaited:true t ls ctl) :: acc)
+      t.links []
+  in
+  List.iter (fun (ls, seq) -> ignore (await_control_reply t ls seq)) waits
 
 (* The TC's obligation: never two conflicting operations in flight.
    Fenced pendings don't count: their messages died with the DC, and the
@@ -853,7 +1009,11 @@ let rec commit t txn =
 
 let quiesce t =
   await t (fun () -> Lsn.Set.is_empty t.outstanding);
-  send_lwm t
+  send_lwm t;
+  (* Control messages are asynchronous now; a quiesced TC must also have
+     every watermark it pushed acknowledged (and therefore applied), or
+     a checkpoint right after quiesce could see stale DC state. *)
+  await t (fun () -> control_unacked t = 0)
 
 let resolve_deadlock t =
   match Lock_mgr.find_deadlock t.locks with
@@ -881,15 +1041,24 @@ let checkpoint t =
   let target = Lsn.min (current_lwm t) (Wal.stable_lsn t.log) in
   if Lsn.(target <= t.rssp) then true (* nothing to advance *)
   else begin
-    let granted =
+    (* Ask every DC concurrently; the grants arrive through the pump
+       loop as ordinary control replies. *)
+    let waits =
       Hashtbl.fold
-        (fun _ link acc ->
-          acc
-          &&
-          match link.control (Wire.Checkpoint { tc = t.cfg.id; new_rssp = target }) with
-          | Wire.Checkpoint_done { granted } -> granted
+        (fun _ ls acc ->
+          ( ls,
+            post_control ~awaited:true t ls
+              (Wire.Checkpoint { tc = t.cfg.id; new_rssp = target }) )
+          :: acc)
+        t.links []
+    in
+    let granted =
+      List.fold_left
+        (fun acc (ls, seq) ->
+          match await_control_reply t ls seq with
+          | Wire.Checkpoint_done { granted } -> acc && granted
           | Wire.Ack -> false)
-        t.links true
+        true waits
     in
     if granted then begin
       t.rssp <- target;
@@ -915,13 +1084,26 @@ let checkpoint t =
 
 let crash t =
   Wal.crash t.log;
+  (* Every in-flight transaction dies with the TC.  Kill the handles
+     clients still hold, not just the table: a stale handle that kept
+     reporting [Active] could be committed after recovery, appending a
+     fresh Commit record for an xid whose operations recovery already
+     rolled back — an empty commit that reports [`Ok ()] while the
+     transaction's effects are gone. *)
+  Hashtbl.iter
+    (fun _ txn -> if txn.state = Active then txn.state <- Aborted)
+    t.txns;
   Hashtbl.reset t.txns;
   Hashtbl.reset t.pendings;
   Hashtbl.reset t.completed;
   Queue.clear t.wakeups;
   t.outstanding <- Lsn.Set.empty;
   t.locks <- Lock_mgr.create ();
-  t.acked_since_lwm <- 0
+  t.acked_since_lwm <- 0;
+  (* Unacked control messages are volatile too (their frames and any
+     replies in flight died with the process); the epoch counters
+     survive so recovery can open strictly newer sessions. *)
+  Hashtbl.iter (fun _ ls -> clear_ctl t ls) t.links
 
 type analysis = {
   mutable a_committed : bool;
@@ -964,9 +1146,14 @@ let recover t =
       | Log_record.Checkpoint { rssp = r; _ } -> rssp := Lsn.max !rssp r);
   t.rssp <- !rssp;
   Hashtbl.iter (fun x _ -> if x >= t.next_xid then t.next_xid <- x + 1) infos;
+  (* Open a fresh control epoch on every link: watermarks or fences
+     from before the crash still in flight must not touch the state the
+     DCs are about to reset. *)
+  Hashtbl.iter (fun _ ls -> new_epoch t ls) t.links;
   (* Tell every DC to forget effects beyond the stable log (it resets
-     exactly the pages whose abstract LSNs reach past it). *)
-  broadcast_control t (Wire.Restart_begin { tc = t.cfg.id; stable_lsn = stable });
+     exactly the pages whose abstract LSNs reach past it).  This is a
+     barrier: redo traffic must not arrive before the reset happens. *)
+  broadcast_sync t (Wire.Restart_begin { tc = t.cfg.id; stable_lsn = stable });
   (* Redo: repeat history by resending logged operations in order.  The
      low-water mark is capped at the redo cursor: history not yet resent
      must count as outstanding. *)
@@ -1028,18 +1215,26 @@ let recover t =
   Wal.force t.log;
   send_eosl t;
   send_lwm t;
-  broadcast_control t (Wire.Restart_end { tc = t.cfg.id });
+  (* Another barrier: the fence opened by Restart_begin must be closed
+     (page-delete system transactions re-enabled) before this function
+     returns — callers may crash a DC next, and an open fence would
+     leak into its rebuilt state. *)
+  broadcast_sync t (Wire.Restart_end { tc = t.cfg.id });
   Instrument.bump t.counters "tc.recoveries"
 
 let on_dc_restart t ~dc =
   (* The DC rebuilt itself from stable state; every logged operation from
      the redo scan start point may be missing there.  Resend them (the
      DC's idempotence test absorbs the ones it still has). *)
-  let link =
+  let ls =
     match Hashtbl.find_opt t.links dc with
-    | Some link -> link
+    | Some ls -> ls
     | None -> invalid_arg ("Tc.on_dc_restart: unknown DC " ^ dc)
   in
+  (* Control messages from before the crash (and their replies) are
+     gone; open a fresh session so stragglers in flight cannot reach
+     the rebuilt DC's state. *)
+  new_epoch t ls;
   (* Replies to the DC's pre-crash requests died with it.  Letting the
      backoff path resend those pendings would race the redo cursor: a
      later operation could reach the rebuilt DC before an earlier one on
@@ -1052,12 +1247,13 @@ let on_dc_restart t ~dc =
      mid-scan, the next restart finds the still-fenced survivors and
      folds them in again. *)
   Hashtbl.iter
-    (fun _ p -> if String.equal p.p_link.dc_name dc then p.p_fenced <- true)
+    (fun _ p ->
+      if String.equal p.p_link.ls_link.dc_name dc then p.p_fenced <- true)
     t.pendings;
   let resend lsn record =
     match record with
     | Log_record.Op_log { op; _ } | Log_record.Compensation { op; _ } ->
-      if String.equal (route_op t op).dc_name dc then begin
+      if String.equal (route_op t op).ls_link.dc_name dc then begin
         let xid =
           match Hashtbl.find_opt t.pendings (Lsn.to_int lsn) with
           | Some p when p.p_fenced -> p.p_xid
@@ -1067,12 +1263,18 @@ let on_dc_restart t ~dc =
       end
     | _ -> ()
   in
-  ignore (link.control (Wire.Redo_fence_begin { tc = t.cfg.id }));
+  (* Both fences are barriers: the begin must be applied before any redo
+     frame, the end before fresh traffic resumes. *)
+  ignore
+    (await_control_reply t ls
+       (post_control ~awaited:true t ls (Wire.Redo_fence_begin { tc = t.cfg.id })));
   t.lwm_cap <- Some (Lsn.prev t.rssp);
   Wal.iter_from t.log t.rssp resend;
   Wal.iter_volatile t.log resend;
   t.lwm_cap <- None;
-  ignore (link.control (Wire.Redo_fence_end { tc = t.cfg.id }));
+  ignore
+    (await_control_reply t ls
+       (post_control ~awaited:true t ls (Wire.Redo_fence_end { tc = t.cfg.id })));
   (* Any pending still fenced was never logged: a synchronous read whose
      awaiting caller unwound with the crash.  Nothing will ever consume
      its reply; retire it. *)

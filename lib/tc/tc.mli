@@ -61,15 +61,18 @@ type config = {
 
 val default_config : Untx_util.Tc_id.t -> config
 
-(** How the kernel wires a TC to a DC.  [send] is asynchronous and may
-    be lossy/reordering/duplicating; [drain] surfaces any replies the
-    transport has delivered; [control] is the reliable session of
-    Section 4.2.1. *)
+(** How the kernel wires a TC to a DC: an asynchronous byte plane.
+    [send] and [send_control] enqueue encoded {!Untx_msg.Wire} frames on
+    the data and control channels; both may be delayed, lossy,
+    reordering or duplicating — the TC's contracts (unique ids, backoff
+    resend, the DC's idempotence tests) mask all of it, on {e both}
+    channels.  [drain] advances the plane one tick and surfaces due
+    (reply frames, control-reply frames). *)
 type dc_link = {
   dc_name : string;
-  send : Untx_msg.Wire.request -> unit;
-  control : Untx_msg.Wire.control -> Untx_msg.Wire.control_reply;
-  drain : unit -> Untx_msg.Wire.reply list;
+  send : string -> unit;
+  send_control : string -> unit;
+  drain : unit -> string list * string list;
 }
 
 type t

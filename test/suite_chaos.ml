@@ -71,6 +71,42 @@ let test_lossy_resend_completes () =
   Alcotest.(check int) "flush bypass never used" 0
     (counter c "transport.flush_delivered")
 
+let test_corrupting_wire () =
+  (* Seed 6 runs under the lossy policy, and the armed corruption point
+     flips bytes in a fraction of all delivered frames on both channels.
+     Every corrupted frame must be caught by the checksum gate (never
+     applied), and the contracts must still complete every
+     transaction. *)
+  let plan = [ Fault.crash_with_prob "transport.frame.corrupt" 0.05 ] in
+  let c = cycle ~label:"corrupting wire" ~plan ~seed:6 in
+  check_clean c;
+  Alcotest.(check int) "every transaction committed" 12 c.c_committed;
+  Alcotest.(check bool) "frames were corrupted" true
+    (counter c "transport.frames_corrupted" > 0);
+  Alcotest.(check int) "every corrupted frame was rejected"
+    (counter c "transport.frames_corrupted")
+    (counter c "transport.corrupt_dropped")
+
+let test_crash_cycle_under_corruption () =
+  (* A TC crash and a DC crash in the same cycle while the wire keeps
+     corrupting frames: the restart barriers and recovery redo
+     themselves run over the corrupting transport. *)
+  let plan =
+    [
+      Fault.crash_with_prob "transport.frame.corrupt" 0.04;
+      Fault.crash_at "tc.commit.before_force" 3;
+      Fault.crash_at "dc.flush.after_page_write" 2;
+    ]
+  in
+  List.iter
+    (fun seed ->
+      let c = cycle ~label:"crash cycle + corruption" ~plan ~seed in
+      check_clean c;
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: planned crashes fired" seed)
+        true (c.c_crashes >= 2))
+    [ 3; 6; 10 ]
+
 let test_plan_sweep_covers_required_points () =
   (* The standard sweep must reach the ISSUE's coverage floor: at least
      8 distinct points including a torn write and a mid-SMO crash. *)
@@ -96,6 +132,10 @@ let suite =
       test_reproducible;
     Alcotest.test_case "lossy workload completes via resend" `Quick
       test_lossy_resend_completes;
+    Alcotest.test_case "corrupting wire stays exactly-once" `Quick
+      test_corrupting_wire;
+    Alcotest.test_case "crash cycle under corruption" `Quick
+      test_crash_cycle_under_corruption;
     Alcotest.test_case "plan sweep covers the required points" `Quick
       test_plan_sweep_covers_required_points;
   ]

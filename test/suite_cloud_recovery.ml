@@ -66,13 +66,13 @@ let run_txn tcs oracles rng o =
   | `Ok () -> Hashtbl.iter (fun k v -> Hashtbl.replace oracle k v) staged
   | `Blocked | `Fail _ -> Alcotest.fail "commit failed in disjoint workload"
 
-let check_oracle tcs oracles reader_ix o =
+let check_oracle ?(seed = 0) tcs oracles reader_ix o =
   let reader = tcs.(reader_ix) in
   Hashtbl.iter
     (fun k v ->
       let got = Tc.read_committed reader ~table ~key:k in
       if got <> v then
-        Alcotest.failf "owner %d key %s: want %s got %s" o k
+        Alcotest.failf "seed %d owner %d key %s: want %s got %s" seed o k
           (Option.value ~default:"NONE" v)
           (Option.value ~default:"NONE" got))
     oracles.(o)
@@ -106,14 +106,14 @@ let sweep ~reset_mode ~crash_dc_instead ~seeds () =
       | Error m -> Alcotest.failf "seed %d ill-formed: %s" seed m);
       (* every TC's committed prefix intact, read via a different TC *)
       for o = 0 to n_tcs - 1 do
-        check_oracle tcs oracles ((o + 1) mod n_tcs) o
+        check_oracle ~seed tcs oracles ((o + 1) mod n_tcs) o
       done;
       (* the deployment still works: every TC commits one more txn *)
       for o = 0 to n_tcs - 1 do
         run_txn tcs oracles rng o
       done;
       for o = 0 to n_tcs - 1 do
-        check_oracle tcs oracles ((o + 1) mod n_tcs) o
+        check_oracle ~seed tcs oracles ((o + 1) mod n_tcs) o
       done)
     (List.init seeds (fun i -> 4000 + (i * 53)))
 

@@ -1,5 +1,6 @@
-(* The adversarial transport itself: determinism, delivery semantics,
-   flush, crash-time drops — plus a property-level exactly-once check
+(* The serialized message plane: determinism, delivery semantics for
+   both channels, byte accounting, batching, flush, crash-time drops,
+   checksum-gated corruption — plus a property-level exactly-once check
    over random policies at the kernel level. *)
 
 module Transport = Untx_kernel.Transport
@@ -7,23 +8,42 @@ module Wire = Untx_msg.Wire
 module Op = Untx_msg.Op
 module Lsn = Untx_util.Lsn
 module Tc_id = Untx_util.Tc_id
+module Instrument = Untx_util.Instrument
+module Fault = Untx_fault.Fault
 open Helpers
 module Kernel = Untx_kernel.Kernel
 
 let req i =
-  {
-    Wire.tc = Tc_id.of_int 1;
-    lsn = Lsn.of_int i;
-    op = Op.Read { table = "t"; key = string_of_int i; mode = Op.Own };
-  }
+  Wire.encode_request
+    {
+      Wire.tc = Tc_id.of_int 1;
+      lsn = Lsn.of_int i;
+      op = Op.Read { table = "t"; key = string_of_int i; mode = Op.Own };
+    }
 
-let echo_dc (r : Wire.request) =
-  { Wire.lsn = r.lsn; result = Wire.Done; prior = None }
+(* A DC stand-in that answers every request frame with a Done reply
+   carrying the request's LSN, and acks every control frame. *)
+let echo_data frame =
+  let r = Wire.decode_request frame in
+  Some (Wire.encode_reply { Wire.lsn = r.Wire.lsn; result = Wire.Done; prior = None })
 
-let drain_ids t = List.map (fun (r : Wire.reply) -> Lsn.to_int r.lsn) (Transport.drain t)
+let echo_control frame =
+  let m = Wire.decode_control frame in
+  Some
+    (Wire.encode_control_reply
+       { Wire.r_epoch = m.Wire.c_epoch; r_seq = m.Wire.c_seq; r_reply = Wire.Ack })
+
+let make ?counters ?policy ?control_policy ~seed () =
+  Transport.create ?counters ?policy ?control_policy ~seed ~data:echo_data
+    ~control:echo_control ()
+
+let drain_ids t =
+  List.map
+    (fun frame -> Lsn.to_int (Wire.decode_reply frame).Wire.lsn)
+    (fst (Transport.drain t))
 
 let test_reliable_fifo () =
-  let t = Transport.create ~seed:1 ~dc:echo_dc () in
+  let t = make ~seed:1 () in
   Transport.send t (req 1);
   Transport.send t (req 2);
   Transport.send t (req 3);
@@ -35,7 +55,7 @@ let test_delay () =
     { Transport.delay_min = 2; delay_max = 2; reorder = false; dup_prob = 0.;
       drop_prob = 0. }
   in
-  let t = Transport.create ~policy ~seed:1 ~dc:echo_dc () in
+  let t = make ~policy ~seed:1 () in
   Transport.send t (req 1);
   Alcotest.(check (list int)) "tick 1: nothing" [] (drain_ids t);
   Alcotest.(check (list int)) "tick 2: request delivered, reply delayed" []
@@ -44,18 +64,106 @@ let test_delay () =
   let got = drain_ids t @ drain_ids t @ drain_ids t @ drain_ids t in
   Alcotest.(check (list int)) "eventually" [ 1 ] got
 
+let test_control_channel () =
+  let t = make ~seed:5 () in
+  let ctl seq =
+    Wire.encode_control
+      {
+        Wire.c_epoch = 1;
+        c_seq = seq;
+        c_ctl = Wire.Low_water_mark { tc = Tc_id.of_int 1; lwm = Lsn.of_int 9 };
+      }
+  in
+  Transport.send_control t (ctl 1);
+  Transport.send_control t (ctl 2);
+  let replies, ctl_replies = Transport.drain t in
+  Alcotest.(check (list int)) "data channel untouched" [] (List.map String.length replies);
+  let seqs =
+    List.map (fun f -> (Wire.decode_control_reply f).Wire.r_seq) ctl_replies
+  in
+  Alcotest.(check (list int)) "acks in order, with seqs" [ 1; 2 ] seqs
+
+let test_channels_have_separate_policies () =
+  let blocked =
+    { Transport.delay_min = 50; delay_max = 50; reorder = false; dup_prob = 0.;
+      drop_prob = 0. }
+  in
+  let t = make ~seed:5 ~control_policy:blocked () in
+  Transport.send t (req 1);
+  Transport.send_control t
+    (Wire.encode_control
+       { Wire.c_epoch = 1; c_seq = 1; c_ctl = Wire.Restart_end { tc = Tc_id.of_int 1 } });
+  let replies, ctl_replies = Transport.drain t in
+  Alcotest.(check int) "data round-tripped" 1 (List.length replies);
+  Alcotest.(check int) "control still in flight" 0 (List.length ctl_replies);
+  Alcotest.(check int) "one frame pending" 1 (Transport.in_flight t)
+
+let test_byte_accounting () =
+  let counters = Instrument.create () in
+  let t = make ~counters ~seed:2 () in
+  let frame = req 7 in
+  Transport.send t frame;
+  let replies, _ = Transport.drain t in
+  let reply_frame = List.hd replies in
+  (* The sender pays measured encoded bytes for both directions. *)
+  Alcotest.(check int) "data bytes = request + reply"
+    (String.length frame + String.length reply_frame)
+    (Transport.data_bytes_sent t);
+  Alcotest.(check int) "mirrored into counters"
+    (Transport.data_bytes_sent t)
+    (Instrument.get counters "transport.data_bytes");
+  Alcotest.(check int) "control channel unused" 0
+    (Transport.control_bytes_sent t);
+  Alcotest.(check int) "total is the sum"
+    (Transport.data_bytes_sent t)
+    (Transport.bytes_sent t)
+
+let test_batching_counters () =
+  let counters = Instrument.create () in
+  let t = make ~counters ~seed:3 () in
+  for i = 1 to 5 do
+    Transport.send t (req i)
+  done;
+  ignore (Transport.drain t);
+  (* One delivery round coalesced all five requests into a batch; the
+     replies came due in the same drain call, as a second batch. *)
+  Alcotest.(check int) "two batches" 2 (Instrument.get counters "transport.batches");
+  Alcotest.(check int) "ten frames batched" 10
+    (Instrument.get counters "transport.batched_frames")
+
+let test_corruption_dropped () =
+  let counters = Instrument.create () in
+  let t = make ~counters ~seed:11 () in
+  Fault.arm ~seed:4 [ Fault.crash_with_prob "transport.frame.corrupt" 1.0 ];
+  Transport.send t (req 1);
+  Transport.send t (req 2);
+  let replies, _ = Transport.drain t in
+  Fault.disarm ();
+  (* Every delivery attempt was corrupted; the checksum gate turned each
+     into a silent loss. *)
+  Alcotest.(check int) "nothing survived" 0 (List.length replies);
+  Alcotest.(check int) "nothing reached the endpoint" 0
+    (Transport.requests_delivered t);
+  Alcotest.(check int) "both rejections counted" 2 (Transport.corrupt_dropped t);
+  Alcotest.(check int) "counter mirrored" 2
+    (Instrument.get counters "transport.corrupt_dropped");
+  (* With the fault gone, a resend of the same frames goes through. *)
+  Transport.send t (req 1);
+  Transport.send t (req 2);
+  Alcotest.(check (list int)) "resend carries it" [ 1; 2 ] (drain_ids t)
+
 let test_drop_and_dup_counted () =
   let policy =
     { Transport.delay_min = 0; delay_max = 0; reorder = false;
       dup_prob = 0.5; drop_prob = 0.3 }
   in
-  let t = Transport.create ~policy ~seed:7 ~dc:echo_dc () in
+  let t = make ~policy ~seed:7 () in
   for i = 1 to 200 do
     Transport.send t (req i)
   done;
   let delivered = ref 0 in
   for _ = 1 to 50 do
-    delivered := !delivered + List.length (Transport.drain t)
+    delivered := !delivered + List.length (fst (Transport.drain t))
   done;
   Alcotest.(check bool) "some dropped" true (Transport.dropped t > 0);
   Alcotest.(check bool) "some duplicated" true (Transport.duplicated t > 0);
@@ -64,7 +172,7 @@ let test_drop_and_dup_counted () =
 let test_determinism () =
   let run () =
     let policy = Transport.chaotic in
-    let t = Transport.create ~policy ~seed:99 ~dc:echo_dc () in
+    let t = make ~policy ~seed:99 () in
     for i = 1 to 50 do
       Transport.send t (req i)
     done;
@@ -83,11 +191,11 @@ let test_determinism () =
   Alcotest.(check bool) "the adversary actually dropped" true (drop_a > 0)
 
 let test_flush_delivers_everything () =
-  let t = Transport.create ~policy:Transport.chaotic ~seed:3 ~dc:echo_dc () in
+  let t = make ~policy:Transport.chaotic ~seed:3 () in
   for i = 1 to 40 do
     Transport.send t (req i)
   done;
-  let flushed = Transport.flush t in
+  let flushed, _ = Transport.flush t in
   Alcotest.(check int) "empty after flush" 0 (Transport.in_flight t);
   Alcotest.(check int) "flush reports what it force-delivered"
     (Transport.force_delivered t) (List.length flushed);
@@ -98,7 +206,7 @@ let test_drop_in_flight () =
     { Transport.delay_min = 5; delay_max = 5; reorder = false; dup_prob = 0.;
       drop_prob = 0. }
   in
-  let t = Transport.create ~policy ~seed:3 ~dc:echo_dc () in
+  let t = make ~policy ~seed:3 () in
   Transport.send t (req 1);
   Transport.drop_in_flight t;
   Alcotest.(check int) "gone" 0 (Transport.in_flight t);
@@ -113,7 +221,7 @@ let test_drop_in_flight_preserves_counters () =
     { Transport.delay_min = 1; delay_max = 1; reorder = false;
       dup_prob = 0.5; drop_prob = 0.3 }
   in
-  let t = Transport.create ~policy ~seed:21 ~dc:echo_dc () in
+  let t = make ~policy ~seed:21 () in
   for i = 1 to 60 do
     Transport.send t (req i);
     ignore (Transport.drain t)
@@ -176,6 +284,13 @@ let suite =
   [
     Alcotest.test_case "reliable is FIFO" `Quick test_reliable_fifo;
     Alcotest.test_case "delay semantics" `Quick test_delay;
+    Alcotest.test_case "control channel round trip" `Quick test_control_channel;
+    Alcotest.test_case "per-channel policies" `Quick
+      test_channels_have_separate_policies;
+    Alcotest.test_case "byte accounting is measured" `Quick test_byte_accounting;
+    Alcotest.test_case "batching counters" `Quick test_batching_counters;
+    Alcotest.test_case "corrupt frames are dropped" `Quick
+      test_corruption_dropped;
     Alcotest.test_case "drop/dup accounting" `Quick test_drop_and_dup_counted;
     Alcotest.test_case "seeded determinism" `Quick test_determinism;
     Alcotest.test_case "flush delivers all" `Quick

@@ -1,0 +1,273 @@
+(* Property suite for the binary wire codec: decode is the exact
+   inverse of encode for every message variant, and a decoder fed
+   mutated bytes either still yields a frame that re-encodes to the
+   same bytes (the mutation hit redundancy) or raises
+   [Invalid_argument] — it never crashes another way and never returns
+   a silently wrong value. *)
+
+module Wire = Untx_msg.Wire
+module Op = Untx_msg.Op
+module Lsn = Untx_util.Lsn
+module Tc_id = Untx_util.Tc_id
+
+open QCheck
+
+(* --- generators ------------------------------------------------------ *)
+
+(* Keys/values/table names exercise the codec's escaping: separators,
+   escape characters, empties, binary bytes. *)
+let gen_str =
+  Gen.(
+    oneof
+      [
+        small_string ~gen:printable;
+        small_string ~gen:(char_range '\000' '\255');
+        oneofl [ ""; "|"; "\\"; "|\\|"; "a|b"; "-"; "+"; "\n" ];
+      ])
+
+let gen_mode = Gen.oneofl [ Op.Own; Op.Committed; Op.Dirty ]
+
+let gen_op =
+  Gen.(
+    gen_str >>= fun table ->
+    gen_str >>= fun key ->
+    gen_str >>= fun value ->
+    small_nat >>= fun limit ->
+    gen_mode >>= fun mode ->
+    list_size (int_bound 5) gen_str >>= fun keys ->
+    oneofl
+      [
+        Op.Insert { table; key; value };
+        Op.Update { table; key; value };
+        Op.Delete { table; key };
+        Op.Read { table; key; mode };
+        Op.Scan { table; from_key = key; limit; mode };
+        Op.Probe { table; from_key = key; limit };
+        Op.Commit_versions { table; keys };
+        Op.Abort_versions { table; keys };
+      ])
+
+let gen_tc = Gen.map (fun i -> Tc_id.of_int (1 + i)) Gen.small_nat
+
+let gen_lsn = Gen.map (fun i -> Lsn.of_int i) Gen.small_nat
+
+let gen_request =
+  Gen.(
+    gen_tc >>= fun tc ->
+    gen_lsn >>= fun lsn ->
+    gen_op >>= fun op -> return { Wire.tc; lsn; op })
+
+let gen_result =
+  Gen.(
+    gen_str >>= fun s ->
+    opt gen_str >>= fun v ->
+    list_size (int_bound 4) (pair gen_str gen_str) >>= fun pairs ->
+    list_size (int_bound 4) gen_str >>= fun keys ->
+    oneofl
+      [ Wire.Done; Wire.Value v; Wire.Pairs pairs; Wire.Next_keys keys;
+        Wire.Failed s ])
+
+let gen_reply =
+  Gen.(
+    gen_lsn >>= fun lsn ->
+    gen_result >>= fun result ->
+    opt gen_str >>= fun prior -> return { Wire.lsn; result; prior })
+
+let gen_control =
+  Gen.(
+    gen_tc >>= fun tc ->
+    gen_lsn >>= fun a ->
+    gen_lsn >>= fun b ->
+    oneofl
+      [
+        Wire.End_of_stable_log { tc; eosl = a };
+        Wire.Low_water_mark { tc; lwm = a };
+        Wire.Watermarks { tc; eosl = a; lwm = b };
+        Wire.Checkpoint { tc; new_rssp = a };
+        Wire.Restart_begin { tc; stable_lsn = a };
+        Wire.Restart_end { tc };
+        Wire.Redo_fence_begin { tc };
+        Wire.Redo_fence_end { tc };
+      ])
+
+let gen_control_msg =
+  Gen.(
+    small_nat >>= fun epoch ->
+    small_nat >>= fun seq ->
+    gen_control >>= fun ctl ->
+    return { Wire.c_epoch = 1 + epoch; c_seq = 1 + seq; c_ctl = ctl })
+
+let gen_control_reply_msg =
+  Gen.(
+    small_nat >>= fun epoch ->
+    small_nat >>= fun seq ->
+    oneofl [ Wire.Ack; Wire.Checkpoint_done { granted = true };
+             Wire.Checkpoint_done { granted = false } ]
+    >>= fun r ->
+    return { Wire.r_epoch = 1 + epoch; r_seq = 1 + seq; r_reply = r })
+
+(* One arbitrary covering all four frame kinds, as (name, bytes) with
+   the decoded-re-encoded check done against the right decoder. *)
+type any_frame =
+  | Freq of Wire.request
+  | Frep of Wire.reply
+  | Fctl of Wire.control_msg
+  | Fcrp of Wire.control_reply_msg
+
+let gen_any_frame =
+  Gen.oneof
+    [
+      Gen.map (fun r -> Freq r) gen_request;
+      Gen.map (fun r -> Frep r) gen_reply;
+      Gen.map (fun m -> Fctl m) gen_control_msg;
+      Gen.map (fun m -> Fcrp m) gen_control_reply_msg;
+    ]
+
+let encode_any = function
+  | Freq r -> Wire.encode_request r
+  | Frep r -> Wire.encode_reply r
+  | Fctl m -> Wire.encode_control m
+  | Fcrp m -> Wire.encode_control_reply m
+
+let print_any f =
+  let hex s =
+    String.concat "" (List.map (Printf.sprintf "%02x") (List.init (String.length s) (fun i -> Char.code s.[i])))
+  in
+  hex (encode_any f)
+
+(* --- round-trip properties ------------------------------------------- *)
+
+let prop_request_roundtrip =
+  Test.make ~name:"decode_request (encode_request r) = r" ~count:500
+    (make ~print:print_any (Gen.map (fun r -> Freq r) gen_request))
+    (function
+      | Freq r -> Wire.decode_request (Wire.encode_request r) = r
+      | _ -> assert false)
+
+let prop_reply_roundtrip =
+  Test.make ~name:"decode_reply (encode_reply r) = r" ~count:500
+    (make ~print:print_any (Gen.map (fun r -> Frep r) gen_reply))
+    (function
+      | Frep r -> Wire.decode_reply (Wire.encode_reply r) = r
+      | _ -> assert false)
+
+let prop_control_roundtrip =
+  Test.make ~name:"decode_control (encode_control m) = m" ~count:500
+    (make ~print:print_any (Gen.map (fun m -> Fctl m) gen_control_msg))
+    (function
+      | Fctl m -> Wire.decode_control (Wire.encode_control m) = m
+      | _ -> assert false)
+
+let prop_control_reply_roundtrip =
+  Test.make ~name:"decode_control_reply (encode_control_reply m) = m"
+    ~count:500
+    (make ~print:print_any (Gen.map (fun m -> Fcrp m) gen_control_reply_msg))
+    (function
+      | Fcrp m -> Wire.decode_control_reply (Wire.encode_control_reply m) = m
+      | _ -> assert false)
+
+let prop_frame_ok =
+  Test.make ~name:"every encoded frame passes frame_ok" ~count:500
+    (make ~print:print_any gen_any_frame) (fun f ->
+      Wire.frame_ok (encode_any f))
+
+(* --- mutation fuzz ---------------------------------------------------- *)
+
+(* Apply a random byte-level mutation and check the decoder's total
+   contract.  Each decoder is tried against the mutant; a decoder is
+   well-behaved if it raises Invalid_argument, or returns a value whose
+   re-encoding equals the mutant bytes (the mutation was absorbed by
+   representational redundancy, so the value is faithful). *)
+let mutate bytes (pos, change) =
+  if String.length bytes = 0 then bytes
+  else
+    let b = Bytes.of_string bytes in
+    let i = pos mod Bytes.length b in
+    (match change mod 3 with
+    | 0 ->
+      (* flip bits *)
+      Bytes.set b i
+        (Char.chr (Char.code (Bytes.get b i) lxor (1 + (change mod 255))))
+    | 1 -> Bytes.set b i '\255'
+    | _ -> Bytes.set b i '\000');
+    Bytes.unsafe_to_string b
+
+let truncate_at bytes pos =
+  if String.length bytes = 0 then bytes
+  else String.sub bytes 0 (pos mod String.length bytes)
+
+let well_behaved decode encode bytes =
+  match decode bytes with
+  | v -> String.equal (encode v) bytes
+  | exception Invalid_argument _ -> true
+
+let total frame =
+  well_behaved Wire.decode_request Wire.encode_request frame
+  && well_behaved Wire.decode_reply Wire.encode_reply frame
+  && well_behaved Wire.decode_control Wire.encode_control frame
+  && well_behaved Wire.decode_control_reply Wire.encode_control_reply frame
+  &&
+  (* frame_ok must itself be total on arbitrary bytes *)
+  match Wire.frame_ok frame with true | false -> true
+
+let gen_mutation = Gen.(pair small_nat small_nat)
+
+let prop_mutated_frames =
+  Test.make
+    ~name:"decoders are total on byte-mutated frames" ~count:1000
+    (make
+       ~print:(fun (f, (pos, change)) ->
+         Printf.sprintf "%s pos=%d change=%d" (print_any f) pos change)
+       Gen.(pair gen_any_frame gen_mutation))
+    (fun (f, m) -> total (mutate (encode_any f) m))
+
+let prop_truncated_frames =
+  Test.make ~name:"decoders are total on truncated frames" ~count:500
+    (make
+       ~print:(fun (f, pos) -> Printf.sprintf "%s cut=%d" (print_any f) pos)
+       Gen.(pair gen_any_frame small_nat))
+    (fun (f, pos) -> total (truncate_at (encode_any f) pos))
+
+let prop_garbage =
+  Test.make ~name:"decoders are total on arbitrary bytes" ~count:500
+    (string_gen Gen.(char_range '\000' '\255'))
+    (fun s -> total s)
+
+(* Cross-kind confusion: a frame of one kind must never decode as
+   another (the kind byte is part of the checksummed header). *)
+let prop_kind_separation =
+  Test.make ~name:"frame kinds do not cross-decode" ~count:300
+    (make ~print:print_any gen_any_frame) (fun f ->
+      let bytes = encode_any f in
+      let rejects decode =
+        match decode bytes with
+        | _ -> false
+        | exception Invalid_argument _ -> true
+      in
+      match f with
+      | Freq _ ->
+        rejects Wire.decode_reply && rejects Wire.decode_control
+        && rejects Wire.decode_control_reply
+      | Frep _ ->
+        rejects Wire.decode_request && rejects Wire.decode_control
+        && rejects Wire.decode_control_reply
+      | Fctl _ ->
+        rejects Wire.decode_request && rejects Wire.decode_reply
+        && rejects Wire.decode_control_reply
+      | Fcrp _ ->
+        rejects Wire.decode_request && rejects Wire.decode_reply
+        && rejects Wire.decode_control)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_request_roundtrip;
+      prop_reply_roundtrip;
+      prop_control_roundtrip;
+      prop_control_reply_roundtrip;
+      prop_frame_ok;
+      prop_mutated_frames;
+      prop_truncated_frames;
+      prop_garbage;
+      prop_kind_separation;
+    ]

@@ -6,6 +6,7 @@ let () =
       ("wal", Suite_wal.suite);
       ("ablsn", Suite_ablsn.suite);
       ("msg", Suite_msg.suite);
+      ("wire", Suite_wire.suite);
       ("btree", Suite_btree.suite);
       ("lock", Suite_lock.suite);
       ("dc", Suite_dc.suite);
