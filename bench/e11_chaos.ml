@@ -98,7 +98,58 @@ let run_soak ~seeds_per_plan () =
   Printf.printf "E11 ok: %d cycles, %d fired, %d distinct points, 0 violations\n"
     s.Chaos.s_cycles s.Chaos.s_fired fired_points
 
-let run () = run_soak ~seeds_per_plan:7 ()
+(* The partitioned soak: every cycle is one TC fronting [parts]
+   hash-partitioned DCs.  Fault plans kill a single partition mid-SMO,
+   mid-checkpoint-grant, mid-flush and mid-WAL-force (plus double-kill
+   and corrupting-wire plans); the crashed partition recovers alone
+   while its siblings keep serving, and the deployment auditor checks
+   every partition plus the merged oracle. *)
+let run_soak_partitioned ~seeds_per_plan () =
+  let parts = 3 in
+  let cycles, s = Chaos.soak_partitioned ~seeds_per_plan ~parts () in
+  Bench_util.print_table
+    ~title:
+      (Printf.sprintf "E11: partitioned soak (1 TC x %d DCs), fires per point"
+         parts)
+    ~header:[ "fault point"; "fires" ]
+    (List.map
+       (fun (p, n) -> [ p; string_of_int n ])
+       s.Chaos.s_fires_by_point);
+  Bench_util.print_table ~title:"E11: partitioned soak summary"
+    ~header:[ "metric"; "value" ]
+    [
+      [ "cycles"; string_of_int s.Chaos.s_cycles ];
+      [ "cycles with a fire"; string_of_int s.Chaos.s_fired ];
+      [ "injected hard kills"; string_of_int s.Chaos.s_crashes ];
+      [ "auditor violations"; string_of_int (List.length s.Chaos.s_violating) ];
+    ];
+  print_cycle_failures cycles;
+  let fired p = List.mem_assoc p s.Chaos.s_fires_by_point in
+  let problems =
+    List.filter_map
+      (fun (ok, msg) -> if ok then None else Some msg)
+      [
+        (s.Chaos.s_violating = [], "partitioned auditor violations");
+        (s.Chaos.s_cycles >= 50, "fewer than 50 partitioned cycles");
+        (fired "dc.smo.split.mid", "no mid-SMO partition kill fired");
+        (fired "dc.checkpoint.mid", "no mid-checkpoint-grant kill fired");
+      ]
+  in
+  if problems <> [] then begin
+    List.iter (fun m -> Printf.printf "E11 FAILED: %s\n" m) problems;
+    exit 1
+  end;
+  Printf.printf
+    "E11 partitioned ok: %d cycles over %d partitions, %d kills, 0 violations\n"
+    s.Chaos.s_cycles parts s.Chaos.s_crashes
 
-(* Short fixed-seed soak for the @chaos dune alias. *)
-let run_short () = run_soak ~seeds_per_plan:1 ()
+let run () =
+  run_soak ~seeds_per_plan:7 ();
+  run_soak_partitioned ~seeds_per_plan:7 ()
+
+(* Short fixed-seed soak for the @chaos dune alias (which @ci includes):
+   single-kernel plans at one seed each, plus the multi-DC soak at four
+   seeds per plan — at least 50 partitioned cycles on every CI run. *)
+let run_short () =
+  run_soak ~seeds_per_plan:1 ();
+  run_soak_partitioned ~seeds_per_plan:4 ()

@@ -29,23 +29,44 @@ let spec =
     seed = 31;
   }
 
+let pool_pages = 48
+
 let run_policy label sync_policy =
   let counters = Instrument.create () in
   (* an infrequent low-water mark leaves {LSNin} sets fat, stressing the
      policies' flush-eligibility rules *)
   let k =
-    make_kernel ~counters ~sync_policy ~cache_pages:48 ~page_capacity:512
-      ~lwm_every:300 ()
+    make_kernel ~counters ~sync_policy ~cache_pages:pool_pages
+      ~page_capacity:512 ~lwm_every:300 ()
   in
   let e = Engine.of_kernel k in
   Driver.preload e spec;
   let r, t = time (fun () -> Driver.run e spec) in
   let flushes = Instrument.get counters "cache.flushes" in
+  let evictions = Instrument.get counters "cache.evictions" in
+  let skips = Instrument.get counters "cache.evict_skips" in
+  let scan_steps = Instrument.get counters "cache.evict_scan_steps" in
+  (* Regression gate for the victim search: the second-chance clock pays
+     an amortized handful of ring steps per eviction attempt.  The old
+     LRU-ticket scan folded over the whole pool per candidate — ~pool
+     steps per eviction — so a quarter of the pool size is a loud
+     tripwire without being flaky. *)
+  let per_attempt =
+    float_of_int scan_steps /. float_of_int (max 1 (evictions + skips))
+  in
+  if per_attempt > float_of_int pool_pages /. 4. then begin
+    Printf.printf
+      "E4 FAILED: eviction scan cost regressed (%.1f steps per attempt, \
+       pool %d)\n"
+      per_attempt pool_pages;
+    exit 1
+  end;
   [
     label;
     fmt_f (float_of_int r.Driver.committed /. t);
     string_of_int flushes;
-    string_of_int (Instrument.get counters "cache.evict_skips");
+    string_of_int skips;
+    fmt_f2 per_attempt;
     string_of_int (Instrument.get counters "dc.meta_bytes_flushed");
     fmt_f (per (Instrument.get counters "dc.meta_bytes_flushed") flushes);
   ]
@@ -56,8 +77,8 @@ let run () =
       "E4  Page-sync policies under eviction pressure (48-page pool, \
        update-heavy)"
     ~header:
-      [ "policy"; "txns/s"; "flushes"; "policy skips"; "meta bytes";
-        "meta B/flush" ]
+      [ "policy"; "txns/s"; "flushes"; "policy skips"; "scan/attempt";
+        "meta bytes"; "meta B/flush" ]
     [
       run_policy "1: stall until LWM" Dc.Stall_until_lwm;
       run_policy "2: full abLSN" Dc.Full_ablsn;

@@ -14,7 +14,7 @@
 let experiments =
   [
     ("e1", "code-path length: unbundled vs monolithic", E1_code_path.run);
-    ("e2", "instance scaling across cores", E2_multicore.run);
+    ("e2", "partitioned deployment scaling", E2_multicore.run);
     ("e3", "out-of-order arrivals and abstract LSNs", E3_out_of_order.run);
     ("e4", "page-sync policies", E4_page_sync.run);
     ("e5", "partial-failure recovery", E5_recovery.run);

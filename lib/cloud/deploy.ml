@@ -3,6 +3,14 @@ module Transport = Untx_kernel.Transport
 module Tc = Untx_tc.Tc
 module Dc = Untx_dc.Dc
 
+type scheme = Hash | Range of string list
+
+type ptable = {
+  pt_versioned : bool;
+  pt_dcs : string array; (* partition id -> DC name *)
+  pt_scheme : scheme;
+}
+
 type t = {
   counters : Instrument.t;
   policy : Transport.policy;
@@ -10,6 +18,11 @@ type t = {
   dcs : (string, Dc.t) Hashtbl.t;
   tcs : (string, Tc.t) Hashtbl.t;
   transports : (string * string, Transport.t) Hashtbl.t; (* (tc, dc) *)
+  ptables : (string, ptable) Hashtbl.t; (* partitioned table registry *)
+  mutable next_part : int; (* partition ids handed out by add_dc *)
+  mutable last_faulted : string option;
+      (* the DC whose handler last raised — the component a mid-traffic
+         Injected_crash actually belongs to *)
 }
 
 let create ?(counters = Instrument.global) ?(policy = Transport.reliable)
@@ -21,22 +34,76 @@ let create ?(counters = Instrument.global) ?(policy = Transport.reliable)
     dcs = Hashtbl.create 4;
     tcs = Hashtbl.create 4;
     transports = Hashtbl.create 8;
+    ptables = Hashtbl.create 4;
+    next_part = 0;
+    last_faulted = None;
   }
 
 let fresh_seed t =
   t.seed <- t.seed + 7919;
   t.seed
 
+(* ------------------------------------------------------------------ *)
+(* Partition map                                                       *)
+
+(* FNV-1a over the key, masked positive: a stable hash — the map must
+   route identically across TC restarts, or redo would ship records to
+   the wrong partition. *)
+let hash_key key =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF)
+    key;
+  !h
+
+let partition_index pt key =
+  let n = Array.length pt.pt_dcs in
+  match pt.pt_scheme with
+  | Hash -> hash_key key mod n
+  | Range splits ->
+    (* splits.(i) is the first key of partition i+1 *)
+    let rec go i = function
+      | [] -> i
+      | s :: rest -> if String.compare key s < 0 then i else go (i + 1) rest
+    in
+    go 0 splits
+
+let partition_dc t ~table ~key =
+  match Hashtbl.find_opt t.ptables table with
+  | Some pt -> pt.pt_dcs.(partition_index pt key)
+  | None -> invalid_arg ("Deploy.partition_dc: not partitioned: " ^ table)
+
+let partitions t ~table =
+  match Hashtbl.find_opt t.ptables table with
+  | Some pt -> Array.to_list pt.pt_dcs
+  | None -> invalid_arg ("Deploy.partitions: not partitioned: " ^ table)
+
+let install_ptable_route _t tc name pt =
+  Tc.map_table_partitioned tc ~table:name ~versioned:pt.pt_versioned
+    ~partition:(fun key -> pt.pt_dcs.(partition_index pt key))
+
+(* ------------------------------------------------------------------ *)
+(* Wiring                                                              *)
+
 let link t ~tc_name ~dc_name =
   if not (Hashtbl.mem t.transports (tc_name, dc_name)) then begin
     let dc = Hashtbl.find t.dcs dc_name in
     (* Each (TC, DC) pair gets its own two-channel byte plane; control
-       traffic rides the same adversary as data. *)
+       traffic rides the same adversary as data.  Handlers are wrapped
+       so an injected fault escaping the DC is attributed to it — a
+       deployment must crash the component that actually died, not
+       whichever DC a plan happened to name. *)
+    let attribute f frame =
+      try f frame
+      with e ->
+        t.last_faulted <- Some dc_name;
+        raise e
+    in
     let transport =
       Transport.create ~counters:t.counters ~policy:t.policy
-        ~seed:(fresh_seed t)
-        ~data:(Dc.handle_request_frame dc)
-        ~control:(Dc.handle_control_frame dc)
+        ~label:(tc_name ^ ":" ^ dc_name) ~seed:(fresh_seed t)
+        ~data:(attribute (Dc.handle_request_frame dc))
+        ~control:(attribute (Dc.handle_control_frame dc))
         ()
     in
     Hashtbl.add t.transports (tc_name, dc_name) transport;
@@ -44,6 +111,7 @@ let link t ~tc_name ~dc_name =
     Tc.attach_dc tc
       {
         Tc.dc_name;
+        part = Dc.part dc;
         send = Transport.send transport;
         send_control = Transport.send_control transport;
         drain = (fun () -> Transport.drain transport);
@@ -53,6 +121,8 @@ let link t ~tc_name ~dc_name =
 let add_dc t ~name config =
   if Hashtbl.mem t.dcs name then invalid_arg ("Deploy.add_dc: dup " ^ name);
   let dc = Dc.create ~counters:t.counters config in
+  Dc.set_identity dc ~part:t.next_part;
+  t.next_part <- t.next_part + 1;
   Hashtbl.add t.dcs name dc;
   Hashtbl.iter (fun tc_name _ -> link t ~tc_name ~dc_name:name) t.tcs;
   dc
@@ -62,6 +132,8 @@ let add_tc t ~name config =
   let tc = Tc.create ~counters:t.counters config in
   Hashtbl.add t.tcs name tc;
   Hashtbl.iter (fun dc_name _ -> link t ~tc_name:name ~dc_name) t.dcs;
+  (* A late TC routes every already-partitioned table the same way. *)
+  Hashtbl.iter (fun tname pt -> install_ptable_route t tc tname pt) t.ptables;
   tc
 
 let tc t name = Hashtbl.find t.tcs name
@@ -77,6 +149,30 @@ let dc_names t =
 let create_table t ~dc:dc_name ~name ~versioned =
   Dc.create_table (dc t dc_name) ~name ~versioned
 
+let add_partitioned_table t ?(scheme = Hash) ~name ~versioned ~dcs:dc_list ()
+    =
+  if dc_list = [] then invalid_arg "Deploy.add_partitioned_table: no DCs";
+  if Hashtbl.mem t.ptables name then
+    invalid_arg ("Deploy.add_partitioned_table: dup " ^ name);
+  (match scheme with
+  | Range splits when List.length splits <> List.length dc_list - 1 ->
+    invalid_arg "Deploy.add_partitioned_table: need N-1 range splits"
+  | _ -> ());
+  List.iter
+    (fun d ->
+      if not (Hashtbl.mem t.dcs d) then
+        invalid_arg ("Deploy.add_partitioned_table: unknown DC " ^ d))
+    dc_list;
+  let pt =
+    { pt_versioned = versioned; pt_dcs = Array.of_list dc_list;
+      pt_scheme = scheme }
+  in
+  Hashtbl.add t.ptables name pt;
+  (* The physical table exists at every owning DC; each holds only the
+     keys the map routes to it. *)
+  List.iter (fun d -> Dc.create_table (dc t d) ~name ~versioned) dc_list;
+  Hashtbl.iter (fun _ tc -> install_ptable_route t tc name pt) t.tcs
+
 let drop_in_flight_for t ~dc_name =
   Hashtbl.iter
     (fun (_, d) transport ->
@@ -86,10 +182,17 @@ let drop_in_flight_for t ~dc_name =
 let crash_dc t name =
   let dc = dc t name in
   drop_in_flight_for t ~dc_name:name;
-  Dc.crash dc;
-  Dc.recover dc;
+  (try
+     Dc.crash dc;
+     Dc.recover dc
+   with e ->
+     (* the fault plan struck again inside this DC's own recovery *)
+     t.last_faulted <- Some name;
+     raise e);
   (* Prompt every TC: each resends its own history (the DC's per-TC
-     abstract LSNs absorb what survived on stable pages). *)
+     abstract LSNs absorb what survived on stable pages).  Sibling
+     partitions are untouched — single-partition restart is the point
+     of the partitioned deployment. *)
   Hashtbl.iter (fun _ tc -> Tc.on_dc_restart tc ~dc:name) t.tcs
 
 let crash_tc t name =
@@ -122,16 +225,29 @@ let crash_tc t name =
       end)
     t.dcs
 
+let take_last_faulted t =
+  let f = t.last_faulted in
+  t.last_faulted <- None;
+  f
+
 let crash_for_point t ~point ~tc ~dc =
-  let rec go attempts point =
+  let rec go attempts point ~dc =
     try
       match Untx_kernel.Kernel.component_of_point point with
-      | `Tc -> crash_tc t tc
-      | `Dc -> crash_dc t dc
+      | `Tc ->
+        ignore (take_last_faulted t);
+        crash_tc t tc
+      | `Dc ->
+        (* Crash the DC the fault actually escaped from: with N
+           partitions, killing a sibling of the one mid-SMO would leave
+           a half-done system transaction live in an unrestarted
+           cache. *)
+        let target = Option.value (take_last_faulted t) ~default:dc in
+        crash_dc t target
     with Untx_fault.Fault.Injected_crash p when attempts > 0 ->
-      go (attempts - 1) p
+      go (attempts - 1) p ~dc
   in
-  go 8 point
+  go 8 point ~dc
 
 let quiesce t = Hashtbl.iter (fun _ tc -> Tc.quiesce tc) t.tcs
 

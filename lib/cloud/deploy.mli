@@ -11,6 +11,13 @@
 
 type t
 
+(** How a partitioned table spreads keys over its DCs. *)
+type scheme =
+  | Hash  (** stable FNV hash of the key, mod partition count *)
+  | Range of string list
+      (** N-1 ordered split keys; partition [i+1] starts at split [i].
+          Scans stay inside one partition when their prefix pins it. *)
+
 val create :
   ?counters:Untx_util.Instrument.t ->
   ?policy:Untx_kernel.Transport.policy ->
@@ -19,6 +26,8 @@ val create :
   t
 
 val add_dc : t -> name:string -> Untx_dc.Dc.config -> Untx_dc.Dc.t
+(** The DC is assigned the next partition id ({!Untx_dc.Dc.part}) and
+    linked to every TC present and TCs added later. *)
 
 val add_tc : t -> name:string -> Untx_tc.Tc.config -> Untx_tc.Tc.t
 (** The TC is linked (via its own transport) to every DC present and to
@@ -36,6 +45,26 @@ val create_table :
   t -> dc:string -> name:string -> versioned:bool -> unit
 (** Create the physical table at one DC (idempotent). *)
 
+val add_partitioned_table :
+  t ->
+  ?scheme:scheme ->
+  name:string ->
+  versioned:bool ->
+  dcs:string list ->
+  unit ->
+  unit
+(** Register a table partitioned over [dcs] (default {!Hash}): the
+    physical table is created at each listed DC, and every TC — present
+    or added later — routes each key to its owning partition.  The map
+    is static and deterministic, so redo after any crash ships every
+    logical log record back to the same DC that first applied it. *)
+
+val partition_dc : t -> table:string -> key:string -> string
+(** The DC owning [key] under the table's partition map. *)
+
+val partitions : t -> table:string -> string list
+(** The owning DCs of a partitioned table, in partition-id order. *)
+
 val crash_dc : t -> string -> unit
 (** Crash + recover the DC, then drive redo from every TC (each resends
     its own logged operations from its redo-scan start point). *)
@@ -47,7 +76,10 @@ val crash_tc : t -> string -> unit
 val crash_for_point : t -> point:string -> tc:string -> dc:string -> unit
 (** Kill whichever component owns the fault point (see
     {!Untx_kernel.Kernel.component_of_point}): a TC-side point crashes
-    the named TC, a DC-side point the named DC.  Plans that fire again
+    the named TC; a DC-side point crashes the DC whose handler the
+    injected fault actually escaped from (falling back to the named
+    [dc]) — with N partitions the dying component is whichever DC was
+    mid-operation, not whichever a plan named.  Plans that fire again
     during recovery crash the restarted component in turn (bounded). *)
 
 val quiesce : t -> unit

@@ -86,9 +86,16 @@ type t = {
       (* active restart-redo windows; page deletes deferred while > 0 *)
   mutable escalated : bool;
       (* a selective TC reset had to fall back to full DC recovery *)
+  mutable part : int;
+      (* partition id in the deployment; requests stamped for another
+         partition are rejected instead of applied *)
 }
 
 let config t = t.cfg
+
+let set_identity t ~part = t.part <- part
+
+let part t = t.part
 
 (* ------------------------------------------------------------------ *)
 (* Per-page state                                                      *)
@@ -315,6 +322,7 @@ let create ?(counters = Instrument.global) cfg =
       total_consolidations = 0;
       fence_depth = 0;
       escalated = false;
+      part = 0;
     }
   in
   Cache.set_policy cache
@@ -598,6 +606,16 @@ let perform_unlatched t (req : Wire.request) =
   Instrument.bump t.counters "dc.requests";
   let fail msg = { Wire.lsn = req.lsn; result = Wire.Failed msg; prior = None } in
   let table_name = Op.table req.op in
+  if req.part <> t.part then begin
+    (* A frame for another partition: the TC's map and the deployment
+       disagree.  Refuse without touching any state — applying it here
+       would silently fork the record's home. *)
+    Instrument.bump t.counters "dc.misrouted";
+    fail
+      (Printf.sprintf "misrouted: request for partition %d reached %d"
+         req.part t.part)
+  end
+  else
   match find_table t table_name with
   | None -> fail ("unknown table " ^ table_name)
   | Some tbl -> (

@@ -50,6 +50,14 @@ val create : ?counters:Untx_util.Instrument.t -> config -> t
 
 val config : t -> config
 
+val set_identity : t -> part:int -> unit
+(** Assign the DC its partition id in the deployment (default 0).
+    {!perform} rejects requests stamped for a different partition with
+    [Failed "misrouted..."] and bumps ["dc.misrouted"], leaving state
+    untouched — a routing disagreement must surface, not fork data. *)
+
+val part : t -> int
+
 val create_table : t -> name:string -> versioned:bool -> unit
 (** Register a table (idempotent).  Versioned tables maintain
     before-versions for multi-TC read-committed sharing (Section 6.2.2)

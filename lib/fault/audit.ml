@@ -75,7 +75,7 @@ let check_idempotence k errs =
   let n = ref 0 in
   Tc.iter_stable_ops tc (fun lsn op ->
       incr n;
-      ignore (Dc.perform dc { Wire.tc = Tc.id tc; lsn; op }));
+      ignore (Dc.perform dc { Wire.tc = Tc.id tc; lsn; part = Dc.part dc; op }));
   if dump_all dc <> before then
     errs :=
       Printf.sprintf
@@ -91,4 +91,83 @@ let run k ~table ~expected =
   let redelivered = check_idempotence k errs in
   check_structure dc ~stage:"post-redelivery" errs;
   check_oracle k ~table ~expected errs;
+  { violations = List.rev !errs; redelivered }
+
+(* ------------------------------------------------------------------ *)
+(* Partitioned deployments                                             *)
+
+module Deploy = Untx_cloud.Deploy
+
+(* The partitioned oracle check reads each DC's fragment directly and
+   merges by key: a TC-side scan would need cross-partition scan
+   support, and more importantly it would not notice a record that the
+   map says belongs to DC1 but ended up (only) on DC2. *)
+let check_oracle_deploy d ~table ~expected errs =
+  let merged =
+    List.concat_map
+      (fun dc_name ->
+        let dc = Deploy.dc d dc_name in
+        List.filter_map
+          (fun (key, r) ->
+            (* records owned elsewhere must not exist here at all *)
+            if not (String.equal (Deploy.partition_dc d ~table ~key) dc_name)
+            then begin
+              errs :=
+                Printf.sprintf "placement: %s/%s found on %s, owned by %s"
+                  table key dc_name
+                  (Deploy.partition_dc d ~table ~key)
+                :: !errs;
+              None
+            end
+            else Stored_record.current r |> Option.map (fun v -> (key, v)))
+          (Dc.dump_table dc table))
+      (Deploy.partitions d ~table)
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  if merged <> expected then
+    errs :=
+      Printf.sprintf
+        "oracle: merged partitions of %s (%d rows) disagree with oracle (%d \
+         rows)"
+        table (List.length merged) (List.length expected)
+      :: !errs
+
+(* Deployment-wide idempotence: one more recovery would resend the
+   stable suffix, each record to its owning partition.  Route through
+   the TC's map — the same map redo uses. *)
+let check_idempotence_deploy d ~tc:tc_name errs =
+  let tc = Deploy.tc d tc_name in
+  let before =
+    List.map (fun name -> (name, dump_all (Deploy.dc d name))) (Deploy.dc_names d)
+  in
+  let n = ref 0 in
+  Tc.iter_stable_ops tc (fun lsn op ->
+      incr n;
+      let dc = Deploy.dc d (Tc.dc_of_op tc op) in
+      ignore (Dc.perform dc { Wire.tc = Tc.id tc; lsn; part = Dc.part dc; op }));
+  let after =
+    List.map (fun name -> (name, dump_all (Deploy.dc d name))) (Deploy.dc_names d)
+  in
+  if after <> before then
+    errs :=
+      Printf.sprintf
+        "idempotence: re-delivering %d stable ops changed some partition" !n
+      :: !errs;
+  !n
+
+let run_deploy d ~tc ~table ~expected =
+  let errs = ref [] in
+  List.iter
+    (fun name ->
+      let dc = Deploy.dc d name in
+      check_structure dc ~stage:("post-recovery " ^ name) errs;
+      check_versions dc errs)
+    (Deploy.dc_names d);
+  let redelivered = check_idempotence_deploy d ~tc errs in
+  List.iter
+    (fun name ->
+      check_structure (Deploy.dc d name) ~stage:("post-redelivery " ^ name)
+        errs)
+    (Deploy.dc_names d);
+  check_oracle_deploy d ~table ~expected errs;
   { violations = List.rev !errs; redelivered }

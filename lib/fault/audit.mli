@@ -27,3 +27,16 @@ val run :
   report
 (** [run k ~table ~expected] audits a quiesced kernel.  [expected] is
     the shadow map's committed rows in key order. *)
+
+val run_deploy :
+  Untx_cloud.Deploy.t ->
+  tc:string ->
+  table:string ->
+  expected:(string * string) list ->
+  report
+(** The same audit over a partitioned deployment: structure and version
+    hygiene per DC, idempotence with each stable operation re-delivered
+    to its owning partition (via the TC's map), and the oracle compared
+    against the by-key merge of every partition's fragment — which also
+    catches records that landed on a DC the partition map does not own
+    them to. *)

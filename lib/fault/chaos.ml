@@ -248,6 +248,245 @@ let run_cycle ~label ~plan ~seed ~txns =
     c_counters = Instrument.snapshot counters;
   }
 
+(* --- partitioned deployments ------------------------------------------ *)
+
+module Deploy = Untx_cloud.Deploy
+
+(* One TC fronting [parts] partitioned DCs, same small-page pressure as
+   [make_kernel] so splits, evictions and checkpoints fire on every
+   partition. *)
+let make_deploy ~counters ~seed ~parts =
+  let policy = if seed mod 3 = 0 then lossy else Transport.reliable in
+  let sync_policy =
+    match seed / 4 mod 3 with
+    | 0 -> Dc.Stall_until_lwm
+    | 1 -> Dc.Bounded 4
+    | _ -> Dc.Full_ablsn
+  in
+  let tc_reset_mode = if seed mod 5 = 0 then Dc.Complete else Dc.Selective in
+  let d = Deploy.create ~counters ~policy ~seed () in
+  ignore
+    (Deploy.add_tc d ~name:"tc1"
+       {
+         (Tc.default_config (Tc_id.of_int 1)) with
+         lwm_every = 8;
+         debug_checks = true;
+       });
+  let dc_names = List.init parts (Printf.sprintf "dc%d") in
+  List.iter
+    (fun name ->
+      ignore
+        (Deploy.add_dc d ~name
+           {
+             Dc.page_capacity = 160;
+             cache_pages = 6;
+             sync_policy;
+             tc_reset_mode;
+             debug_checks = true;
+           }))
+    dc_names;
+  Deploy.add_partitioned_table d ~name:table ~versioned:(seed land 1 = 0)
+    ~dcs:dc_names ();
+  d
+
+(* The partitioned twin of [run_cycle]: the same workload and fate
+   protocol, but ops fan out over N DCs and an injected DC fault kills
+   whichever partition it actually escaped from
+   ([Deploy.crash_for_point]), which then recovers alone while its
+   siblings keep serving.  The audit is {!Audit.run_deploy}: structure
+   and hygiene per partition, oracle against the merged fragments. *)
+let run_cycle_partitioned ~label ~plan ~seed ~txns ~parts =
+  Fault.disarm ();
+  let counters = Instrument.create () in
+  let rng = Rng.create ~seed in
+  let d = make_deploy ~counters ~seed ~parts in
+  let tc = Deploy.tc d "tc1" in
+  let default_dc = List.hd (Deploy.partitions d ~table) in
+  let oracle : (string, string option) Hashtbl.t = Hashtbl.create 128 in
+  let crashes = ref 0 and committed = ref 0 in
+  let handle = function
+    | Fault.Injected_crash p ->
+      incr crashes;
+      Deploy.crash_for_point d ~point:p ~tc:"tc1" ~dc:default_dc
+    | Fault.Io_error p ->
+      incr crashes;
+      Fault.disarm ();
+      Deploy.crash_for_point d ~point:p ~tc:"tc1" ~dc:default_dc
+    | e -> raise e
+  in
+  let probe marker =
+    let attempt () =
+      let txn = Tc.begin_txn tc in
+      let v =
+        match Tc.read tc txn ~table ~key:marker with
+        | `Ok v -> v
+        | `Blocked | `Fail _ -> None
+      in
+      (match Tc.commit tc txn with
+      | `Ok () -> ()
+      | `Blocked | `Fail _ ->
+        if Tc.is_active txn then Tc.abort tc txn ~reason:"chaos probe");
+      v
+    in
+    try attempt ()
+    with (Fault.Injected_crash _ | Fault.Io_error _) as e ->
+      handle e;
+      (try attempt () with Fault.Injected_crash _ | Fault.Io_error _ -> None)
+  in
+  Fault.arm ~seed plan;
+  for i = 0 to txns - 1 do
+    if i = txns / 2 then begin
+      (* Fan-out checkpoint: completes only when every partition grants. *)
+      try
+        Deploy.quiesce d;
+        ignore (Tc.checkpoint tc)
+      with (Fault.Injected_crash _ | Fault.Io_error _) as e -> handle e
+    end;
+    let marker = Printf.sprintf "m%03d" i in
+    let staged : (string, string option) Hashtbl.t = Hashtbl.create 8 in
+    let cur = ref None in
+    let phase = ref `Body in
+    let resolve_by_marker () =
+      if probe marker <> None then begin
+        incr committed;
+        commit_staged oracle staged
+      end
+    in
+    try
+      let txn = Tc.begin_txn tc in
+      cur := Some txn;
+      (match Tc.insert tc txn ~table ~key:marker ~value:"1" with
+      | `Ok () -> Hashtbl.replace staged marker (Some "1")
+      | `Blocked | `Fail _ -> ());
+      let delete_bias = if 3 * i > 2 * txns then 0.7 else 0.25 in
+      for _ = 1 to 1 + Rng.int rng 4 do
+        let key = Printf.sprintf "k%02d" (Rng.int rng 50) in
+        let current =
+          if Hashtbl.mem staged key then Hashtbl.find staged key
+          else Option.join (Hashtbl.find_opt oracle key)
+        in
+        match current with
+        | None -> (
+          let value = Printf.sprintf "v%06d" (Rng.int rng 1_000_000) in
+          match Tc.insert tc txn ~table ~key ~value with
+          | `Ok () -> Hashtbl.replace staged key (Some value)
+          | `Blocked | `Fail _ -> ())
+        | Some _ ->
+          if Rng.chance rng delete_bias then (
+            match Tc.delete tc txn ~table ~key with
+            | `Ok () -> Hashtbl.replace staged key None
+            | `Blocked | `Fail _ -> ())
+          else
+            let value = Printf.sprintf "v%06d" (Rng.int rng 1_000_000) in
+            (match Tc.update tc txn ~table ~key ~value with
+            | `Ok () -> Hashtbl.replace staged key (Some value)
+            | `Blocked | `Fail _ -> ())
+      done;
+      phase := `Commit;
+      match Tc.commit tc txn with
+      | `Ok () ->
+        incr committed;
+        commit_staged oracle staged
+      | `Blocked | `Fail _ -> ()
+    with (Fault.Injected_crash p | Fault.Io_error p) as e -> (
+      handle e;
+      let component = Kernel.component_of_point p in
+      match (!phase, component, !cur) with
+      | `Body, `Tc, _ -> ()
+      | `Body, `Dc, Some txn ->
+        (* One partition died; the TC and the transaction survive.  The
+           loser still holds locks on *every* partition it touched, so
+           roll it back. *)
+        if Tc.is_active txn then
+          Tc.abort tc txn ~reason:"chaos: rollback after DC crash"
+      | `Body, `Dc, None -> ()
+      | `Commit, `Tc, _ -> resolve_by_marker ()
+      | `Commit, `Dc, Some txn ->
+        let rec settle attempts =
+          if not (Tc.is_active txn) then resolve_by_marker ()
+          else if attempts = 0 then (
+            Tc.abort tc txn ~reason:"chaos: commit retries exhausted";
+            resolve_by_marker ())
+          else
+            try
+              match Tc.commit tc txn with
+              | `Ok () ->
+                incr committed;
+                commit_staged oracle staged
+              | `Blocked | `Fail _ -> ()
+            with (Fault.Injected_crash _ | Fault.Io_error _) as e ->
+              handle e;
+              settle (attempts - 1)
+        in
+        settle 4
+      | `Commit, `Dc, None -> ())
+  done;
+  let rec quiesce_settle attempts =
+    try Deploy.quiesce d
+    with (Fault.Injected_crash _ | Fault.Io_error _) as e when attempts > 0 ->
+      handle e;
+      quiesce_settle (attempts - 1)
+  in
+  quiesce_settle 4;
+  let fired = Fault.fired_points () in
+  Fault.disarm ();
+  let report = Audit.run_deploy d ~tc:"tc1" ~table ~expected:(oracle_rows oracle) in
+  {
+    c_label = label;
+    c_seed = seed;
+    c_fired = fired;
+    c_crashes = !crashes;
+    c_committed = !committed;
+    c_redelivered = report.Audit.redelivered;
+    c_violations = report.Audit.violations;
+    c_counters = Instrument.snapshot counters;
+  }
+
+(* Per-partition crash plans: DC-side points kill whichever partition
+   the fault escapes from (mid-SMO, mid-checkpoint-grant, mid-flush,
+   mid-WAL-force), TC-side commit points exercise redo fan-out across
+   all partitions, and the doubles kill two different partitions in one
+   cycle (the 1st and Nth hits of a point land on different DCs under
+   hash placement with high likelihood). *)
+let plans_partitioned () =
+  let singles =
+    List.concat_map
+      (fun (point, nths) ->
+        List.map
+          (fun n ->
+            (Printf.sprintf "%s@%d" point n, [ Fault.crash_at point n ]))
+          nths)
+      [
+        ("dc.smo.split.mid", [ 1; 2 ]);
+        ("dc.checkpoint.mid", [ 1; 2 ]);
+        ("dc.flush.before_page_write", [ 1; 4 ]);
+        ("dc.flush.after_page_write", [ 2 ]);
+        ("wal.dc.force.mid", [ 1; 3 ]);
+        ("tc.commit.before_force", [ 2 ]);
+        ("tc.commit.after_force", [ 2 ]);
+      ]
+  in
+  let pair a na b nb =
+    ( Printf.sprintf "%s@%d+%s@%d" a na b nb,
+      [ Fault.crash_at a na; Fault.crash_at b nb ] )
+  in
+  let doubles =
+    [
+      pair "dc.smo.split.mid" 1 "dc.flush.after_page_write" 3;
+      pair "dc.checkpoint.mid" 1 "wal.dc.force.mid" 2;
+    ]
+  in
+  let corruption =
+    [
+      ( "transport.frame.corrupt~5%+dc.smo.split.mid@1",
+        [
+          Fault.crash_with_prob "transport.frame.corrupt" 0.05;
+          Fault.crash_at "dc.smo.split.mid" 1;
+        ] );
+    ]
+  in
+  singles @ doubles @ corruption
+
 (* --- the standard plan sweep ------------------------------------------ *)
 
 let plans () =
@@ -371,5 +610,19 @@ let soak ?(base_seed = 0xC1D9) ?(seeds_per_plan = 7) ?(txns = 24) () =
                  ~seed:(base_seed + (131 * pi) + (17 * si))
                  ~txns))
          (plans ()))
+  in
+  (cycles, summarize cycles)
+
+let soak_partitioned ?(base_seed = 0x5A4D) ?(seeds_per_plan = 4) ?(txns = 24)
+    ?(parts = 3) () =
+  let cycles =
+    List.concat
+      (List.mapi
+         (fun pi (label, plan) ->
+           List.init seeds_per_plan (fun si ->
+               run_cycle_partitioned ~label ~plan
+                 ~seed:(base_seed + (131 * pi) + (17 * si))
+                 ~txns ~parts))
+         (plans_partitioned ()))
   in
   (cycles, summarize cycles)

@@ -41,6 +41,28 @@ val plans : unit -> (string * Untx_fault.Fault.rule list) list
     Nth-hit positions, double-failure plans that also crash during
     recovery (["tc.recover.mid"]), and transient-I/O-error plans. *)
 
+val run_cycle_partitioned :
+  label:string ->
+  plan:Untx_fault.Fault.rule list ->
+  seed:int ->
+  txns:int ->
+  parts:int ->
+  cycle
+(** The partitioned twin of {!run_cycle}: one TC fronting [parts]
+    hash-partitioned DCs ({!Untx_cloud.Deploy}).  An injected DC fault
+    kills whichever partition it actually escaped from; that partition
+    recovers alone (its siblings keep serving) and the cycle ends in
+    {!Audit.run_deploy} — per-partition structure and version hygiene,
+    idempotent redelivery through the partition map, and the oracle
+    against the by-key merge of every partition's fragment. *)
+
+val plans_partitioned : unit -> (string * Untx_fault.Fault.rule list) list
+(** Per-partition crash plans: kills mid-SMO, mid-checkpoint-grant,
+    mid-flush and mid-WAL-force on whichever DC the fault escapes from,
+    TC commit-point kills that drive redo fan-out over all partitions,
+    and double-kill plans that take down two different partitions in
+    one cycle. *)
+
 type summary = {
   s_cycles : int;
   s_fired : int;  (** cycles in which at least one rule fired *)
@@ -55,3 +77,11 @@ val soak :
   cycle list * summary
 (** Sweep every plan from {!plans} across [seeds_per_plan] seeds
     (default 7, [base_seed] 0xC1D9, [txns] 24 per cycle). *)
+
+val soak_partitioned :
+  ?base_seed:int -> ?seeds_per_plan:int -> ?txns:int -> ?parts:int ->
+  unit ->
+  cycle list * summary
+(** Sweep every plan from {!plans_partitioned} across [seeds_per_plan]
+    seeds (default 4, [parts] 3, [txns] 24 per cycle) over a
+    1-TC × [parts]-DC deployment. *)

@@ -35,6 +35,39 @@ module type S = sig
   val resolve_deadlock : unit -> int option
 end
 
+(* A bare TC as an engine: how a deployment (one TC fronting N
+   partitioned DCs) runs the standard workloads. *)
+let of_tc (tc : Untx_tc.Tc.t) : (module S) =
+  (module struct
+    module Tc = Untx_tc.Tc
+
+    type txn = Tc.txn
+
+    let begin_txn () = Tc.begin_txn tc
+
+    let xid = Tc.xid
+
+    let is_active = Tc.is_active
+
+    let read txn ~table ~key = Tc.read tc txn ~table ~key
+
+    let insert txn ~table ~key ~value = Tc.insert tc txn ~table ~key ~value
+
+    let update txn ~table ~key ~value = Tc.update tc txn ~table ~key ~value
+
+    let delete txn ~table ~key = Tc.delete tc txn ~table ~key
+
+    let scan txn ~table ~from_key ~limit = Tc.scan tc txn ~table ~from_key ~limit
+
+    let commit txn = Tc.commit tc txn
+
+    let abort txn ~reason = Tc.abort tc txn ~reason
+
+    let wakeups () = Tc.wakeups tc
+
+    let resolve_deadlock () = Tc.resolve_deadlock tc
+  end)
+
 let of_kernel (k : Kernel.t) : (module S) =
   (module struct
     type txn = Untx_tc.Tc.txn

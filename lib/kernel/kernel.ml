@@ -45,6 +45,7 @@ let create ?(counters = Instrument.global) config =
   Tc.attach_dc tc
     {
       Tc.dc_name;
+      part = 0;
       send = Transport.send transport;
       send_control = Transport.send_control transport;
       drain = (fun () -> Transport.drain transport);

@@ -34,6 +34,9 @@ type t = {
   data_handler : string -> string option;
   control_handler : string -> string option;
   counters : Instrument.t;
+  label : string option;
+      (* per-link counter prefix: a deployment names each (TC, DC) link
+         so byte/delivery accounting can be read out per partition *)
   mutable now : int;
   mutable seq : int;
   mutable dc_data : item list; (* TC -> DC request frames *)
@@ -50,7 +53,7 @@ type t = {
 }
 
 let create ?(counters = Instrument.global) ?(policy = reliable) ?control_policy
-    ~seed ~data ~control () =
+    ?label ~seed ~data ~control () =
   {
     policy;
     control_policy = Option.value control_policy ~default:policy;
@@ -58,6 +61,7 @@ let create ?(counters = Instrument.global) ?(policy = reliable) ?control_policy
     data_handler = data;
     control_handler = control;
     counters;
+    label;
     now = 0;
     seq = 0;
     dc_data = [];
@@ -72,6 +76,12 @@ let create ?(counters = Instrument.global) ?(policy = reliable) ?control_policy
     data_bytes = 0;
     control_bytes = 0;
   }
+
+let bump_labeled t suffix n =
+  match t.label with
+  | None -> ()
+  | Some l ->
+    Instrument.bump_by t.counters (Printf.sprintf "transport.%s.%s" l suffix) n
 
 let set_policy t policy =
   t.policy <- policy;
@@ -89,10 +99,12 @@ let schedule t ch queue frame =
   (match ch with
   | Data ->
     t.data_bytes <- t.data_bytes + len;
-    Instrument.bump_by t.counters "transport.data_bytes" len
+    Instrument.bump_by t.counters "transport.data_bytes" len;
+    bump_labeled t "data_bytes" len
   | Control ->
     t.control_bytes <- t.control_bytes + len;
-    Instrument.bump_by t.counters "transport.control_bytes" len);
+    Instrument.bump_by t.counters "transport.control_bytes" len;
+    bump_labeled t "control_bytes" len);
   let copies =
     if Rng.chance t.rng p.drop_prob then begin
       t.dropped <- t.dropped + 1;
@@ -181,6 +193,7 @@ let deliver_requests t =
       | Some frame -> (
         t.delivered <- t.delivered + 1;
         Instrument.bump t.counters "transport.delivered";
+        bump_labeled t "delivered" 1;
         match t.data_handler frame with
         | None -> ()
         | Some reply -> t.tc_data <- schedule t Data t.tc_data reply))

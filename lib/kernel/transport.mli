@@ -47,6 +47,7 @@ val create :
   ?counters:Untx_util.Instrument.t ->
   ?policy:policy ->
   ?control_policy:policy ->
+  ?label:string ->
   seed:int ->
   data:(string -> string option) ->
   control:(string -> string option) ->
@@ -63,7 +64,11 @@ val create :
     ["transport.data_bytes"], ["transport.control_bytes"],
     ["transport.frames_corrupted"], ["transport.corrupt_dropped"],
     ["transport.flush_delivered"]) so experiments report them uniformly
-    with everything else. *)
+    with everything else.  [label] names the link: when set, byte and
+    delivery accounting is additionally mirrored into
+    ["transport.<label>.data_bytes"], ["transport.<label>.control_bytes"]
+    and ["transport.<label>.delivered"], so a multi-DC deployment can
+    read traffic per partition. *)
 
 val set_policy : t -> policy -> unit
 (** Set the adversary for both channels. *)

@@ -2,7 +2,7 @@ module Lsn = Untx_util.Lsn
 module Tc_id = Untx_util.Tc_id
 module Codec = Untx_util.Codec
 
-type request = { tc : Tc_id.t; lsn : Lsn.t; op : Op.t }
+type request = { tc : Tc_id.t; lsn : Lsn.t; part : int; op : Op.t }
 
 type result =
   | Done
@@ -133,17 +133,23 @@ let opt_of_field f =
 
 (* ---- requests ---- *)
 
-let encode_request { tc; lsn; op } =
+let encode_request { tc; lsn; part; op } =
   frame 'Q'
     (Codec.encode
        (int_field (Tc_id.to_int tc)
        :: int_field (Lsn.to_int lsn)
+       :: int_field part
        :: Op.to_fields op))
 
 let decode_request s =
   match Codec.decode (unframe `Request s) with
-  | tc :: lsn :: op_fields ->
-    { tc = tc_of_field tc; lsn = lsn_of_field lsn; op = Op.of_fields op_fields }
+  | tc :: lsn :: part :: op_fields ->
+    {
+      tc = tc_of_field tc;
+      lsn = lsn_of_field lsn;
+      part = int_of_field part;
+      op = Op.of_fields op_fields;
+    }
   | _ -> invalid_arg "Wire.decode_request"
 
 (* ---- replies ---- *)
@@ -268,8 +274,8 @@ let pp_result ppf = function
   | Next_keys ks -> Format.fprintf ppf "next-keys:%d" (List.length ks)
   | Failed msg -> Format.fprintf ppf "failed:%s" msg
 
-let pp_request ppf { tc; lsn; op } =
-  Format.fprintf ppf "[%a %a] %a" Tc_id.pp tc Lsn.pp lsn Op.pp op
+let pp_request ppf { tc; lsn; part; op } =
+  Format.fprintf ppf "[%a %a p%d] %a" Tc_id.pp tc Lsn.pp lsn part Op.pp op
 
 let pp_control ppf = function
   | End_of_stable_log { tc; eosl } ->

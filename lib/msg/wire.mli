@@ -16,6 +16,11 @@
 type request = {
   tc : Untx_util.Tc_id.t;
   lsn : Untx_util.Lsn.t;  (** unique request id, from the TC log *)
+  part : int;
+      (** partition id of the DC this operation was routed to.  The
+          receiving DC rejects a request stamped for a different
+          partition instead of silently applying it — a misrouted frame
+          means the TC's partition map and the deployment disagree. *)
   op : Op.t;
 }
 

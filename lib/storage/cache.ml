@@ -8,7 +8,12 @@ let p_flush_before = Fault.declare "dc.flush.before_page_write"
 
 let p_flush_after = Fault.declare "dc.flush.after_page_write"
 
-type entry = { page : Page.t; mutable dirty : bool; mutable ticket : int }
+type entry = {
+  page : Page.t;
+  mutable dirty : bool;
+  mutable referenced : bool; (* clock reference bit: one second chance *)
+  mutable slot : int; (* index in the clock ring; -1 when detached *)
+}
 
 type t = {
   disk : Disk.t;
@@ -17,7 +22,13 @@ type t = {
   counters : Instrument.t;
   mutable can_flush : Page.t -> bool;
   mutable prepare_flush : Page.t -> unit;
-  mutable clock : int; (* LRU tickets *)
+  (* Victim search is a second-chance clock over a dense ring of the
+     resident entries (removal swaps the last slot in), so one eviction
+     inspects each resident page at most twice — not the O(pool) fold
+     per candidate the old LRU-ticket scan paid. *)
+  mutable ring : entry option array;
+  mutable ring_len : int;
+  mutable hand : int;
   mutable evictions : int;
   mutable flush_stalls : int;
   mutable latch_depth : int; (* operation latches: eviction deferred *)
@@ -32,7 +43,9 @@ let create ?(counters = Instrument.global) ~disk ~capacity () =
     counters;
     can_flush = (fun _ -> true);
     prepare_flush = ignore;
-    clock = 0;
+    ring = Array.make (2 * capacity) None;
+    ring_len = 0;
+    hand = 0;
     evictions = 0;
     flush_stalls = 0;
     latch_depth = 0;
@@ -44,9 +57,31 @@ let set_policy t ~can_flush ~prepare_flush =
 
 let disk t = t.disk
 
-let touch t entry =
-  t.clock <- t.clock + 1;
-  entry.ticket <- t.clock
+let touch _t entry = entry.referenced <- true
+
+let ring_add t entry =
+  if t.ring_len = Array.length t.ring then begin
+    let bigger = Array.make (2 * Array.length t.ring) None in
+    Array.blit t.ring 0 bigger 0 t.ring_len;
+    t.ring <- bigger
+  end;
+  t.ring.(t.ring_len) <- Some entry;
+  entry.slot <- t.ring_len;
+  t.ring_len <- t.ring_len + 1
+
+let ring_remove t entry =
+  if entry.slot >= 0 then begin
+    let last = t.ring_len - 1 in
+    (match t.ring.(last) with
+    | Some moved when entry.slot <> last ->
+      t.ring.(entry.slot) <- Some moved;
+      moved.slot <- entry.slot
+    | _ -> ());
+    t.ring.(last) <- None;
+    t.ring_len <- last;
+    entry.slot <- -1;
+    if t.hand >= t.ring_len then t.hand <- 0
+  end
 
 let flush_entry t entry =
   if entry.dirty then begin
@@ -67,31 +102,39 @@ let flush_entry t entry =
   end
   else true
 
-(* Evict the least-recently-used page that is clean or flushable.  Dirty
-   pages pinned down by the causality rule simply stay resident: the pool
-   may exceed its capacity rather than violate write-ahead ordering. *)
+(* One clock sweep: strip reference bits, skip unflushable dirty pages,
+   stop at the first evictable entry.  The budget of two full turns
+   guarantees termination when every resident page is pinned down by
+   the causality rule (all referenced on turn one, all skipped on turn
+   two) — the pool then simply stays over capacity rather than spin or
+   violate write-ahead ordering. *)
+let rec find_victim t ~scanned ~budget =
+  if t.ring_len = 0 || scanned >= budget then None
+  else begin
+    Instrument.bump t.counters "cache.evict_scan_steps";
+    let entry =
+      match t.ring.(t.hand) with Some e -> e | None -> assert false
+    in
+    t.hand <- (t.hand + 1) mod t.ring_len;
+    if entry.referenced then begin
+      entry.referenced <- false;
+      find_victim t ~scanned:(scanned + 1) ~budget
+    end
+    else if entry.dirty && not (t.can_flush entry.page) then begin
+      Instrument.bump t.counters "cache.evict_skips";
+      find_victim t ~scanned:(scanned + 1) ~budget
+    end
+    else Some entry
+  end
+
 let maybe_evict t =
   while t.latch_depth = 0 && Page_id.Tbl.length t.entries > t.capacity do
-    let victim =
-      Page_id.Tbl.fold
-        (fun id entry best ->
-          let evictable = (not entry.dirty) || t.can_flush entry.page in
-          if not evictable then begin
-            Instrument.bump t.counters "cache.evict_skips";
-            best
-          end
-          else
-            match best with
-            | Some (_, best_entry) when best_entry.ticket <= entry.ticket ->
-              best
-            | _ -> Some (id, entry))
-        t.entries None
-    in
-    match victim with
+    match find_victim t ~scanned:0 ~budget:(2 * t.ring_len) with
     | None -> raise Exit
-    | Some (id, entry) ->
+    | Some entry ->
       if flush_entry t entry then begin
-        Page_id.Tbl.remove t.entries id;
+        Page_id.Tbl.remove t.entries (Page.id entry.page);
+        ring_remove t entry;
         t.evictions <- t.evictions + 1;
         Instrument.bump t.counters "cache.evictions"
       end
@@ -101,9 +144,15 @@ let maybe_evict t =
 let maybe_evict t = try maybe_evict t with Exit -> ()
 
 let add_entry t page dirty =
-  let entry = { page; dirty; ticket = 0 } in
-  touch t entry;
+  (* [install] may overwrite a resident page under the same id: the old
+     entry must leave the ring, or its stale slot would shadow the new
+     one. *)
+  (match Page_id.Tbl.find_opt t.entries (Page.id page) with
+  | Some old -> ring_remove t old
+  | None -> ());
+  let entry = { page; dirty; referenced = true; slot = -1 } in
   Page_id.Tbl.replace t.entries (Page.id page) entry;
+  ring_add t entry;
   maybe_evict t;
   entry
 
@@ -152,8 +201,15 @@ let is_dirty t id =
   | Some entry -> entry.dirty
   | None -> false
 
+let detach t id =
+  match Page_id.Tbl.find_opt t.entries id with
+  | Some entry ->
+    Page_id.Tbl.remove t.entries id;
+    ring_remove t entry
+  | None -> ()
+
 let free_page t id =
-  Page_id.Tbl.remove t.entries id;
+  detach t id;
   Disk.free t.disk id
 
 let try_flush t id =
@@ -164,11 +220,13 @@ let try_flush t id =
 let flush_all t =
   Page_id.Tbl.iter (fun _ entry -> ignore (flush_entry t entry)) t.entries
 
-let drop_page t id = Page_id.Tbl.remove t.entries id
+let drop_page t id = detach t id
 
 let crash t =
   Page_id.Tbl.reset t.entries;
-  t.clock <- 0
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.ring_len <- 0;
+  t.hand <- 0
 
 let enforce_capacity t = maybe_evict t
 

@@ -45,6 +45,7 @@ let p_recover_mid = Fault.declare "tc.recover.mid"
 
 type dc_link = {
   dc_name : string;
+  part : int; (* the DC's partition id; stamped into every request *)
   send : string -> unit; (* encoded request frame, data channel *)
   send_control : string -> unit; (* encoded control frame *)
   drain : unit -> string list * string list;
@@ -75,6 +76,14 @@ type link_state = {
   mutable ls_next_seq : int;
   ls_ctl_pending : (int, ctl_pending) Hashtbl.t; (* seq -> *)
   ls_ctl_replies : (int, Wire.control_reply) Hashtbl.t; (* awaited replies *)
+  mutable ls_outstanding : Lsn.Set.t;
+      (* requests in flight *to this DC*.  The per-link low-water mark
+         derives from this set alone: an operation outstanding at a
+         sibling partition never touches this DC's pages, so it must not
+         hold this DC's flush eligibility hostage. *)
+  mutable ls_sent_watermarks : (Lsn.t * Lsn.t) option;
+      (* last (eosl, lwm) posted this epoch; unchanged values are not
+         re-posted (each would cost a control round trip per link) *)
 }
 
 type txn_state = Active | Committed | Aborted
@@ -133,6 +142,13 @@ type t = {
       (* During restart redo the low-water mark may only cover operations
          already re-acknowledged: resent history is "outstanding" even
          before it is dispatched.  The cap tracks the redo cursor. *)
+  mutable undispatched : Lsn.Set.t;
+      (* Logged but not yet sent (commit logs every partition's version
+         cleanup before the single force, then dispatches).  A watermark
+         pumped in that window — an ack from a *sibling* partition can
+         trigger one — must not claim these: the target DC would advance
+         its abstract-LSN cover past them and absorb the real operation
+         as a duplicate when it finally arrives. *)
   mutable acked_since_lwm : int;
   mutable next_xid : int;
   mutable msgs : int;
@@ -155,6 +171,7 @@ let create ?(counters = Instrument.global) cfg =
     outstanding = Lsn.Set.empty;
     rssp = Lsn.next Lsn.zero;
     lwm_cap = None;
+    undispatched = Lsn.Set.empty;
     acked_since_lwm = 0;
     next_xid = 1;
     msgs = 0;
@@ -172,6 +189,8 @@ let attach_dc t link =
       ls_next_seq = 1;
       ls_ctl_pending = Hashtbl.create 16;
       ls_ctl_replies = Hashtbl.create 8;
+      ls_outstanding = Lsn.Set.empty;
+      ls_sent_watermarks = None;
     }
 
 let map_table t ~table ~dc ~versioned =
@@ -261,7 +280,11 @@ let clear_ctl t ls =
   Instrument.bump_by t.counters "tc.control_unacked"
     (-Hashtbl.length ls.ls_ctl_pending);
   Hashtbl.reset ls.ls_ctl_pending;
-  Hashtbl.reset ls.ls_ctl_replies
+  Hashtbl.reset ls.ls_ctl_replies;
+  (* The watermark memo is only valid within a session: after a crash on
+     either end the DC's view is gone, so the next watermark must travel
+     even if its value is unchanged. *)
+  ls.ls_sent_watermarks <- None
 
 (* Open a fresh control session on a link: frames of the old epoch
    still in flight (either direction) become stale and the DC resets
@@ -271,56 +294,92 @@ let new_epoch t ls =
   ls.ls_next_seq <- 1;
   clear_ctl t ls
 
+(* Cap a low-water claim: never past the stable log (pages whose
+   abstract LSNs advance beyond it would all look "affected" after a TC
+   crash, defeating the selective reset of Section 5.3.2) and never past
+   the redo cursor during restart.  Capping is always sound — it only
+   defers coverage. *)
+let cap_lwm t base =
+  let base = Lsn.min base (Wal.stable_lsn t.log) in
+  let base =
+    match Lsn.Set.min_elt_opt t.undispatched with
+    | Some l -> Lsn.min base (Lsn.prev l)
+    | None -> base
+  in
+  match t.lwm_cap with Some cap -> Lsn.min base cap | None -> base
+
+(* The link-local low-water mark: everything below it that could ever
+   reach *this* DC has been acknowledged.  Operations outstanding at
+   sibling partitions don't appear — the partition map is static, so
+   they can never arrive here, and making DC flush eligibility wait on
+   another DC's in-flight traffic would couple the partitions' I/O. *)
+let current_lwm_for t ls =
+  cap_lwm t
+    (match Lsn.Set.min_elt_opt ls.ls_outstanding with
+    | Some l -> Lsn.prev l
+    | None -> Wal.last_lsn t.log)
+
+(* The deployment-wide low-water mark (checkpoint target): every
+   operation below it is acknowledged by its owning DC. *)
+let current_lwm t =
+  cap_lwm t
+    (match Lsn.Set.min_elt_opt t.outstanding with
+    | Some l -> Lsn.prev l
+    | None -> Wal.last_lsn t.log)
+
+(* Push watermarks to one link, skipping values the DC already has (the
+   memo is per control session; [clear_ctl] voids it). *)
+let post_watermarks t ls =
+  let eosl = Wal.stable_lsn t.log in
+  let lwm = current_lwm_for t ls in
+  if ls.ls_sent_watermarks <> Some (eosl, lwm) then begin
+    ls.ls_sent_watermarks <- Some (eosl, lwm);
+    if t.cfg.combine_watermarks then
+      ignore (post_control t ls (Wire.Watermarks { tc = t.cfg.id; eosl; lwm }))
+    else
+      ignore (post_control t ls (Wire.Low_water_mark { tc = t.cfg.id; lwm }))
+  end
+
 let send_eosl t =
   broadcast_control t
     (Wire.End_of_stable_log { tc = t.cfg.id; eosl = Wal.stable_lsn t.log })
 
-let current_lwm t =
-  let base =
-    match Lsn.Set.min_elt_opt t.outstanding with
-    | Some l -> Lsn.prev l
-    | None -> Wal.last_lsn t.log
-  in
-  (* Never let the low-water mark outrun the stable log: pages whose
-     abstract LSNs advance past it would all look "affected" after a TC
-     crash, defeating the selective reset of Section 5.3.2.  Capping is
-     always sound — it only defers coverage. *)
-  let base = Lsn.min base (Wal.stable_lsn t.log) in
-  match t.lwm_cap with Some cap -> Lsn.min base cap | None -> base
-
 let send_lwm t =
   t.acked_since_lwm <- 0;
-  if t.cfg.combine_watermarks then
-    broadcast_control t
-      (Wire.Watermarks
-         { tc = t.cfg.id; eosl = Wal.stable_lsn t.log; lwm = current_lwm t })
-  else
-    broadcast_control t
-      (Wire.Low_water_mark { tc = t.cfg.id; lwm = current_lwm t })
+  Hashtbl.iter (fun _ ls -> post_watermarks t ls) t.links
 
-let dispatch t link (req : Wire.request) ~xid ~wants_reply =
+let dispatch t link ~lsn ~op ~xid ~wants_reply =
+  let req =
+    { Wire.tc = t.cfg.id; lsn; part = link.ls_link.part; op }
+  in
   let frame = Wire.encode_request req in
-  Hashtbl.replace t.pendings (Lsn.to_int req.lsn)
+  Hashtbl.replace t.pendings (Lsn.to_int lsn)
     { p_req = req; p_frame = frame; p_link = link; p_age = 0;
       p_backoff = t.cfg.resend_after; p_retries = 0; p_xid = xid;
       p_wants_reply = wants_reply; p_fenced = false };
-  t.outstanding <- Lsn.Set.add req.lsn t.outstanding;
+  t.outstanding <- Lsn.Set.add lsn t.outstanding;
+  link.ls_outstanding <- Lsn.Set.add lsn link.ls_outstanding;
   (match xid with
   | Some x -> (
     match Hashtbl.find_opt t.txns x with
-    | Some txn -> txn.outstanding <- Lsn.Set.add req.lsn txn.outstanding
+    | Some txn -> txn.outstanding <- Lsn.Set.add lsn txn.outstanding
     | None -> ())
   | None -> ());
   t.msgs <- t.msgs + 1;
   Instrument.bump t.counters "tc.requests_sent";
   link.ls_link.send frame
 
+let retire_pending t (p : pending) =
+  t.outstanding <- Lsn.Set.remove p.p_req.Wire.lsn t.outstanding;
+  p.p_link.ls_outstanding <-
+    Lsn.Set.remove p.p_req.Wire.lsn p.p_link.ls_outstanding
+
 let handle_reply t (r : Wire.reply) =
   match Hashtbl.find_opt t.pendings (Lsn.to_int r.lsn) with
   | None -> () (* stale duplicate reply *)
   | Some p ->
     Hashtbl.remove t.pendings (Lsn.to_int r.lsn);
-    t.outstanding <- Lsn.Set.remove r.lsn t.outstanding;
+    retire_pending t p;
     (match p.p_xid with
     | Some x -> (
       match Hashtbl.find_opt t.txns x with
@@ -485,7 +544,7 @@ let await_conflicts t op =
 let request_unlogged t link op =
   await_conflicts t op;
   let lsn = Wal.reserve t.log in
-  dispatch t link { Wire.tc = t.cfg.id; lsn; op } ~xid:None ~wants_reply:true;
+  dispatch t link ~lsn ~op ~xid:None ~wants_reply:true;
   await_reply t lsn
 
 (* ------------------------------------------------------------------ *)
@@ -673,8 +732,7 @@ let write t txn op =
         in
         txn.vwrites <- (table, key) :: txn.vwrites;
         let wants_reply = not t.cfg.pipeline_writes in
-        dispatch t link { Wire.tc = t.cfg.id; lsn; op } ~xid:(Some txn.t_xid)
-          ~wants_reply;
+        dispatch t link ~lsn ~op ~xid:(Some txn.t_xid) ~wants_reply;
         if wants_reply then
           match (await_reply t lsn).Wire.result with
           | Wire.Done -> `Ok ()
@@ -698,8 +756,7 @@ let write t txn op =
           (match undo with
           | Some inv -> txn.undo_stack <- inv :: txn.undo_stack
           | None -> ());
-          dispatch t link { Wire.tc = t.cfg.id; lsn; op } ~xid:(Some txn.t_xid)
-            ~wants_reply:true;
+          dispatch t link ~lsn ~op ~xid:(Some txn.t_xid) ~wants_reply:true;
           (match (await_reply t lsn).Wire.result with
           | Wire.Done -> `Ok ()
           | Wire.Failed m -> `Fail m
@@ -875,8 +932,7 @@ let send_compensation t txn op =
   let lsn =
     Wal.append t.log (Log_record.Compensation { xid = txn.t_xid; op })
   in
-  dispatch t link { Wire.tc = t.cfg.id; lsn; op } ~xid:(Some txn.t_xid)
-    ~wants_reply:true;
+  dispatch t link ~lsn ~op ~xid:(Some txn.t_xid) ~wants_reply:true;
   ignore (await_reply t lsn)
 
 let rollback_work t txn =
@@ -978,6 +1034,10 @@ let rec commit t txn =
               Wal.append t.log
                 (Log_record.Compensation { xid = txn.t_xid; op })
             in
+            (* logged-not-sent: the dispatch loop below pumps while later
+               cleanups are still only in the log, and a watermark sent
+               then must not cover them *)
+            t.undispatched <- Lsn.Set.add lsn t.undispatched;
             (lsn, op))
           (versioned_write_sets t txn)
       in
@@ -992,14 +1052,26 @@ let rec commit t txn =
         Fault.hit p_commit_after_force;
         send_eosl t
       end;
-      List.iter
-        (fun (lsn, op) ->
-          let link = route_op t op in
-          await_conflicts t op;
-          dispatch t link { Wire.tc = t.cfg.id; lsn; op } ~xid:(Some txn.t_xid)
-            ~wants_reply:true;
-          ignore (await_reply t lsn))
-        cleanups;
+      (try
+         List.iter
+           (fun (lsn, op) ->
+             let link = route_op t op in
+             await_conflicts t op;
+             t.undispatched <- Lsn.Set.remove lsn t.undispatched;
+             dispatch t link ~lsn ~op ~xid:(Some txn.t_xid) ~wants_reply:true;
+             ignore (await_reply t lsn))
+           cleanups
+       with e ->
+         (* A crash unwound the dispatch loop.  Drop the never-sent
+            husks from the floor — their cleanup is re-delivered anyway
+            (a commit retry logs fresh records for the same keys, and
+            recovery redo resends these under the lwm cap) — or the
+            low-water mark would be wedged below them forever. *)
+         List.iter
+           (fun (lsn, _) ->
+             t.undispatched <- Lsn.Set.remove lsn t.undispatched)
+           cleanups;
+         raise e);
       ignore (Wal.append t.log (Log_record.Finished { xid = txn.t_xid }));
       release_locks t txn;
       txn.state <- Committed;
@@ -1098,12 +1170,17 @@ let crash t =
   Hashtbl.reset t.completed;
   Queue.clear t.wakeups;
   t.outstanding <- Lsn.Set.empty;
+  t.undispatched <- Lsn.Set.empty;
   t.locks <- Lock_mgr.create ();
   t.acked_since_lwm <- 0;
   (* Unacked control messages are volatile too (their frames and any
      replies in flight died with the process); the epoch counters
      survive so recovery can open strictly newer sessions. *)
-  Hashtbl.iter (fun _ ls -> clear_ctl t ls) t.links
+  Hashtbl.iter
+    (fun _ ls ->
+      ls.ls_outstanding <- Lsn.Set.empty;
+      clear_ctl t ls)
+    t.links
 
 type analysis = {
   mutable a_committed : bool;
@@ -1114,7 +1191,7 @@ type analysis = {
 let resend_logged ?xid t lsn op =
   let link = route_op t op in
   await_conflicts t op;
-  dispatch t link { Wire.tc = t.cfg.id; lsn; op } ~xid ~wants_reply:true;
+  dispatch t link ~lsn ~op ~xid ~wants_reply:true;
   ignore (await_reply t lsn);
   (* Redo is sequential in LSN order, so once this operation is
      re-acknowledged every operation at or below it is settled. *)
@@ -1150,6 +1227,11 @@ let recover t =
      from before the crash still in flight must not touch the state the
      DCs are about to reset. *)
   Hashtbl.iter (fun _ ls -> new_epoch t ls) t.links;
+  (* Cap the low-water mark at the redo cursor before the restart
+     barrier: awaiting the barrier acks pumps the transports, and a
+     watermark pushed from that pump would claim LSNs whose effects the
+     DCs are being told to reset. *)
+  t.lwm_cap <- Some (Lsn.prev t.rssp);
   (* Tell every DC to forget effects beyond the stable log (it resets
      exactly the pages whose abstract LSNs reach past it).  This is a
      barrier: redo traffic must not arrive before the reset happens. *)
@@ -1157,7 +1239,6 @@ let recover t =
   (* Redo: repeat history by resending logged operations in order.  The
      low-water mark is capped at the redo cursor: history not yet resent
      must count as outstanding. *)
-  t.lwm_cap <- Some (Lsn.prev t.rssp);
   Wal.iter_from t.log t.rssp (fun lsn record ->
       match record with
       | Log_record.Op_log { op; _ } | Log_record.Compensation { op; _ } ->
@@ -1263,18 +1344,25 @@ let on_dc_restart t ~dc =
       end
     | _ -> ()
   in
+  (* Cap the low-water mark at the redo cursor BEFORE the first barrier
+     exchange: awaiting the fence ack pumps the transports, and an ack
+     from a sibling partition arriving there can trigger a watermark
+     push.  Uncapped, that watermark claims every acknowledged LSN —
+     including operations the rebuilt DC lost with its cache — and the
+     DC, whose pages came back with empty abstract LSNs, would compact
+     them to the claim and absorb the entire redo stream as duplicates. *)
+  t.lwm_cap <- Some (Lsn.prev t.rssp);
   (* Both fences are barriers: the begin must be applied before any redo
      frame, the end before fresh traffic resumes. *)
   ignore
     (await_control_reply t ls
        (post_control ~awaited:true t ls (Wire.Redo_fence_begin { tc = t.cfg.id })));
-  t.lwm_cap <- Some (Lsn.prev t.rssp);
   Wal.iter_from t.log t.rssp resend;
   Wal.iter_volatile t.log resend;
-  t.lwm_cap <- None;
   ignore
     (await_control_reply t ls
        (post_control ~awaited:true t ls (Wire.Redo_fence_end { tc = t.cfg.id })));
+  t.lwm_cap <- None;
   (* Any pending still fenced was never logged: a synchronous read whose
      awaiting caller unwound with the crash.  Nothing will ever consume
      its reply; retire it. *)
@@ -1286,7 +1374,7 @@ let on_dc_restart t ~dc =
   List.iter
     (fun (key, p) ->
       Hashtbl.remove t.pendings key;
-      t.outstanding <- Lsn.Set.remove p.p_req.Wire.lsn t.outstanding;
+      retire_pending t p;
       match p.p_xid with
       | Some x -> (
         match Hashtbl.find_opt t.txns x with
@@ -1316,6 +1404,13 @@ let lock_acquisitions t = Lock_mgr.total_acquisitions t.locks
 let messages_sent t = t.msgs
 
 let resends t = t.resend_count
+
+let dc_of_op t op = (route_op t op).ls_link.dc_name
+
+let part_of_dc t ~dc =
+  match Hashtbl.find_opt t.links dc with
+  | Some ls -> ls.ls_link.part
+  | None -> invalid_arg ("Tc.part_of_dc: unknown DC " ^ dc)
 
 let iter_stable_ops t f =
   Wal.iter_from t.log t.rssp (fun lsn record ->

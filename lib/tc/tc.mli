@@ -70,6 +70,9 @@ val default_config : Untx_util.Tc_id.t -> config
     (reply frames, control-reply frames). *)
 type dc_link = {
   dc_name : string;
+  part : int;
+      (** the DC's partition id, stamped into every request frame so a
+          misrouted frame is rejected by the receiving DC *)
   send : string -> unit;
   send_control : string -> unit;
   drain : unit -> string list * string list;
@@ -202,6 +205,14 @@ val iter_stable_ops :
 (** Visit every operation in the stable log from the redo scan start
     point, in LSN order — the exact suffix recovery would resend.  The
     post-recovery auditor re-delivers it to prove idempotence. *)
+
+val dc_of_op : t -> Untx_msg.Op.t -> string
+(** The DC this operation routes to under the current table maps — the
+    owning partition for a partitioned table.  The deployment auditor
+    uses it to re-deliver each logged operation to the right DC. *)
+
+val part_of_dc : t -> dc:string -> int
+(** The partition id the named DC's link was attached with. *)
 
 val dump_locks : t -> string
 (** Lock-table diagnostics. *)

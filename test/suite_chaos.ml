@@ -107,6 +107,73 @@ let test_crash_cycle_under_corruption () =
         true (c.c_crashes >= 2))
     [ 3; 6; 10 ]
 
+let test_partitioned_cycles () =
+  (* The partitioned twin at test scale: one TC over three DCs, fixed
+     seeds, kills mid-SMO and mid-checkpoint-grant.  Whichever partition
+     the fault escapes from dies and recovers alone; the deployment
+     audit (per-partition structure/hygiene, merged oracle, routed
+     idempotence) must come back clean. *)
+  let plans =
+    [
+      ("dc.smo.split.mid@1", [ Fault.crash_at "dc.smo.split.mid" 1 ]);
+      ("dc.checkpoint.mid@1", [ Fault.crash_at "dc.checkpoint.mid" 1 ]);
+      ("tc.commit.before_force@2",
+       [ Fault.crash_at "tc.commit.before_force" 2 ]);
+      ("dc.flush.before_page_write@1",
+       [ Fault.crash_at "dc.flush.before_page_write" 1 ]);
+    ]
+  in
+  List.iter
+    (fun (label, plan) ->
+      List.iter
+        (fun seed ->
+          let c =
+            Chaos.run_cycle_partitioned ~label ~plan ~seed ~txns:12 ~parts:3
+          in
+          check_clean c;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s seed=%d: the planned rule fired" label seed)
+            true (c.c_fired <> []))
+        [ 3; 10 ])
+    plans
+
+let test_redo_window_watermark_race () =
+  (* Regression: a watermark pushed while the TC awaits the redo-fence
+     barrier (an ack from a sibling partition pumps the transports mid
+     [Tc.on_dc_restart]) used to claim every acknowledged LSN.  The
+     rebuilt partition, whose pages came back with empty abstract LSNs,
+     compacted to the claim and absorbed its whole redo stream as
+     duplicates — losing committed records.  Both seeds reproduced the
+     loss before the low-water cap was installed ahead of the barrier. *)
+  List.iter
+    (fun (label, plan, seed) ->
+      let c =
+        Chaos.run_cycle_partitioned ~label ~plan ~seed ~txns:24 ~parts:3
+      in
+      check_clean c;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s seed=%d: the planned rule fired" label seed)
+        true (c.c_fired <> []))
+    [
+      ( "dc.flush.before_page_write@1",
+        [ Fault.crash_at "dc.flush.before_page_write" 1 ],
+        23658 );
+      ("wal.dc.force.mid@1", [ Fault.crash_at "wal.dc.force.mid" 1 ], 24068);
+    ]
+
+let test_partitioned_reproducible () =
+  let run () =
+    Chaos.run_cycle_partitioned ~label:"repro-part" ~seed:9 ~txns:12 ~parts:3
+      ~plan:[ Fault.crash_at "dc.flush.after_page_write" 2 ]
+  in
+  let a = run () and b = run () in
+  check_clean a;
+  Alcotest.(check (list string)) "same fired points" a.c_fired b.c_fired;
+  Alcotest.(check int) "same crash count" a.c_crashes b.c_crashes;
+  Alcotest.(check int) "same committed count" a.c_committed b.c_committed;
+  Alcotest.(check (list (pair string int))) "same counter snapshot"
+    a.c_counters b.c_counters
+
 let test_plan_sweep_covers_required_points () =
   (* The standard sweep must reach the ISSUE's coverage floor: at least
      8 distinct points including a torn write and a mid-SMO crash. *)
@@ -138,4 +205,10 @@ let suite =
       test_crash_cycle_under_corruption;
     Alcotest.test_case "plan sweep covers the required points" `Quick
       test_plan_sweep_covers_required_points;
+    Alcotest.test_case "partitioned crash cycles are violation-free" `Quick
+      test_partitioned_cycles;
+    Alcotest.test_case "partitioned cycles are reproducible" `Quick
+      test_partitioned_reproducible;
+    Alcotest.test_case "redo-window watermark race stays fixed" `Quick
+      test_redo_window_watermark_race;
   ]

@@ -32,7 +32,7 @@ let mk ?(sync_policy = Dc.Full_ablsn) ?(page_capacity = 256) () =
   Dc.create_table dc ~name:"vt" ~versioned:true;
   dc
 
-let req ?(tc = tc1) l op = { Wire.tc; lsn = lsn l; op }
+let req ?(tc = tc1) l op = { Wire.tc; lsn = lsn l; part = 0; op }
 
 let insert ?tc ?(table = "t") l key value =
   req ?tc l (Op.Insert { table; key; value })

@@ -5,6 +5,11 @@ module Deploy = Untx_cloud.Deploy
 module Tc = Untx_tc.Tc
 module Dc = Untx_dc.Dc
 module Tc_id = Untx_util.Tc_id
+module Lsn = Untx_util.Lsn
+module Instrument = Untx_util.Instrument
+module Wire = Untx_msg.Wire
+module Op = Untx_msg.Op
+module Audit = Untx_audit.Audit
 
 let ok = function
   | `Ok v -> v
@@ -85,6 +90,133 @@ let test_names_listing () =
     (Deploy.dc_names d);
   Alcotest.(check (list string)) "tcs" [ "tc-b" ] (Deploy.tc_names d)
 
+(* --- the sharded deployment: one TC over N hash partitions --------- *)
+
+let part_deploy ?counters ~parts () =
+  let d = Deploy.create ?counters () in
+  let tc = Deploy.add_tc d ~name:"tc1" (Tc.default_config (Tc_id.of_int 1)) in
+  let dcs = List.init parts (Printf.sprintf "dc%d") in
+  List.iter (fun n -> ignore (Deploy.add_dc d ~name:n Dc.default_config)) dcs;
+  Deploy.add_partitioned_table d ~name:"t" ~versioned:false ~dcs ();
+  (d, tc)
+
+let commit_one tc ~key ~value =
+  let txn = Tc.begin_txn tc in
+  (match Tc.update tc txn ~table:"t" ~key ~value with
+  | `Ok () -> ()
+  | `Blocked -> Alcotest.fail "blocked"
+  | `Fail _ -> ok (Tc.insert tc txn ~table:"t" ~key ~value));
+  ok (Tc.commit tc txn)
+
+let test_hash_map_placement () =
+  (* Every committed record must sit on exactly the DC the static hash
+     map owns it to, and a 3-way split of 60 keys must leave no
+     partition empty. *)
+  let d, tc = part_deploy ~parts:3 () in
+  let keys = List.init 60 (Printf.sprintf "k%02d") in
+  List.iter (fun key -> commit_one tc ~key ~value:("v-" ^ key)) keys;
+  Deploy.quiesce d;
+  let parts = Deploy.partitions d ~table:"t" in
+  Alcotest.(check (list string)) "partitions in id order"
+    [ "dc0"; "dc1"; "dc2" ] parts;
+  let holds dc key = List.mem_assoc key (Dc.dump_table (Deploy.dc d dc) "t") in
+  List.iter
+    (fun key ->
+      let owner = Deploy.partition_dc d ~table:"t" ~key in
+      List.iter
+        (fun dc ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s on %s (owner %s)" key dc owner)
+            (dc = owner) (holds dc key))
+        parts)
+    keys;
+  List.iter
+    (fun dc ->
+      Alcotest.(check bool) (dc ^ " non-empty") true
+        (Dc.dump_table (Deploy.dc d dc) "t" <> []))
+    parts
+
+let test_misrouted_frame_rejected () =
+  (* A frame stamped for a different partition must be rejected, never
+     silently applied: the TC's map and the deployment disagree. *)
+  let counters = Instrument.create () in
+  let d, _ = part_deploy ~counters ~parts:2 () in
+  let dc = Deploy.dc d "dc0" in
+  let req =
+    {
+      Wire.tc = Tc_id.of_int 1;
+      lsn = Lsn.of_int 1;
+      part = Dc.part dc + 1;
+      op = Op.Insert { table = "t"; key = "stray"; value = "x" };
+    }
+  in
+  let reply = Dc.perform dc req in
+  (match reply.Wire.result with
+  | Wire.Failed msg ->
+    Alcotest.(check bool) "failure names misrouting" true
+      (String.length msg >= 9 && String.sub msg 0 9 = "misrouted")
+  | _ -> Alcotest.fail "misrouted frame was applied");
+  Alcotest.(check int) "counter bumped" 1 (Instrument.get counters "dc.misrouted");
+  Alcotest.(check bool) "no state change" false
+    (List.mem_assoc "stray" (Dc.dump_table dc "t"))
+
+let test_single_partition_crash_siblings_serve () =
+  (* Hard-kill one of three partitions mid-workload: it must recover
+     alone via the TC's redo, siblings keep committing throughout, and
+     the deployment auditor finds every committed record afterwards. *)
+  let d, tc = part_deploy ~parts:3 () in
+  let oracle = Hashtbl.create 64 in
+  let put key value =
+    commit_one tc ~key ~value;
+    Hashtbl.replace oracle key value
+  in
+  List.iter (fun i -> put (Printf.sprintf "a%02d" i) "before") (List.init 30 Fun.id);
+  Deploy.crash_dc d "dc1";
+  List.iter
+    (fun i ->
+      put (Printf.sprintf "a%02d" i) "after";
+      put (Printf.sprintf "b%02d" i) "after")
+    (List.init 30 Fun.id);
+  Deploy.quiesce d;
+  Hashtbl.iter
+    (fun key value ->
+      Alcotest.(check (option string)) (key ^ " readable") (Some value)
+        (Tc.read_committed tc ~table:"t" ~key))
+    oracle;
+  let expected =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) oracle []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let report = Audit.run_deploy d ~tc:"tc1" ~table:"t" ~expected in
+  Alcotest.(check (list string)) "audit clean" [] report.Audit.violations
+
+let test_checkpoint_fans_out () =
+  (* A checkpoint must be granted by every partition before the TC may
+     truncate: after unanimous grant the redo-scan start point has
+     advanced past the pre-checkpoint log. *)
+  let d, tc = part_deploy ~parts:3 () in
+  List.iter
+    (fun i -> commit_one tc ~key:(Printf.sprintf "c%02d" i) ~value:"v")
+    (List.init 40 Fun.id);
+  Deploy.quiesce d;
+  let rssp0 = Tc.rssp tc in
+  List.iter (fun n -> Dc.flush_all (Deploy.dc d n)) (Deploy.dc_names d);
+  let rec grant tries =
+    if Tc.checkpoint tc then true
+    else if tries = 0 then false
+    else begin
+      Deploy.quiesce d;
+      List.iter (fun n -> Dc.flush_all (Deploy.dc d n)) (Deploy.dc_names d);
+      grant (tries - 1)
+    end
+  in
+  Alcotest.(check bool) "every partition granted" true (grant 4);
+  Alcotest.(check bool) "redo-scan start point advanced" true
+    (Lsn.compare (Tc.rssp tc) rssp0 > 0);
+  (* committed state is untouched by the truncation *)
+  Alcotest.(check (option string)) "still readable" (Some "v")
+    (Tc.read_committed tc ~table:"t" ~key:"c00")
+
 let suite =
   [
     Alcotest.test_case "link order irrelevant" `Quick test_add_order_irrelevant;
@@ -93,4 +225,12 @@ let suite =
     Alcotest.test_case "partitioned routing" `Quick test_partitioned_routing;
     Alcotest.test_case "message accounting" `Quick test_message_accounting;
     Alcotest.test_case "name listing" `Quick test_names_listing;
+    Alcotest.test_case "hash map places every record" `Quick
+      test_hash_map_placement;
+    Alcotest.test_case "misrouted frame rejected" `Quick
+      test_misrouted_frame_rejected;
+    Alcotest.test_case "single-partition crash, siblings serve" `Quick
+      test_single_partition_crash_siblings_serve;
+    Alcotest.test_case "checkpoint fans out to every partition" `Quick
+      test_checkpoint_fans_out;
   ]

@@ -103,6 +103,82 @@ let test_deadlock_three_way () =
   ignore (Lock_mgr.release_all l ~owner:3);
   Alcotest.(check (option int)) "cycle broken" None (Lock_mgr.find_deadlock l)
 
+(* Regression: granting S must not drop a previously queued X upgrade.
+   The old waiter bookkeeping filtered *every* wait of the granted owner,
+   so the sequence "queue X upgrade, then re-request S" silently erased
+   the upgrade and the owner slept forever once its S was released. *)
+let test_upgrade_survives_s_grant () =
+  let l = Lock_mgr.create () in
+  ignore (Lock_mgr.acquire l ~owner:1 (rec_ "k") Lock_mgr.S);
+  ignore (Lock_mgr.acquire l ~owner:2 (rec_ "k") Lock_mgr.S);
+  (* owner 2 queues an upgrade behind owner 1's S *)
+  Alcotest.(check bool) "upgrade queues" true
+    (Lock_mgr.acquire l ~owner:2 (rec_ "k") Lock_mgr.X = `Blocked);
+  (* re-requesting the S it already holds is granted re-entrantly and
+     must leave the queued upgrade alone *)
+  Alcotest.(check bool) "s still covered" true
+    (Lock_mgr.acquire l ~owner:2 (rec_ "k") Lock_mgr.S = `Granted);
+  Alcotest.(check bool) "upgrade still queued" true (Lock_mgr.waiting l ~owner:2);
+  let granted = Lock_mgr.release_all l ~owner:1 in
+  Alcotest.(check (list int)) "upgrade promoted" [ 2 ] granted;
+  Alcotest.(check bool) "now exclusive" true
+    (Lock_mgr.holds l ~owner:2 (rec_ "k") Lock_mgr.X);
+  Alcotest.(check bool) "no longer waiting" false (Lock_mgr.waiting l ~owner:2)
+
+(* Same shape through a fresh grant: owner 2 holds nothing on "k2",
+   queues an X there, then wins an S on the same resource once the
+   holder drops to compatible — the X wait must survive the S grant. *)
+let test_fresh_s_grant_keeps_x_wait () =
+  let l = Lock_mgr.create () in
+  ignore (Lock_mgr.acquire l ~owner:1 (rec_ "k") Lock_mgr.S);
+  ignore (Lock_mgr.acquire l ~owner:2 (rec_ "k") Lock_mgr.X);
+  (* head-of-queue retry in S mode: grantable (S vs S) and at head *)
+  Alcotest.(check bool) "head retry S granted" true
+    (Lock_mgr.acquire l ~owner:2 (rec_ "k") Lock_mgr.S = `Granted);
+  Alcotest.(check bool) "x upgrade preserved" true (Lock_mgr.waiting l ~owner:2);
+  let granted = Lock_mgr.release_all l ~owner:1 in
+  Alcotest.(check (list int)) "x granted on release" [ 2 ] granted;
+  Alcotest.(check bool) "exclusive" true
+    (Lock_mgr.holds l ~owner:2 (rec_ "k") Lock_mgr.X)
+
+(* Contention stress: many owners hammering a few hot records plus
+   private keys.  Checks bookkeeping consistency (held_count matches
+   holds, release wakes the right parties, no residue) at a scale where
+   the old quadratic list scans would visibly misbehave if the new
+   structures miscounted. *)
+let test_contention_bookkeeping () =
+  let l = Lock_mgr.create () in
+  let owners = 64 in
+  let blocked = Hashtbl.create 64 in
+  for o = 1 to owners do
+    (* everyone takes S on the hot record *)
+    (match Lock_mgr.acquire l ~owner:o (rec_ "hot") Lock_mgr.S with
+    | `Granted -> ()
+    | `Blocked -> Hashtbl.replace blocked o ());
+    (* a private key each: always granted *)
+    Alcotest.(check bool) "private granted" true
+      (Lock_mgr.acquire l ~owner:o (rec_ (Printf.sprintf "p%d" o)) Lock_mgr.X
+      = `Granted)
+  done;
+  Alcotest.(check int) "no one blocked on shared" 0 (Hashtbl.length blocked);
+  Alcotest.(check int) "live locks" (2 * owners) (Lock_mgr.live_locks l);
+  (* owner 1 upgrades the hot record: blocked behind 63 other S holders *)
+  Alcotest.(check bool) "upgrade blocked" true
+    (Lock_mgr.acquire l ~owner:1 (rec_ "hot") Lock_mgr.X = `Blocked);
+  (* everyone else releases; owner 1's upgrade must be granted *)
+  let woken = ref [] in
+  for o = 2 to owners do
+    woken := Lock_mgr.release_all l ~owner:o @ !woken
+  done;
+  Alcotest.(check (list int)) "upgrade woken once" [ 1 ]
+    (List.sort_uniq Int.compare !woken);
+  Alcotest.(check bool) "owner 1 exclusive" true
+    (Lock_mgr.holds l ~owner:1 (rec_ "hot") Lock_mgr.X);
+  Alcotest.(check int) "owner 1 holds hot + private" 2
+    (Lock_mgr.held_count l ~owner:1);
+  ignore (Lock_mgr.release_all l ~owner:1);
+  Alcotest.(check int) "all released" 0 (Lock_mgr.live_locks l)
+
 let test_range_and_table_resources () =
   let l = Lock_mgr.create () in
   let r1 = Lock_mgr.Range { table = "t"; slot = 3 } in
@@ -127,4 +203,10 @@ let suite =
     Alcotest.test_case "three-way deadlock" `Quick test_deadlock_three_way;
     Alcotest.test_case "range/table resources" `Quick
       test_range_and_table_resources;
+    Alcotest.test_case "upgrade survives re-entrant S" `Quick
+      test_upgrade_survives_s_grant;
+    Alcotest.test_case "fresh S grant keeps X wait" `Quick
+      test_fresh_s_grant_keeps_x_wait;
+    Alcotest.test_case "contention bookkeeping" `Quick
+      test_contention_bookkeeping;
   ]

@@ -71,7 +71,7 @@ let test_sizes_positive () =
   List.iter
     (fun op -> Alcotest.(check bool) "positive size" true (Op.size op > 0))
     [ ins "a"; upd "b"; del "a"; rd "b"; scan "a"; probe "b"; cv [] ];
-  let req = { Wire.tc = Tc_id.of_int 1; lsn = Lsn.of_int 5; op = ins "a" } in
+  let req = { Wire.tc = Tc_id.of_int 1; lsn = Lsn.of_int 5; part = 0; op = ins "a" } in
   (* request_size is no longer an estimate: it is the length of the
      actual encoded frame. *)
   Alcotest.(check int) "request size is the encoded length"

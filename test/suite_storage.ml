@@ -181,6 +181,38 @@ let test_cache_eviction_lru () =
   Alcotest.(check bool) "capacity respected" true (Cache.resident c <= 3);
   Alcotest.(check bool) "evictions happened" true (Cache.evictions c > 0)
 
+(* Regression: when every resident page is dirty and unflushable (the
+   causality rule pins them all), eviction must give up after a bounded
+   clock sweep — not spin forever hunting a victim that cannot exist.
+   The pool stays over capacity and the skips are counted. *)
+let test_cache_eviction_stall_terminates () =
+  let d = Disk.create () in
+  let counters = Untx_util.Instrument.create () in
+  let c = Cache.create ~counters ~disk:d ~capacity:2 () in
+  Cache.set_policy c ~can_flush:(fun _ -> false) ~prepare_flush:ignore;
+  (* every page is dirty from birth and the policy refuses all flushes,
+     so there is never an evictable victim; this call must return *)
+  let pages =
+    List.init 6 (fun _ -> Cache.new_page c ~kind:Page.Leaf ~page_capacity:64)
+  in
+  ignore pages;
+  Alcotest.(check int) "nothing evicted" 0 (Cache.evictions c);
+  Alcotest.(check int) "pool over capacity" 6 (Cache.resident c);
+  Alcotest.(check bool) "skips recorded" true
+    (Untx_util.Instrument.get counters "cache.evict_skips" > 0);
+  (* scan work is bounded: each enforcement pass walks the ring at most
+     twice, so the step counter stays linear in residents, not O(n^2) *)
+  let steps = Untx_util.Instrument.get counters "cache.evict_scan_steps" in
+  Alcotest.(check bool)
+    (Printf.sprintf "scan steps bounded (%d)" steps)
+    true
+    (steps <= 2 * 6 * 6);
+  (* once the policy relents, the same pool drains back under capacity *)
+  Cache.set_policy c ~can_flush:(fun _ -> true) ~prepare_flush:ignore;
+  Cache.enforce_capacity c;
+  Alcotest.(check bool) "drains when unpinned" true (Cache.resident c <= 2);
+  Alcotest.(check bool) "evictions resumed" true (Cache.evictions c > 0)
+
 let test_cache_prepare_flush_hook () =
   let d = Disk.create () in
   let c = Cache.create ~disk:d ~capacity:4 () in
@@ -248,6 +280,8 @@ let suite =
     Alcotest.test_case "cache policy blocks flush" `Quick
       test_cache_policy_blocks_flush;
     Alcotest.test_case "cache eviction" `Quick test_cache_eviction_lru;
+    Alcotest.test_case "cache stall terminates" `Quick
+      test_cache_eviction_stall_terminates;
     Alcotest.test_case "cache page-sync hook" `Quick
       test_cache_prepare_flush_hook;
     Alcotest.test_case "cache drop reverts" `Quick test_cache_drop_page_reverts;

@@ -18,6 +18,7 @@ let req i =
     {
       Wire.tc = Tc_id.of_int 1;
       lsn = Lsn.of_int i;
+      part = 0;
       op = Op.Read { table = "t"; key = string_of_int i; mode = Op.Own };
     }
 

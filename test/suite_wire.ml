@@ -55,7 +55,8 @@ let gen_request =
   Gen.(
     gen_tc >>= fun tc ->
     gen_lsn >>= fun lsn ->
-    gen_op >>= fun op -> return { Wire.tc; lsn; op })
+    Gen.int_bound 7 >>= fun part ->
+    gen_op >>= fun op -> return { Wire.tc; lsn; part; op })
 
 let gen_result =
   Gen.(
