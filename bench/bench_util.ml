@@ -10,6 +10,8 @@ module Dc = Untx_dc.Dc
 module Mono = Untx_baseline.Mono
 module Tc_id = Untx_util.Tc_id
 module Instrument = Untx_util.Instrument
+module Metrics = Untx_obs.Metrics
+module Trace = Untx_obs.Trace
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -55,6 +57,42 @@ let fmt_f f = Printf.sprintf "%.1f" f
 let fmt_f2 f = Printf.sprintf "%.2f" f
 
 let per x n = if n = 0 then 0. else float_of_int x /. float_of_int n
+
+(* --- histogram rendering ----------------------------------------------- *)
+
+(* One row per named histogram that actually saw samples.  Latency
+   histograms (the [_ns] naming convention, possibly with a
+   per-partition suffix as in [dc.apply_ns.p3]) render with human
+   units; size histograms render raw. *)
+let is_ns_hist name =
+  let n = String.length name in
+  let rec go i = i + 3 <= n && (String.sub name i 3 = "_ns" || go (i + 1)) in
+  go 0
+
+let print_hists ~title c names =
+  let rows =
+    List.filter_map
+      (fun name ->
+        match Metrics.hist_snapshot c name with
+        | None -> None
+        | Some s ->
+          let fmt v =
+            if is_ns_hist name then Metrics.fmt_ns v else string_of_int v
+          in
+          Some
+            [
+              name;
+              string_of_int s.Metrics.s_count;
+              fmt (Metrics.percentile s 50.);
+              fmt (Metrics.percentile s 95.);
+              fmt (Metrics.percentile s 99.);
+              fmt s.Metrics.s_max;
+            ])
+      names
+  in
+  if rows <> [] then
+    print_table ~title ~header:[ "histogram"; "n"; "p50"; "p95"; "p99"; "max" ]
+      rows
 
 (* --- engines ----------------------------------------------------------- *)
 

@@ -75,10 +75,31 @@ let row_of label k t =
     string_of_int (Transport.control_bytes_sent transport);
   ]
 
+(* Each policy runs with timing on so the data-channel round trip
+   (first send to ack — resends lengthen it, they don't reset it) is
+   captured per policy: adversity should show up as tail latency, not
+   just as counter deltas. *)
+let rtt_row label counters =
+  match Metrics.hist_snapshot counters "tc.data_rtt_ns" with
+  | None -> None
+  | Some s ->
+    Some
+      [
+        label;
+        string_of_int s.Metrics.s_count;
+        Metrics.fmt_ns (Metrics.percentile s 50.);
+        Metrics.fmt_ns (Metrics.percentile s 95.);
+        Metrics.fmt_ns (Metrics.percentile s 99.);
+        Metrics.fmt_ns s.Metrics.s_max;
+      ]
+
 let run_policy label policy =
-  let k = make_kernel ~policy ~seed:101 () in
+  let counters = Instrument.create () in
+  let k = make_kernel ~policy ~seed:101 ~counters () in
+  Metrics.set_timed counters true;
   let (), t = time (fun () -> workload k) in
-  (row_of label k t, state k)
+  Metrics.set_timed counters false;
+  (row_of label k t, state k, rtt_row label counters)
 
 (* Chaotic policy on both channels, 5% of all frames corrupted on the
    wire (caught by the checksum gate and dropped), and a hard kill of
@@ -87,7 +108,9 @@ let run_policy label policy =
    stably logged; recovery must redo it over the same corrupting
    transport and land on the reliable run's exact final state. *)
 let run_crash_cycle label policy =
-  let k = make_kernel ~policy ~seed:101 () in
+  let counters = Instrument.create () in
+  let k = make_kernel ~policy ~seed:101 ~counters () in
+  Metrics.set_timed counters true;
   Fault.arm ~seed:7 [ Fault.crash_with_prob "transport.frame.corrupt" 0.05 ];
   let (), t =
     time (fun () ->
@@ -96,7 +119,8 @@ let run_crash_cycle label policy =
             if i = 140 then Kernel.crash_dc k))
   in
   Fault.disarm ();
-  (row_of label k t, state k)
+  Metrics.set_timed counters false;
+  (row_of label k t, state k, rtt_row label counters)
 
 let run () =
   let mk drop dup =
@@ -120,10 +144,16 @@ let run () =
     ~header:
       [ "transport"; "txns/s"; "msgs"; "resends"; "dropped"; "duplicated";
         "corrupt"; "dups absorbed"; "data B"; "ctl B" ]
-    (List.map fst rows_states);
-  let reference = snd (List.hd rows_states) in
+    (List.map (fun (r, _, _) -> r) rows_states);
+  print_table
+    ~title:
+      "E10  Data-channel round trip per policy (first send to ack; resends \
+       lengthen, never reset)"
+    ~header:[ "transport"; "n"; "p50"; "p95"; "p99"; "max" ]
+    (List.filter_map (fun (_, _, r) -> r) rows_states);
+  let reference = (fun (_, s, _) -> s) (List.hd rows_states) in
   let all_equal =
-    List.for_all (fun (_, s) -> s = reference) (List.tl rows_states)
+    List.for_all (fun (_, s, _) -> s = reference) (List.tl rows_states)
   in
   Printf.printf
     "claim check: final states across all transports identical to the \

@@ -10,9 +10,14 @@
    The whole run is a pure function of the printed base seed. *)
 
 module Chaos = Untx_audit.Chaos
+module Analyzer = Untx_obs.Analyzer
 
 let base_seed = 0xC1D9
 
+(* A violating cycle carries its span dump (c_trace is only populated
+   on violations during soaks): print the analyzer's reconstruction —
+   per-hop latencies, resend chains, orphan spans — next to the
+   violation lines, so the failing cycle arrives pre-digested. *)
 let print_cycle_failures cycles =
   List.iter
     (fun (c : Chaos.cycle) ->
@@ -20,7 +25,11 @@ let print_cycle_failures cycles =
         Printf.printf "VIOLATION plan=%s seed=%d fired=[%s]\n" c.c_label
           c.c_seed
           (String.concat "," c.c_fired);
-        List.iter (fun v -> Printf.printf "  - %s\n" v) c.c_violations
+        List.iter (fun v -> Printf.printf "  - %s\n" v) c.c_violations;
+        if c.c_trace <> "" then
+          Format.printf "  trace of the violating cycle:@.%a@."
+            Analyzer.pp_summary
+            (Analyzer.analyze (Analyzer.of_jsonl c.c_trace))
       end)
     cycles
 

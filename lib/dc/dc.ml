@@ -1,6 +1,8 @@
 module Lsn = Untx_util.Lsn
 module Tc_id = Untx_util.Tc_id
 module Instrument = Untx_util.Instrument
+module Metrics = Untx_obs.Metrics
+module Trace = Untx_obs.Trace
 module Codec = Untx_util.Codec
 module Page = Untx_storage.Page
 module Page_id = Untx_storage.Page_id
@@ -89,11 +91,15 @@ type t = {
   mutable part : int;
       (* partition id in the deployment; requests stamped for another
          partition are rejected instead of applied *)
+  mutable h_apply_part : string;
+      (* per-partition apply histogram name, rebuilt on set_identity *)
 }
 
 let config t = t.cfg
 
-let set_identity t ~part = t.part <- part
+let set_identity t ~part =
+  t.part <- part;
+  t.h_apply_part <- "dc.apply_ns.p" ^ string_of_int part
 
 let part t = t.part
 
@@ -323,6 +329,7 @@ let create ?(counters = Instrument.global) cfg =
       fence_depth = 0;
       escalated = false;
       part = 0;
+      h_apply_part = "dc.apply_ns.p0";
     }
   in
   Cache.set_policy cache
@@ -1252,7 +1259,24 @@ let handle_request_frame t frame =
   | exception Invalid_argument _ ->
     Instrument.bump t.counters "dc.bad_frames";
     None
-  | req -> Some (Wire.encode_reply (perform t req))
+  | req ->
+    let tid = if Trace.enabled () then Wire.frame_tid frame else 0 in
+    let t0 = Metrics.start t.counters in
+    (* The idempotence table absorbs duplicates inside [perform]; the
+       counter delta distinguishes a real apply from an absorbed one
+       without threading the trace id through the write path. *)
+    let dup_before = t.dup_absorbed in
+    let reply = perform t req in
+    Metrics.stop t.counters "dc.apply_ns" t0;
+    Metrics.stop t.counters t.h_apply_part t0;
+    if tid <> 0 then
+      Trace.record ~tid ~comp:"dc"
+        ~ev:(if t.dup_absorbed > dup_before then "skip" else "apply")
+        [
+          ("part", string_of_int t.part);
+          ("lsn", Lsn.to_string req.Wire.lsn);
+        ];
+    Some (Wire.encode_reply ~tid reply)
 
 let session t tc =
   let key = Tc_id.to_int tc in

@@ -5,6 +5,7 @@ module Dc = Untx_dc.Dc
 module Tc_id = Untx_util.Tc_id
 module Rng = Untx_util.Rng
 module Instrument = Untx_util.Instrument
+module Trace = Untx_obs.Trace
 module Fault = Untx_fault.Fault
 
 type cycle = {
@@ -16,6 +17,9 @@ type cycle = {
   c_redelivered : int;
   c_violations : string list;
   c_counters : (string * int) list;
+  c_trace : string;
+      (* the cycle's span dump (Trace.to_jsonl); captured for every
+         violating cycle, and on request via [keep_trace] *)
 }
 
 let table = "kv"
@@ -77,8 +81,16 @@ let oracle_rows oracle =
     oracle []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let run_cycle ~label ~plan ~seed ~txns =
+(* Every cycle runs traced: the ring is cleared and re-enabled at the
+   start so trace ids are deterministic per cycle, and a violating
+   cycle's dump rides along in the report — the auditor's verdict comes
+   with the timeline that led to it.  The previous enabled state is
+   restored before the audit so probe traffic doesn't muddy the dump. *)
+let run_cycle ?(keep_trace = false) ~label ~plan ~seed ~txns () =
   Fault.disarm ();
+  let was_tracing = Trace.enabled () in
+  Trace.clear ();
+  Trace.set_enabled true;
   let counters = Instrument.create () in
   let rng = Rng.create ~seed in
   let k = make_kernel ~counters ~seed in
@@ -236,6 +248,12 @@ let run_cycle ~label ~plan ~seed ~txns =
   quiesce_settle 4;
   let fired = Fault.fired_points () in
   Fault.disarm ();
+  Trace.set_enabled was_tracing;
+  (* Snapshot counters at the same boundary where tracing stops: the
+     auditor's probe traffic belongs to neither the counters nor the
+     trace, so the two views describe the identical window and a span
+     dump can be reconciled against the counters exactly. *)
+  let counters_at_quiesce = Instrument.snapshot counters in
   let report = Audit.run k ~table ~expected:(oracle_rows oracle) in
   {
     c_label = label;
@@ -245,7 +263,10 @@ let run_cycle ~label ~plan ~seed ~txns =
     c_committed = !committed;
     c_redelivered = report.Audit.redelivered;
     c_violations = report.Audit.violations;
-    c_counters = Instrument.snapshot counters;
+    c_counters = counters_at_quiesce;
+    c_trace =
+      (if keep_trace || report.Audit.violations <> [] then Trace.to_jsonl ()
+       else "");
   }
 
 (* --- partitioned deployments ------------------------------------------ *)
@@ -295,8 +316,12 @@ let make_deploy ~counters ~seed ~parts =
    ([Deploy.crash_for_point]), which then recovers alone while its
    siblings keep serving.  The audit is {!Audit.run_deploy}: structure
    and hygiene per partition, oracle against the merged fragments. *)
-let run_cycle_partitioned ~label ~plan ~seed ~txns ~parts =
+let run_cycle_partitioned ?(keep_trace = false) ~label ~plan ~seed ~txns ~parts
+    () =
   Fault.disarm ();
+  let was_tracing = Trace.enabled () in
+  Trace.clear ();
+  Trace.set_enabled true;
   let counters = Instrument.create () in
   let rng = Rng.create ~seed in
   let d = make_deploy ~counters ~seed ~parts in
@@ -430,6 +455,10 @@ let run_cycle_partitioned ~label ~plan ~seed ~txns ~parts =
   quiesce_settle 4;
   let fired = Fault.fired_points () in
   Fault.disarm ();
+  Trace.set_enabled was_tracing;
+  (* Same boundary discipline as [run_cycle]: counters and trace cover
+     the identical window, excluding the auditor's probes. *)
+  let counters_at_quiesce = Instrument.snapshot counters in
   let report = Audit.run_deploy d ~tc:"tc1" ~table ~expected:(oracle_rows oracle) in
   {
     c_label = label;
@@ -439,7 +468,10 @@ let run_cycle_partitioned ~label ~plan ~seed ~txns ~parts =
     c_committed = !committed;
     c_redelivered = report.Audit.redelivered;
     c_violations = report.Audit.violations;
-    c_counters = Instrument.snapshot counters;
+    c_counters = counters_at_quiesce;
+    c_trace =
+      (if keep_trace || report.Audit.violations <> [] then Trace.to_jsonl ()
+       else "");
   }
 
 (* Per-partition crash plans: DC-side points kill whichever partition
@@ -608,7 +640,7 @@ let soak ?(base_seed = 0xC1D9) ?(seeds_per_plan = 7) ?(txns = 24) () =
            List.init seeds_per_plan (fun si ->
                run_cycle ~label ~plan
                  ~seed:(base_seed + (131 * pi) + (17 * si))
-                 ~txns))
+                 ~txns ()))
          (plans ()))
   in
   (cycles, summarize cycles)
@@ -622,7 +654,7 @@ let soak_partitioned ?(base_seed = 0x5A4D) ?(seeds_per_plan = 4) ?(txns = 24)
            List.init seeds_per_plan (fun si ->
                run_cycle_partitioned ~label ~plan
                  ~seed:(base_seed + (131 * pi) + (17 * si))
-                 ~txns ~parts))
+                 ~txns ~parts ()))
          (plans_partitioned ()))
   in
   (cycles, summarize cycles)

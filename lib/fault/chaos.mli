@@ -26,15 +26,26 @@ type cycle = {
   c_redelivered : int;  (** stable ops re-delivered by the audit *)
   c_violations : string list;
   c_counters : (string * int) list;  (** Instrument snapshot *)
+  c_trace : string;
+      (** the cycle's span dump ({!Untx_obs.Trace.to_jsonl}), captured
+          whenever the audit reports violations — the verdict comes with
+          the per-operation timelines that led to it — or when the
+          caller asked with [keep_trace].  Empty otherwise.  Feed it to
+          {!Untx_obs.Analyzer.of_jsonl}. *)
 }
 
 val run_cycle :
+  ?keep_trace:bool ->
   label:string ->
   plan:Untx_fault.Fault.rule list ->
   seed:int ->
   txns:int ->
+  unit ->
   cycle
-(** Run one workload→crash→recover→audit cycle. *)
+(** Run one workload→crash→recover→audit cycle.  The cycle always runs
+    with tracing on (the ring is cleared first, so trace ids and span
+    dumps are deterministic per cycle); [keep_trace] (default false)
+    retains the dump in [c_trace] even for a clean cycle. *)
 
 val plans : unit -> (string * Untx_fault.Fault.rule list) list
 (** The standard plan sweep: every registered crash point at several
@@ -42,11 +53,13 @@ val plans : unit -> (string * Untx_fault.Fault.rule list) list
     recovery (["tc.recover.mid"]), and transient-I/O-error plans. *)
 
 val run_cycle_partitioned :
+  ?keep_trace:bool ->
   label:string ->
   plan:Untx_fault.Fault.rule list ->
   seed:int ->
   txns:int ->
   parts:int ->
+  unit ->
   cycle
 (** The partitioned twin of {!run_cycle}: one TC fronting [parts]
     hash-partitioned DCs ({!Untx_cloud.Deploy}).  An injected DC fault

@@ -1,5 +1,7 @@
 module Rng = Untx_util.Rng
 module Instrument = Untx_util.Instrument
+module Metrics = Untx_obs.Metrics
+module Trace = Untx_obs.Trace
 module Wire = Untx_msg.Wire
 module Fault = Untx_fault.Fault
 
@@ -91,7 +93,23 @@ let set_control_policy t policy = t.control_policy <- policy
 
 let policy_for t = function Data -> t.policy | Control -> t.control_policy
 
-let schedule t ch queue frame =
+(* Span attributes identifying where on the plane an event happened:
+   channel, direction, and (in a deployment) the link's label. *)
+let trace_attrs t ch dir =
+  let base =
+    [
+      ("ch", (match ch with Data -> "data" | Control -> "ctl"));
+      ("dir", (match dir with `Req -> "req" | `Rep -> "rep"));
+    ]
+  in
+  match t.label with None -> base | Some l -> ("link", l) :: base
+
+let trace_event t ch dir ev frame =
+  if Trace.enabled () then
+    let tid = Wire.frame_tid frame in
+    if tid <> 0 then Trace.record ~tid ~comp:"transport" ~ev (trace_attrs t ch dir)
+
+let schedule t ch dir queue frame =
   let p = policy_for t ch in
   (* The sender pays for every frame handed to the plane, in measured
      encoded bytes — including ones the adversary then loses. *)
@@ -105,10 +123,13 @@ let schedule t ch queue frame =
     t.control_bytes <- t.control_bytes + len;
     Instrument.bump_by t.counters "transport.control_bytes" len;
     bump_labeled t "control_bytes" len);
+  if Metrics.timed t.counters then
+    Metrics.observe t.counters "transport.frame_bytes" len;
   let copies =
     if Rng.chance t.rng p.drop_prob then begin
       t.dropped <- t.dropped + 1;
       Instrument.bump t.counters "transport.dropped";
+      trace_event t ch dir "drop" frame;
       0
     end
     else if Rng.chance t.rng p.dup_prob then begin
@@ -118,6 +139,7 @@ let schedule t ch queue frame =
     end
     else 1
   in
+  if copies > 0 then trace_event t ch dir "xmit" frame;
   let rec add queue n =
     if n = 0 then queue
     else begin
@@ -129,9 +151,9 @@ let schedule t ch queue frame =
   in
   add queue copies
 
-let send t frame = t.dc_data <- schedule t Data t.dc_data frame
+let send t frame = t.dc_data <- schedule t Data `Req t.dc_data frame
 
-let send_control t frame = t.dc_ctl <- schedule t Control t.dc_ctl frame
+let send_control t frame = t.dc_ctl <- schedule t Control `Req t.dc_ctl frame
 
 (* Split a queue into due and not-yet-due; due messages come back in
    delivery order (FIFO by seq, or shuffled when reordering). *)
@@ -194,9 +216,10 @@ let deliver_requests t =
         t.delivered <- t.delivered + 1;
         Instrument.bump t.counters "transport.delivered";
         bump_labeled t "delivered" 1;
+        trace_event t Data `Req "recv" frame;
         match t.data_handler frame with
         | None -> ()
-        | Some reply -> t.tc_data <- schedule t Data t.tc_data reply))
+        | Some reply -> t.tc_data <- schedule t Data `Rep t.tc_data reply))
     due_d;
   List.iter
     (fun item ->
@@ -204,9 +227,10 @@ let deliver_requests t =
       | None -> ()
       | Some frame -> (
         Instrument.bump t.counters "transport.control_delivered";
+        trace_event t Control `Req "recv" frame;
         match t.control_handler frame with
         | None -> ()
-        | Some reply -> t.tc_ctl <- schedule t Control t.tc_ctl reply))
+        | Some reply -> t.tc_ctl <- schedule t Control `Rep t.tc_ctl reply))
     due_c
 
 let take_replies t =
@@ -215,8 +239,17 @@ let take_replies t =
   let due_c, rest_c = take_due t Control t.tc_ctl in
   t.tc_ctl <- rest_c;
   count_batch t (List.length due_d + List.length due_c);
-  let keep items = List.filter_map (fun item -> receive t item.frame) items in
-  (keep due_d, keep due_c)
+  let keep ch items =
+    List.filter_map
+      (fun item ->
+        match receive t item.frame with
+        | None -> None
+        | Some frame ->
+          trace_event t ch `Rep "recv" frame;
+          Some frame)
+      items
+  in
+  (keep Data due_d, keep Control due_c)
 
 let drain t =
   t.now <- t.now + 1;

@@ -46,14 +46,15 @@ let control_tc = function
 (* ------------------------------------------------------------------ *)
 (* Frames.
 
-   Layout: 1 kind byte, 4-byte big-endian payload length, payload,
-   4-byte big-endian FNV-1a checksum over everything before it.  The
-   payload is a {!Untx_util.Codec} field list, so the whole frame is
-   binary-safe and self-delimiting; any mutation is caught by the
-   structure checks or the checksum and surfaces as
-   [Invalid_argument]. *)
+   Layout: 1 kind byte, 4-byte big-endian trace id, 4-byte big-endian
+   payload length, payload, 4-byte big-endian FNV-1a checksum over
+   everything before it.  The payload is a {!Untx_util.Codec} field
+   list, so the whole frame is binary-safe and self-delimiting; any
+   mutation — including one that lands on the trace id — is caught by
+   the structure checks or the checksum and surfaces as
+   [Invalid_argument].  Trace id 0 means "untraced". *)
 
-let header_len = 5
+let header_len = 9
 
 let trailer_len = 4
 
@@ -77,11 +78,12 @@ let get_u32 s off =
   lor (Char.code s.[off + 2] lsl 8)
   lor Char.code s.[off + 3]
 
-let frame kind payload =
+let frame ?(tid = 0) kind payload =
   let len = String.length payload in
   let b = Bytes.create (header_len + len + trailer_len) in
   Bytes.set b 0 kind;
-  put_u32 b 1 len;
+  put_u32 b 1 (tid land 0xFFFFFFFF);
+  put_u32 b 5 len;
   Bytes.blit_string payload 0 b header_len len;
   let body = Bytes.sub_string b 0 (header_len + len) in
   put_u32 b (header_len + len) (fnv32 body 0 (header_len + len));
@@ -91,7 +93,7 @@ let frame_kind s =
   let n = String.length s in
   if n < header_len + trailer_len then None
   else
-    let len = get_u32 s 1 in
+    let len = get_u32 s 5 in
     if n <> header_len + len + trailer_len then None
     else if get_u32 s (header_len + len) <> fnv32 s 0 (header_len + len) then
       None
@@ -105,9 +107,14 @@ let frame_kind s =
 
 let frame_ok s = frame_kind s <> None
 
+(* Validates the whole frame first: a corrupted trace id fails the
+   checksum and reads as 0 ("untraced") rather than as some other
+   operation's id. *)
+let frame_tid s = if frame_ok s then get_u32 s 1 else 0
+
 let unframe kind s =
   match frame_kind s with
-  | Some k when k = kind -> String.sub s header_len (get_u32 s 1)
+  | Some k when k = kind -> String.sub s header_len (get_u32 s 5)
   | _ -> invalid_arg "Wire: bad frame"
 
 (* ---- field helpers ---- *)
@@ -133,8 +140,8 @@ let opt_of_field f =
 
 (* ---- requests ---- *)
 
-let encode_request { tc; lsn; part; op } =
-  frame 'Q'
+let encode_request ?tid { tc; lsn; part; op } =
+  frame ?tid 'Q'
     (Codec.encode
        (int_field (Tc_id.to_int tc)
        :: int_field (Lsn.to_int lsn)
@@ -175,8 +182,8 @@ let result_of_fields = function
   | [ "F"; m ] -> Failed m
   | _ -> invalid_arg "Wire: bad result"
 
-let encode_reply { lsn; result; prior } =
-  frame 'R'
+let encode_reply ?tid { lsn; result; prior } =
+  frame ?tid 'R'
     (Codec.encode
        (int_field (Lsn.to_int lsn) :: opt_field prior :: result_fields result))
 
@@ -222,8 +229,8 @@ let control_of_fields = function
   | [ "FE"; tc ] -> Redo_fence_end { tc = tc_of_field tc }
   | _ -> invalid_arg "Wire: bad control"
 
-let encode_control { c_epoch; c_seq; c_ctl } =
-  frame 'C'
+let encode_control ?tid { c_epoch; c_seq; c_ctl } =
+  frame ?tid 'C'
     (Codec.encode
        (int_field c_epoch :: int_field c_seq :: control_fields c_ctl))
 
@@ -247,8 +254,8 @@ let control_reply_of_fields = function
   | [ "G"; "0" ] -> Checkpoint_done { granted = false }
   | _ -> invalid_arg "Wire: bad control reply"
 
-let encode_control_reply { r_epoch; r_seq; r_reply } =
-  frame 'K'
+let encode_control_reply ?tid { r_epoch; r_seq; r_reply } =
+  frame ?tid 'K'
     (Codec.encode
        (int_field r_epoch :: int_field r_seq :: control_reply_fields r_reply))
 

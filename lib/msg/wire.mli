@@ -92,25 +92,26 @@ val control_tc : control -> Untx_util.Tc_id.t
 (** {2 Frames}
 
     [encode_*] produce self-contained binary frames: a kind byte, a
-    4-byte big-endian payload length, the payload (a
-    {!Untx_util.Codec} field list), and a 4-byte FNV-1a checksum.
-    [decode_*] raise [Invalid_argument] on anything malformed — wrong
-    kind, bad length, checksum mismatch, unparseable payload — and
-    never return a silently wrong value. *)
+    4-byte big-endian trace id ([?tid], default 0 = untraced), a 4-byte
+    big-endian payload length, the payload (a {!Untx_util.Codec} field
+    list), and a 4-byte FNV-1a checksum.  [decode_*] raise
+    [Invalid_argument] on anything malformed — wrong kind, bad length,
+    checksum mismatch, unparseable payload — and never return a
+    silently wrong value. *)
 
-val encode_request : request -> string
+val encode_request : ?tid:int -> request -> string
 
 val decode_request : string -> request
 
-val encode_reply : reply -> string
+val encode_reply : ?tid:int -> reply -> string
 
 val decode_reply : string -> reply
 
-val encode_control : control_msg -> string
+val encode_control : ?tid:int -> control_msg -> string
 
 val decode_control : string -> control_msg
 
-val encode_control_reply : control_reply_msg -> string
+val encode_control_reply : ?tid:int -> control_reply_msg -> string
 
 val decode_control_reply : string -> control_reply_msg
 
@@ -119,6 +120,12 @@ val frame_ok : string -> bool
     receiving endpoint checks before accepting a frame.  A frame that
     fails this test is dropped by the transport (and the sender's
     resend path carries it). *)
+
+val frame_tid : string -> int
+(** The trace id a valid frame carries; [0] for an untraced frame or
+    any string that fails {!frame_ok}.  The id sits inside the
+    checksummed region, so corruption can invalidate a frame but never
+    reattribute it to another trace. *)
 
 val request_size : request -> int
 (** The exact encoded frame length of the request — measured from the

@@ -1,6 +1,8 @@
 module Lsn = Untx_util.Lsn
 module Tc_id = Untx_util.Tc_id
 module Instrument = Untx_util.Instrument
+module Metrics = Untx_obs.Metrics
+module Trace = Untx_obs.Trace
 module Wal = Untx_wal.Wal
 module Fault = Untx_fault.Fault
 module Op = Untx_msg.Op
@@ -113,6 +115,8 @@ type pending = {
   mutable p_retries : int;
   p_xid : int option;
   p_wants_reply : bool;
+  p_tid : int; (* trace id stamped into p_frame; 0 when untraced *)
+  p_sent : float; (* Metrics.start at first send, for the rtt histogram *)
   mutable p_fenced : bool;
       (* the target DC restarted and the redo scan owns this request: it
          must not resend (or count as an in-flight conflict) until the
@@ -352,11 +356,19 @@ let dispatch t link ~lsn ~op ~xid ~wants_reply =
   let req =
     { Wire.tc = t.cfg.id; lsn; part = link.ls_link.part; op }
   in
-  let frame = Wire.encode_request req in
+  let tid = Trace.fresh_tid () in
+  let frame = Wire.encode_request ~tid req in
+  if tid <> 0 then
+    Trace.record ~tid ~comp:"tc" ~ev:"dispatch"
+      [
+        ("lsn", Lsn.to_string lsn);
+        ("part", string_of_int link.ls_link.part);
+      ];
   Hashtbl.replace t.pendings (Lsn.to_int lsn)
     { p_req = req; p_frame = frame; p_link = link; p_age = 0;
       p_backoff = t.cfg.resend_after; p_retries = 0; p_xid = xid;
-      p_wants_reply = wants_reply; p_fenced = false };
+      p_wants_reply = wants_reply; p_tid = tid;
+      p_sent = Metrics.start t.counters; p_fenced = false };
   t.outstanding <- Lsn.Set.add lsn t.outstanding;
   link.ls_outstanding <- Lsn.Set.add lsn link.ls_outstanding;
   (match xid with
@@ -380,6 +392,13 @@ let handle_reply t (r : Wire.reply) =
   | Some p ->
     Hashtbl.remove t.pendings (Lsn.to_int r.lsn);
     retire_pending t p;
+    (* Round trip measured from the *first* send: resends lengthen the
+       observed rtt rather than resetting it, which is the latency the
+       operation's caller actually saw. *)
+    Metrics.stop t.counters "tc.data_rtt_ns" p.p_sent;
+    if p.p_tid <> 0 then
+      Trace.record ~tid:p.p_tid ~comp:"tc" ~ev:"ack"
+        [ ("lsn", Lsn.to_string r.lsn) ];
     (match p.p_xid with
     | Some x -> (
       match Hashtbl.find_opt t.txns x with
@@ -457,6 +476,12 @@ let resend_stale t =
           p.p_backoff <- Stdlib.min (2 * p.p_backoff) t.cfg.resend_backoff_max;
           t.resend_count <- t.resend_count + 1;
           Instrument.bump t.counters "tc.resends";
+          if p.p_tid <> 0 && Trace.enabled () then
+            Trace.record ~tid:p.p_tid ~comp:"tc" ~ev:"resend"
+              [
+                ("lsn", Lsn.to_string p.p_req.Wire.lsn);
+                ("retry", string_of_int p.p_retries);
+              ];
           p.p_link.ls_link.send p.p_frame
         end
       end)

@@ -1,33 +1,22 @@
-type t = (string, int ref) Hashtbl.t
+(* Thin shim over the observability registry: every component's
+   [counters : Instrument.t] doubles as a [Metrics] handle, so the same
+   registry that counts layer crossings can also collect latency
+   histograms when timing is enabled. *)
 
-let create () = Hashtbl.create 64
+type t = Untx_obs.Metrics.t
 
-let cell t name =
-  match Hashtbl.find_opt t name with
-  | Some r -> r
-  | None ->
-    let r = ref 0 in
-    Hashtbl.add t name r;
-    r
+let create = Untx_obs.Metrics.create
 
-let bump t name = incr (cell t name)
+let bump = Untx_obs.Metrics.bump
 
-let bump_by t name n =
-  let r = cell t name in
-  r := !r + n
+let bump_by = Untx_obs.Metrics.bump_by
 
-let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+let get = Untx_obs.Metrics.get_counter
 
-let reset t = Hashtbl.iter (fun _ r -> r := 0) t
+let reset = Untx_obs.Metrics.reset_counters
 
-let snapshot t =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+let snapshot = Untx_obs.Metrics.counter_snapshot
 
-let pp ppf t =
-  let items = snapshot t in
-  Format.fprintf ppf "@[<v>";
-  List.iter (fun (name, v) -> Format.fprintf ppf "%-32s %d@," name v) items;
-  Format.fprintf ppf "@]"
+let pp = Untx_obs.Metrics.pp_counters
 
-let global = create ()
+let global = Untx_obs.Metrics.global

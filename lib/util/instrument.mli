@@ -3,9 +3,14 @@
     The paper's E1 claim ("unbundling inevitably has longer code paths")
     is quantified by counting layer crossings, messages, log appends,
     latches and page I/Os through a shared counter registry rather than by
-    wall-clock alone. *)
+    wall-clock alone.
 
-type t
+    The registry is now a thin shim over {!Untx_obs.Metrics} — the type
+    equality below means a component's [counters] handle also accepts
+    [Metrics.observe]/[start]/[stop] for histogram collection, without
+    changing any call site of the counter API. *)
+
+type t = Untx_obs.Metrics.t
 
 val create : unit -> t
 
@@ -18,7 +23,7 @@ val get : t -> string -> int
 (** Current value; [0] if never bumped. *)
 
 val reset : t -> unit
-(** Zero every counter. *)
+(** Zero every counter (histograms are untouched). *)
 
 val snapshot : t -> (string * int) list
 (** All counters, sorted by name. *)

@@ -1,10 +1,15 @@
 module Lsn = Untx_util.Lsn
 module Instrument = Untx_util.Instrument
+module Metrics = Untx_obs.Metrics
+module Trace = Untx_obs.Trace
 module Fault = Untx_fault.Fault
 
 type 'a t = {
   size : 'a -> int;
   counters : Instrument.t;
+  label : string;
+  h_append : string; (* label-prefixed histogram names, built once *)
+  h_force : string;
   p_force_begin : string;
   p_force_mid : string;
   mutable stable : 'a Lsn.Map.t;
@@ -19,6 +24,9 @@ let create ?(counters = Instrument.global) ?(label = "wal") ~size () =
   {
     size;
     counters;
+    label;
+    h_append = label ^ ".append_ns";
+    h_force = label ^ ".force_ns";
     p_force_begin = Fault.declare (label ^ ".force.begin");
     p_force_mid = Fault.declare (label ^ ".force.mid");
     stable = Lsn.Map.empty;
@@ -35,18 +43,22 @@ let fresh_lsn t =
   lsn
 
 let append t record =
+  let t0 = Metrics.start t.counters in
   let lsn = fresh_lsn t in
   t.volatile <- (lsn, record) :: t.volatile;
   t.appended_bytes <- t.appended_bytes + t.size record;
   Instrument.bump t.counters "wal.appends";
+  Metrics.stop t.counters t.h_append t0;
   lsn
 
 let reserve t = fresh_lsn t
 
 let force t =
+  let t0 = Metrics.start t.counters in
   Fault.hit t.p_force_begin;
   t.forces <- t.forces + 1;
   Instrument.bump t.counters "wal.forces";
+  let batch = List.length t.volatile in
   (* Records stabilize oldest-first, one at a time, with a fault point
      between them: a crash mid-force leaves a stable *prefix* of the
      batch (the torn-log-tail scenario), which the subsequent [crash]
@@ -60,7 +72,17 @@ let force t =
   t.volatile <- [];
   (* Even when the highest records were [reserve]d (no payload), every
      assigned LSN below [next_lsn] is now covered by stable state. *)
-  t.stable_lsn <- Lsn.prev t.next_lsn
+  t.stable_lsn <- Lsn.prev t.next_lsn;
+  Metrics.stop t.counters t.h_force t0;
+  (* Forces are not per-operation work, so the span carries the
+     reserved untraced id; it still lands in the cycle's timeline dump. *)
+  if Trace.enabled () then
+    Trace.record ~tid:0 ~comp:"wal" ~ev:"force"
+      [
+        ("wal", t.label);
+        ("batch", string_of_int batch);
+        ("stable", Lsn.to_string t.stable_lsn);
+      ]
 
 let force_through t lsn = if Lsn.(t.stable_lsn < lsn) then force t
 

@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "untx-obs"
+    [
+      ("obs", Suite_obs.suite);
+      ("props-ablsn", Props_ablsn.suite);
+      ("props-lock", Props_lock.suite);
+    ]

@@ -1,0 +1,140 @@
+(* Algebraic hardening pass for abstract LSNs: merge is a
+   commutative/associative/idempotent join, advance only ever widens
+   coverage (and its compaction of {LSNin} never forgets an LSN that the
+   low-water cover doesn't vouch for), truncate never invents claims.
+   The model-conformance suite lives in props.ml; this one pins the laws
+   consolidation and recovery rely on. *)
+
+module Ablsn = Untx_dc.Ablsn
+module Lsn = Untx_util.Lsn
+
+let test prop = QCheck_alcotest.to_alcotest prop
+
+let max_lsn_int = 100
+
+(* An abstract LSN reached by a random interleaving of add/advance —
+   the only way real pages grow one. *)
+type ab_op = Add of int | Advance of int
+
+let ab_op_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun l -> Add (1 + (l mod max_lsn_int))) (int_bound 99);
+        map (fun l -> Advance (1 + (l mod max_lsn_int))) (int_bound 99);
+      ])
+
+let print_ops ops =
+  String.concat ";"
+    (List.map
+       (function
+         | Add l -> Printf.sprintf "add %d" l
+         | Advance l -> Printf.sprintf "adv %d" l)
+       ops)
+
+let ab_ops_arb =
+  QCheck.make ~print:print_ops QCheck.Gen.(list_size (int_bound 40) ab_op_gen)
+
+let run_ab ops =
+  List.fold_left
+    (fun ab op ->
+      match op with
+      | Add l -> Ablsn.add (Lsn.of_int l) ab
+      | Advance l -> Ablsn.advance ~lwm:(Lsn.of_int l) ab)
+    Ablsn.empty ops
+
+let all_lsns = List.init (max_lsn_int + 1) (fun i -> Lsn.of_int (i + 1))
+
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"merge is commutative" ~count:300
+    (QCheck.pair ab_ops_arb ab_ops_arb) (fun (oa, ob) ->
+      let a = run_ab oa and b = run_ab ob in
+      Ablsn.equal (Ablsn.merge a b) (Ablsn.merge b a))
+
+let prop_merge_associative =
+  QCheck.Test.make ~name:"merge is associative" ~count:300
+    (QCheck.triple ab_ops_arb ab_ops_arb ab_ops_arb) (fun (oa, ob, oc) ->
+      let a = run_ab oa and b = run_ab ob and c = run_ab oc in
+      Ablsn.equal
+        (Ablsn.merge (Ablsn.merge a b) c)
+        (Ablsn.merge a (Ablsn.merge b c)))
+
+let prop_merge_idempotent =
+  QCheck.Test.make ~name:"merge is idempotent" ~count:300 ab_ops_arb (fun ops ->
+      let a = run_ab ops in
+      Ablsn.equal (Ablsn.merge a a) a)
+
+let prop_merge_absorbs_both =
+  (* A consolidated page must vouch for exactly what either input page
+     contained — losing a claim re-executes an applied operation,
+     inventing one skips a needed redo. *)
+  QCheck.Test.make ~name:"merge covers exactly the union" ~count:300
+    (QCheck.pair ab_ops_arb ab_ops_arb) (fun (oa, ob) ->
+      let a = run_ab oa and b = run_ab ob in
+      let m = Ablsn.merge a b in
+      List.for_all
+        (fun l ->
+          Ablsn.included l m = (Ablsn.included l a || Ablsn.included l b))
+        all_lsns)
+
+let prop_advance_monotone =
+  (* A low-water mark only adds coverage: everything included before is
+     included after, everything at or below the mark becomes included,
+     and nothing else appears. *)
+  QCheck.Test.make ~name:"advance is monotone and precise" ~count:300
+    (QCheck.pair ab_ops_arb QCheck.(int_range 1 max_lsn_int))
+    (fun (ops, lwm_i) ->
+      let a = run_ab ops in
+      let lwm = Lsn.of_int lwm_i in
+      let a' = Ablsn.advance ~lwm a in
+      List.for_all
+        (fun l ->
+          Ablsn.included l a' = (Ablsn.included l a || Lsn.(l <= lwm)))
+        all_lsns)
+
+let prop_advance_compaction_keeps_uncovered =
+  (* The compaction inside advance discards {LSNin} members — but only
+     ones the new low-water mark vouches for.  Every uncovered member
+     must survive, and [max_lsn] (which recovery uses to find pages
+     beyond a failed TC's stable log) must not shrink below a surviving
+     claim. *)
+  QCheck.Test.make ~name:"compaction never forgets an uncovered LSN"
+    ~count:300
+    (QCheck.pair ab_ops_arb QCheck.(int_range 1 max_lsn_int))
+    (fun (ops, lwm_i) ->
+      let a = run_ab ops in
+      let lwm = Lsn.of_int lwm_i in
+      let a' = Ablsn.advance ~lwm a in
+      Lsn.Set.for_all
+        (fun l -> Lsn.(l <= lwm) || Lsn.Set.mem l (Ablsn.ins a'))
+        (Ablsn.ins a)
+      && Lsn.Set.for_all
+           (fun l -> Lsn.(l <= Ablsn.max_lsn a'))
+           (Ablsn.ins a'))
+
+let prop_truncate_never_adds =
+  (* Rewinding to a failed TC's stable log only removes claims: nothing
+     above the cut survives, nothing at or below it changes. *)
+  QCheck.Test.make ~name:"truncate removes exactly the claims above"
+    ~count:300
+    (QCheck.pair ab_ops_arb QCheck.(int_range 1 max_lsn_int))
+    (fun (ops, upto_i) ->
+      let a = run_ab ops in
+      let upto = Lsn.of_int upto_i in
+      let a' = Ablsn.truncate ~upto a in
+      List.for_all
+        (fun l ->
+          if Lsn.(l <= upto) then Ablsn.included l a' = Ablsn.included l a
+          else not (Ablsn.included l a'))
+        all_lsns)
+
+let suite =
+  [
+    test prop_merge_commutative;
+    test prop_merge_associative;
+    test prop_merge_idempotent;
+    test prop_merge_absorbs_both;
+    test prop_advance_monotone;
+    test prop_advance_compaction_keeps_uncovered;
+    test prop_truncate_never_adds;
+  ]

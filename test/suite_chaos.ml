@@ -6,8 +6,10 @@
 
 module Fault = Untx_fault.Fault
 module Chaos = Untx_audit.Chaos
+module Analyzer = Untx_obs.Analyzer
 
-let cycle ~label ~plan ~seed = Chaos.run_cycle ~label ~plan ~seed ~txns:12
+let cycle ?keep_trace ~label ~plan ~seed () =
+  Chaos.run_cycle ?keep_trace ~label ~plan ~seed ~txns:12 ()
 
 let check_clean (c : Chaos.cycle) =
   Alcotest.(check (list string))
@@ -34,7 +36,7 @@ let test_small_soak () =
     (fun (label, plan) ->
       List.iter
         (fun seed ->
-          let c = cycle ~label ~plan ~seed in
+          let c = cycle ~label ~plan ~seed () in
           check_clean c;
           Alcotest.(check bool)
             (Printf.sprintf "%s seed=%d: the planned rule fired" label seed)
@@ -46,6 +48,7 @@ let test_reproducible () =
   let run () =
     cycle ~label:"repro" ~seed:9
       ~plan:[ Fault.crash_at "dc.flush.after_page_write" 2 ]
+      ()
   in
   let a = run () and b = run () in
   check_clean a;
@@ -61,7 +64,7 @@ let test_lossy_resend_completes () =
      empty plan means every transaction must complete purely through
      timeout-driven resends — there is no Transport.flush anywhere in
      the engine's workload or quiesce path. *)
-  let c = cycle ~label:"lossy, no faults" ~plan:[] ~seed:6 in
+  let c = cycle ~label:"lossy, no faults" ~plan:[] ~seed:6 () in
   check_clean c;
   Alcotest.(check int) "every transaction committed" 12 c.c_committed;
   Alcotest.(check bool) "transport really dropped messages" true
@@ -78,7 +81,7 @@ let test_corrupting_wire () =
      applied), and the contracts must still complete every
      transaction. *)
   let plan = [ Fault.crash_with_prob "transport.frame.corrupt" 0.05 ] in
-  let c = cycle ~label:"corrupting wire" ~plan ~seed:6 in
+  let c = cycle ~label:"corrupting wire" ~plan ~seed:6 () in
   check_clean c;
   Alcotest.(check int) "every transaction committed" 12 c.c_committed;
   Alcotest.(check bool) "frames were corrupted" true
@@ -86,6 +89,34 @@ let test_corrupting_wire () =
   Alcotest.(check int) "every corrupted frame was rejected"
     (counter c "transport.frames_corrupted")
     (counter c "transport.corrupt_dropped")
+
+let test_trace_reconstructs () =
+  (* The same corrupting-wire cycle, with its span dump kept: the
+     analyzer must reconstruct a complete per-operation timeline from
+     the JSONL — every traced operation ends in an ack (no orphan spans:
+     each resend chain converges on exactly the operation that started
+     it), and the resend chains in the timelines account for exactly the
+     resends the TC counted. *)
+  let plan = [ Fault.crash_with_prob "transport.frame.corrupt" 0.05 ] in
+  let c = cycle ~keep_trace:true ~label:"traced corrupting wire" ~plan ~seed:6 () in
+  check_clean c;
+  Alcotest.(check bool) "trace dump captured" true (c.c_trace <> "");
+  let report = Analyzer.analyze (Analyzer.of_jsonl c.c_trace) in
+  Alcotest.(check bool) "timelines reconstructed" true
+    (report.Analyzer.r_timelines <> []);
+  Alcotest.(check int) "no orphan spans after resend" 0
+    report.Analyzer.r_orphans;
+  let resends =
+    List.fold_left
+      (fun acc tl -> acc + tl.Analyzer.tl_resends)
+      0 report.Analyzer.r_timelines
+  in
+  Alcotest.(check bool) "the cycle exercised the resend path" true
+    (resends > 0);
+  Alcotest.(check int) "timelines account for every TC resend"
+    (counter c "tc.resends") resends;
+  Alcotest.(check bool) "per-hop latencies were aggregated" true
+    (report.Analyzer.r_hops <> [])
 
 let test_crash_cycle_under_corruption () =
   (* A TC crash and a DC crash in the same cycle while the wire keeps
@@ -100,7 +131,7 @@ let test_crash_cycle_under_corruption () =
   in
   List.iter
     (fun seed ->
-      let c = cycle ~label:"crash cycle + corruption" ~plan ~seed in
+      let c = cycle ~label:"crash cycle + corruption" ~plan ~seed () in
       check_clean c;
       Alcotest.(check bool)
         (Printf.sprintf "seed %d: planned crashes fired" seed)
@@ -128,7 +159,7 @@ let test_partitioned_cycles () =
       List.iter
         (fun seed ->
           let c =
-            Chaos.run_cycle_partitioned ~label ~plan ~seed ~txns:12 ~parts:3
+            Chaos.run_cycle_partitioned ~label ~plan ~seed ~txns:12 ~parts:3 ()
           in
           check_clean c;
           Alcotest.(check bool)
@@ -148,7 +179,7 @@ let test_redo_window_watermark_race () =
   List.iter
     (fun (label, plan, seed) ->
       let c =
-        Chaos.run_cycle_partitioned ~label ~plan ~seed ~txns:24 ~parts:3
+        Chaos.run_cycle_partitioned ~label ~plan ~seed ~txns:24 ~parts:3 ()
       in
       check_clean c;
       Alcotest.(check bool)
@@ -165,6 +196,7 @@ let test_partitioned_reproducible () =
   let run () =
     Chaos.run_cycle_partitioned ~label:"repro-part" ~seed:9 ~txns:12 ~parts:3
       ~plan:[ Fault.crash_at "dc.flush.after_page_write" 2 ]
+      ()
   in
   let a = run () and b = run () in
   check_clean a;
@@ -201,6 +233,8 @@ let suite =
       test_lossy_resend_completes;
     Alcotest.test_case "corrupting wire stays exactly-once" `Quick
       test_corrupting_wire;
+    Alcotest.test_case "trace dump reconstructs per-op timelines" `Quick
+      test_trace_reconstructs;
     Alcotest.test_case "crash cycle under corruption" `Quick
       test_crash_cycle_under_corruption;
     Alcotest.test_case "plan sweep covers the required points" `Quick

@@ -234,6 +234,58 @@ let prop_garbage =
     (string_gen Gen.(char_range '\000' '\255'))
     (fun s -> total s)
 
+(* --- trace-id header field -------------------------------------------- *)
+
+let encode_any_tid tid = function
+  | Freq r -> Wire.encode_request ~tid r
+  | Frep r -> Wire.encode_reply ~tid r
+  | Fctl m -> Wire.encode_control ~tid m
+  | Fcrp m -> Wire.encode_control_reply ~tid m
+
+let gen_tid = Gen.(oneof [ return 0; int_range 1 0xFFFFFFFF ])
+
+let prop_tid_roundtrip =
+  (* The trace id rides in the header without disturbing the payload:
+     frame_tid reads back exactly what was stamped, and the payload
+     decoder is oblivious to it. *)
+  Test.make ~name:"frame_tid reads back the stamped trace id" ~count:500
+    (make
+       ~print:(fun (f, tid) -> Printf.sprintf "%s tid=%d" (print_any f) tid)
+       Gen.(pair gen_any_frame gen_tid))
+    (fun (f, tid) ->
+      let bytes = encode_any_tid tid f in
+      Wire.frame_ok bytes
+      && Wire.frame_tid bytes = tid
+      &&
+      match f with
+      | Freq r -> Wire.decode_request bytes = r
+      | Frep r -> Wire.decode_reply bytes = r
+      | Fctl m -> Wire.decode_control bytes = m
+      | Fcrp m -> Wire.decode_control_reply bytes = m)
+
+let prop_corrupted_tid_never_misattributes =
+  (* The id sits inside the checksummed region: flip any single bit of
+     its four bytes and the whole frame must fail validation, with
+     frame_tid reporting the reserved untraced id — a corrupted frame
+     can be dropped but never attributed to another operation's span. *)
+  Test.make ~name:"corrupted trace id fails the checksum, never misattributes"
+    ~count:500
+    (make
+       ~print:(fun (f, (tid, byte, bit)) ->
+         Printf.sprintf "%s tid=%d byte=%d bit=%d" (print_any f) tid byte bit)
+       Gen.(
+         pair gen_any_frame
+           (triple (int_range 1 0xFFFFFFFF) (int_bound 3) (int_bound 7))))
+    (fun (f, (tid, byte, bit)) ->
+      let bytes = encode_any_tid tid f in
+      let b = Bytes.of_string bytes in
+      let i = 1 + byte in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+      let mutant = Bytes.unsafe_to_string b in
+      (not (Wire.frame_ok mutant))
+      && Wire.frame_tid mutant = 0
+      && total mutant)
+
 (* Cross-kind confusion: a frame of one kind must never decode as
    another (the kind byte is part of the checksummed header). *)
 let prop_kind_separation =
@@ -270,5 +322,7 @@ let suite =
       prop_mutated_frames;
       prop_truncated_frames;
       prop_garbage;
+      prop_tid_roundtrip;
+      prop_corrupted_tid_never_misattributes;
       prop_kind_separation;
     ]
