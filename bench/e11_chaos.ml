@@ -152,13 +152,71 @@ let run_soak_partitioned ~seeds_per_plan () =
     "E11 partitioned ok: %d cycles over %d partitions, %d kills, 0 violations\n"
     s.Chaos.s_cycles parts s.Chaos.s_crashes
 
+(* The replicated soak: every cycle gives both partitions warm standbys
+   and alternates Quorum 1 / Primary_only durability by seed.  Kills at
+   the shipped-batch boundary are answered by standby promotion instead
+   of a cold restart; standby-side kills crash and rejoin the standby.
+   The auditor additionally holds every surviving standby to logical
+   parity with its primary. *)
+let run_soak_replicated ~seeds_per_plan () =
+  let parts = 2 and replicas = 2 in
+  let cycles, s = Chaos.soak_replicated ~seeds_per_plan ~parts ~replicas () in
+  Bench_util.print_table
+    ~title:
+      (Printf.sprintf
+         "E11: replicated soak (1 TC x %d DCs x %d standbys), fires per point"
+         parts replicas)
+    ~header:[ "fault point"; "fires" ]
+    (List.map
+       (fun (p, n) -> [ p; string_of_int n ])
+       s.Chaos.s_fires_by_point);
+  let promotions =
+    Option.value ~default:0 (List.assoc_opt "repl.promotions" s.Chaos.s_counters)
+  in
+  Bench_util.print_table ~title:"E11: replicated soak summary"
+    ~header:[ "metric"; "value" ]
+    [
+      [ "cycles"; string_of_int s.Chaos.s_cycles ];
+      [ "cycles with a fire"; string_of_int s.Chaos.s_fired ];
+      [ "injected hard kills"; string_of_int s.Chaos.s_crashes ];
+      [ "standby promotions"; string_of_int promotions ];
+      [
+        "batches shipped";
+        string_of_int
+          (Option.value ~default:0
+             (List.assoc_opt "repl.ships" s.Chaos.s_counters));
+      ];
+      [ "auditor violations"; string_of_int (List.length s.Chaos.s_violating) ];
+    ];
+  print_cycle_failures cycles;
+  let problems =
+    List.filter_map
+      (fun (ok, msg) -> if ok then None else Some msg)
+      [
+        (s.Chaos.s_violating = [], "replicated auditor violations");
+        (List.mem_assoc "repl.ship.batch" s.Chaos.s_fires_by_point,
+         "no shipped-batch kill fired");
+        (promotions >= 1, "no standby was ever promoted");
+      ]
+  in
+  if problems <> [] then begin
+    List.iter (fun m -> Printf.printf "E11 FAILED: %s\n" m) problems;
+    exit 1
+  end;
+  Printf.printf
+    "E11 replicated ok: %d cycles, %d kills, %d promotions, 0 violations\n"
+    s.Chaos.s_cycles s.Chaos.s_crashes promotions
+
 let run () =
   run_soak ~seeds_per_plan:7 ();
-  run_soak_partitioned ~seeds_per_plan:7 ()
+  run_soak_partitioned ~seeds_per_plan:7 ();
+  run_soak_replicated ~seeds_per_plan:5 ()
 
 (* Short fixed-seed soak for the @chaos dune alias (which @ci includes):
    single-kernel plans at one seed each, plus the multi-DC soak at four
-   seeds per plan — at least 50 partitioned cycles on every CI run. *)
+   seeds per plan — at least 50 partitioned cycles on every CI run —
+   plus primary-kill + promotion cycles over the replicated plans. *)
 let run_short () =
   run_soak ~seeds_per_plan:1 ();
-  run_soak_partitioned ~seeds_per_plan:4 ()
+  run_soak_partitioned ~seeds_per_plan:4 ();
+  run_soak_replicated ~seeds_per_plan:3 ()

@@ -1,7 +1,11 @@
 module Instrument = Untx_util.Instrument
+module Lsn = Untx_util.Lsn
+module Metrics = Untx_obs.Metrics
+module Trace = Untx_obs.Trace
 module Transport = Untx_kernel.Transport
 module Tc = Untx_tc.Tc
 module Dc = Untx_dc.Dc
+module Repl = Untx_repl.Repl
 
 type scheme = Hash | Range of string list
 
@@ -11,14 +15,25 @@ type ptable = {
   pt_scheme : scheme;
 }
 
+type standby_entry = { sb_standby : Repl.Standby.t; sb_primary : string }
+
 type t = {
   counters : Instrument.t;
   policy : Transport.policy;
+  durability : Repl.durability;
   mutable seed : int;
   dcs : (string, Dc.t) Hashtbl.t;
   tcs : (string, Tc.t) Hashtbl.t;
   transports : (string * string, Transport.t) Hashtbl.t; (* (tc, dc) *)
   ptables : (string, ptable) Hashtbl.t; (* partitioned table registry *)
+  dc_configs : (string, Dc.config) Hashtbl.t;
+      (* for minting standbys that match their primary *)
+  dc_tables : (string, (string * bool) list ref) Hashtbl.t;
+      (* tables created per DC, replayed onto new standbys *)
+  standbys : (string, standby_entry) Hashtbl.t; (* keyed by standby name *)
+  managers : (string, Repl.Manager.t) Hashtbl.t; (* keyed by TC name *)
+  repl_transports : (string * string, Transport.t) Hashtbl.t;
+      (* (tc, standby): repl-only links *)
   mutable next_part : int; (* partition ids handed out by add_dc *)
   mutable last_faulted : string option;
       (* the DC whose handler last raised — the component a mid-traffic
@@ -26,15 +41,21 @@ type t = {
 }
 
 let create ?(counters = Instrument.global) ?(policy = Transport.reliable)
-    ?(seed = 42) () =
+    ?(durability = Repl.Primary_only) ?(seed = 42) () =
   {
     counters;
     policy;
+    durability;
     seed;
     dcs = Hashtbl.create 4;
     tcs = Hashtbl.create 4;
     transports = Hashtbl.create 8;
     ptables = Hashtbl.create 4;
+    dc_configs = Hashtbl.create 4;
+    dc_tables = Hashtbl.create 4;
+    standbys = Hashtbl.create 4;
+    managers = Hashtbl.create 4;
+    repl_transports = Hashtbl.create 8;
     next_part = 0;
     last_faulted = None;
   }
@@ -124,8 +145,103 @@ let add_dc t ~name config =
   Dc.set_identity dc ~part:t.next_part;
   t.next_part <- t.next_part + 1;
   Hashtbl.add t.dcs name dc;
+  Hashtbl.add t.dc_configs name config;
   Hashtbl.iter (fun tc_name _ -> link t ~tc_name ~dc_name:name) t.tcs;
   dc
+
+(* ------------------------------------------------------------------ *)
+(* Replication wiring                                                  *)
+
+let manager_for t tc_name =
+  match Hashtbl.find_opt t.managers tc_name with
+  | Some m -> m
+  | None ->
+    let m =
+      Repl.Manager.create ~counters:t.counters
+        ~cfg:{ Repl.Manager.default_config with durability = t.durability }
+        (Hashtbl.find t.tcs tc_name)
+    in
+    Hashtbl.add t.managers tc_name m;
+    m
+
+(* A replica link is its own transport carrying only repl traffic; the
+   attribute wrapper matters here too — a DC fault point can fire inside
+   the standby's apply, and the component that died is the standby, not
+   any primary a plan happened to name. *)
+let attach_replica t ~tc_name ~sb_name =
+  if not (Hashtbl.mem t.repl_transports (tc_name, sb_name)) then begin
+    let e = Hashtbl.find t.standbys sb_name in
+    let attribute f frame =
+      try f frame
+      with ex ->
+        t.last_faulted <- Some sb_name;
+        raise ex
+    in
+    let tr =
+      Transport.create ~counters:t.counters ~policy:t.policy
+        ~label:(tc_name ^ ":" ^ sb_name) ~seed:(fresh_seed t)
+        ~data:(fun _ -> None)
+        ~control:(fun _ -> None)
+        ~repl:(attribute (Repl.Standby.handle_repl_frame e.sb_standby))
+        ()
+    in
+    Hashtbl.add t.repl_transports (tc_name, sb_name) tr;
+    Repl.Manager.attach (manager_for t tc_name) ~name:sb_name
+      ~primary:e.sb_primary ~standby:e.sb_standby
+      ~send:(Transport.send_repl tr)
+      ~drain:(fun () -> Transport.drain_repl tr)
+  end
+
+let replicas t ~dc =
+  Hashtbl.fold
+    (fun name e acc -> if String.equal e.sb_primary dc then name :: acc else acc)
+    t.standbys []
+  |> List.sort String.compare
+
+let add_replica t ~dc:primary =
+  let dc_obj =
+    match Hashtbl.find_opt t.dcs primary with
+    | Some d -> d
+    | None -> invalid_arg ("Deploy.add_replica: unknown DC " ^ primary)
+  in
+  let name =
+    let taken = replicas t ~dc:primary in
+    let rec fresh i =
+      let n = Printf.sprintf "%s~r%d" primary i in
+      if List.mem n taken then fresh (i + 1) else n
+    in
+    fresh 0
+  in
+  let sb =
+    Repl.Standby.create ~counters:t.counters
+      (Hashtbl.find t.dc_configs primary)
+      ~part:(Dc.part dc_obj)
+  in
+  (* the standby's schema mirrors everything ever created on its
+     primary; later [create_table]s propagate as they happen *)
+  (match Hashtbl.find_opt t.dc_tables primary with
+  | Some tabs ->
+    List.iter
+      (fun (tname, versioned) ->
+        Dc.create_table (Repl.Standby.dc sb) ~name:tname ~versioned)
+      (List.rev !tabs)
+  | None -> ());
+  Hashtbl.add t.standbys name { sb_standby = sb; sb_primary = primary };
+  Hashtbl.iter (fun tc_name _ -> attach_replica t ~tc_name ~sb_name:name) t.tcs;
+  name
+
+let add_replicas t ~dc ~n =
+  let missing = n - List.length (replicas t ~dc) in
+  List.init (max 0 missing) (fun _ -> add_replica t ~dc)
+
+let standby t name =
+  match Hashtbl.find_opt t.standbys name with
+  | Some e -> e.sb_standby
+  | None -> invalid_arg ("Deploy.standby: unknown " ^ name)
+
+let manager t ~tc = manager_for t tc
+
+let settle_replicas t = Hashtbl.iter (fun _ m -> Repl.Manager.settle m) t.managers
 
 let add_tc t ~name config =
   if Hashtbl.mem t.tcs name then invalid_arg ("Deploy.add_tc: dup " ^ name);
@@ -134,6 +250,9 @@ let add_tc t ~name config =
   Hashtbl.iter (fun dc_name _ -> link t ~tc_name:name ~dc_name) t.dcs;
   (* A late TC routes every already-partitioned table the same way. *)
   Hashtbl.iter (fun tname pt -> install_ptable_route t tc tname pt) t.ptables;
+  (* ... and ships to every standby already deployed. *)
+  Hashtbl.iter (fun sb_name _ -> attach_replica t ~tc_name:name ~sb_name)
+    t.standbys;
   tc
 
 let tc t name = Hashtbl.find t.tcs name
@@ -147,10 +266,26 @@ let dc_names t =
   Hashtbl.fold (fun n _ acc -> n :: acc) t.dcs [] |> List.sort String.compare
 
 let create_table t ~dc:dc_name ~name ~versioned =
-  Dc.create_table (dc t dc_name) ~name ~versioned
+  Dc.create_table (dc t dc_name) ~name ~versioned;
+  let tabs =
+    match Hashtbl.find_opt t.dc_tables dc_name with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add t.dc_tables dc_name r;
+      r
+  in
+  if not (List.mem_assoc name !tabs) then tabs := (name, versioned) :: !tabs;
+  (* keep every standby's schema in lock-step with its primary *)
+  List.iter
+    (fun sb_name ->
+      Dc.create_table
+        (Repl.Standby.dc (standby t sb_name))
+        ~name ~versioned)
+    (replicas t ~dc:dc_name)
 
-let add_partitioned_table t ?(scheme = Hash) ~name ~versioned ~dcs:dc_list ()
-    =
+let add_partitioned_table t ?(scheme = Hash) ?(replicas = 0) ~name ~versioned
+    ~dcs:dc_list () =
   if dc_list = [] then invalid_arg "Deploy.add_partitioned_table: no DCs";
   if Hashtbl.mem t.ptables name then
     invalid_arg ("Deploy.add_partitioned_table: dup " ^ name);
@@ -168,10 +303,13 @@ let add_partitioned_table t ?(scheme = Hash) ~name ~versioned ~dcs:dc_list ()
       pt_scheme = scheme }
   in
   Hashtbl.add t.ptables name pt;
-  (* The physical table exists at every owning DC; each holds only the
-     keys the map routes to it. *)
-  List.iter (fun d -> Dc.create_table (dc t d) ~name ~versioned) dc_list;
-  Hashtbl.iter (fun _ tc -> install_ptable_route t tc name pt) t.tcs
+  (* The physical table exists at every owning DC (and its standbys);
+     each holds only the keys the map routes to it. *)
+  List.iter (fun d -> create_table t ~dc:d ~name ~versioned) dc_list;
+  Hashtbl.iter (fun _ tc -> install_ptable_route t tc name pt) t.tcs;
+  (* [~replicas:k] gives every owning partition k warm standbys. *)
+  if replicas > 0 then
+    List.iter (fun d -> ignore (add_replicas t ~dc:d ~n:replicas)) dc_list
 
 let drop_in_flight_for t ~dc_name =
   Hashtbl.iter
@@ -225,6 +363,89 @@ let crash_tc t name =
       end)
     t.dcs
 
+(* A standby died: rebuild it from its own stable state, then reopen
+   every session on a fresh epoch.  Its volatile applied cursors are
+   gone, so the hello re-adopts zero and the whole stable stream is
+   re-shipped — the abstract-LSN idempotence path absorbs everything
+   its stable pages already contain. *)
+let crash_standby t name =
+  let e =
+    match Hashtbl.find_opt t.standbys name with
+    | Some e -> e
+    | None -> invalid_arg ("Deploy.crash_standby: unknown " ^ name)
+  in
+  Hashtbl.iter
+    (fun (_, sb) tr ->
+      if String.equal sb name then Transport.drop_in_flight tr)
+    t.repl_transports;
+  (try
+     Repl.Standby.crash e.sb_standby;
+     Repl.Standby.recover e.sb_standby
+   with ex ->
+     t.last_faulted <- Some name;
+     raise ex);
+  Hashtbl.iter
+    (fun _ m ->
+      if List.mem name (Repl.Manager.replica_names m ~primary:e.sb_primary)
+      then Repl.Manager.reattach m ~name)
+    t.managers
+
+(* Promote the most-caught-up standby in place of a dead primary
+   (Section 5.3.2 taken one step further: instead of rebuilding the
+   crashed DC's cache by redoing from the redo-scan start point, a warm
+   standby already holds the shipped prefix and only the gap to
+   end-of-stable-log is re-driven). *)
+let fail_over t ~dc:dc_name =
+  let t0 = Metrics.start t.counters in
+  drop_in_flight_for t ~dc_name;
+  let candidates = replicas t ~dc:dc_name in
+  if candidates = [] then
+    invalid_arg ("Deploy.fail_over: no standby for " ^ dc_name);
+  (* rank by exactly-applied LSNs (not the ack floor — acks may be in
+     flight), summed across TCs *)
+  let caught_up name =
+    let sb = (Hashtbl.find t.standbys name).sb_standby in
+    Hashtbl.fold
+      (fun _ tc acc -> acc + Lsn.to_int (Repl.Standby.applied sb ~tc:(Tc.id tc)))
+      t.tcs 0
+  in
+  let chosen =
+    List.fold_left
+      (fun best name ->
+        match best with
+        | Some (_, b) when b >= caught_up name -> best
+        | _ -> Some (name, caught_up name))
+      None candidates
+    |> Option.get |> fst
+  in
+  let sb = (Hashtbl.find t.standbys chosen).sb_standby in
+  (* the promoted replica leaves the replica set: it no longer holds
+     the truncation floor, and its repl links die with its old role *)
+  Hashtbl.iter (fun _ m -> Repl.Manager.remove m ~name:chosen) t.managers;
+  Hashtbl.remove t.standbys chosen;
+  Hashtbl.iter
+    (fun tc_name _ -> Hashtbl.remove t.repl_transports (tc_name, chosen))
+    t.tcs;
+  (* install the standby's DC under the primary's name — sibling
+     replicas and the partition map keep working unchanged — and re-link
+     every TC so the old transports' closures over the dead DC are
+     dropped with their in-flight frames *)
+  Hashtbl.replace t.dcs dc_name (Repl.Standby.dc sb);
+  Hashtbl.iter
+    (fun tc_name _ -> Hashtbl.remove t.transports (tc_name, dc_name))
+    t.tcs;
+  Hashtbl.iter (fun tc_name _ -> link t ~tc_name ~dc_name) t.tcs;
+  (* each TC re-drives only the gap past the standby's applied LSN *)
+  Hashtbl.iter
+    (fun _ tc ->
+      Tc.on_dc_failover tc ~dc:dc_name
+        ~from:(Lsn.next (Repl.Standby.applied sb ~tc:(Tc.id tc))))
+    t.tcs;
+  Instrument.bump t.counters "repl.promotions";
+  Metrics.stop t.counters "repl.promote_ns" t0;
+  Trace.record ~tid:0 ~comp:"repl" ~ev:"promote"
+    [ ("dc", dc_name); ("standby", chosen) ]
+
 let take_last_faulted t =
   let f = t.last_faulted in
   t.last_faulted <- None;
@@ -241,15 +462,25 @@ let crash_for_point t ~point ~tc ~dc =
         (* Crash the DC the fault actually escaped from: with N
            partitions, killing a sibling of the one mid-SMO would leave
            a half-done system transaction live in an unrestarted
-           cache. *)
+           cache.  A fault that escaped a standby's apply kills the
+           standby, not any primary. *)
         let target = Option.value (take_last_faulted t) ~default:dc in
-        crash_dc t target
+        if Hashtbl.mem t.standbys target then crash_standby t target
+        else crash_dc t target
     with Untx_fault.Fault.Injected_crash p when attempts > 0 ->
       go (attempts - 1) p ~dc
   in
   go 8 point ~dc
 
-let quiesce t = Hashtbl.iter (fun _ tc -> Tc.quiesce tc) t.tcs
+let quiesce t =
+  Hashtbl.iter (fun _ tc -> Tc.quiesce tc) t.tcs;
+  (* replication parity is part of a quiesced replicated deployment:
+     every standby has confirmed end-of-stable-log.  Non-replicated
+     deployments are untouched (no extra log force). *)
+  if Hashtbl.length t.managers > 0 then begin
+    Hashtbl.iter (fun _ tc -> Tc.force_log tc) t.tcs;
+    Hashtbl.iter (fun _ m -> Repl.Manager.settle m) t.managers
+  end
 
 let messages_total t =
   Hashtbl.fold

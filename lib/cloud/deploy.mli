@@ -21,9 +21,13 @@ type scheme =
 val create :
   ?counters:Untx_util.Instrument.t ->
   ?policy:Untx_kernel.Transport.policy ->
+  ?durability:Untx_repl.Repl.durability ->
   ?seed:int ->
   unit ->
   t
+(** [durability] (default [Primary_only]) governs every replicated
+    primary: under [Quorum k] commit acknowledgements wait for [k]
+    standby acks per replicated partition. *)
 
 val add_dc : t -> name:string -> Untx_dc.Dc.config -> Untx_dc.Dc.t
 (** The DC is assigned the next partition id ({!Untx_dc.Dc.part}) and
@@ -48,6 +52,7 @@ val create_table :
 val add_partitioned_table :
   t ->
   ?scheme:scheme ->
+  ?replicas:int ->
   name:string ->
   versioned:bool ->
   dcs:string list ->
@@ -57,7 +62,9 @@ val add_partitioned_table :
     physical table is created at each listed DC, and every TC — present
     or added later — routes each key to its owning partition.  The map
     is static and deterministic, so redo after any crash ships every
-    logical log record back to the same DC that first applied it. *)
+    logical log record back to the same DC that first applied it.
+    [replicas] (default 0) gives every owning partition that many warm
+    standbys fed by continuous redo shipping ({!Untx_repl.Repl}). *)
 
 val partition_dc : t -> table:string -> key:string -> string
 (** The DC owning [key] under the table's partition map. *)
@@ -72,6 +79,43 @@ val crash_dc : t -> string -> unit
 val crash_tc : t -> string -> unit
 (** Crash + restart one TC.  Other TCs are untouched: the DCs reset only
     the failed TC's lost operations (record-granular on shared pages). *)
+
+(** {2 Replication (warm standbys per partition)} *)
+
+val add_replica : t -> dc:string -> string
+(** Mint a warm standby for the named primary (config and partition id
+    copied from it, schema mirrored), wire a repl-only transport from
+    every TC, and start shipping.  Returns the standby's name
+    (["<dc>~r<i>"]). *)
+
+val add_replicas : t -> dc:string -> n:int -> string list
+(** Top the primary's replica set up to [n] standbys; returns the names
+    of the ones added. *)
+
+val replicas : t -> dc:string -> string list
+(** The standbys currently shadowing a primary, sorted by name. *)
+
+val standby : t -> string -> Untx_repl.Repl.Standby.t
+
+val manager : t -> tc:string -> Untx_repl.Repl.Manager.t
+(** The named TC's shipping engine (created on first use; its creation
+    installs the durability gate and truncate floor on the TC). *)
+
+val settle_replicas : t -> unit
+(** Ship and pump until every attached standby confirms its TC's
+    end-of-stable-log. *)
+
+val crash_standby : t -> string -> unit
+(** Crash + recover one standby, then reattach it on a fresh session
+    epoch: its applied cursors are volatile, so the whole stable stream
+    re-ships and the idempotence path absorbs what survived. *)
+
+val fail_over : t -> dc:string -> unit
+(** The primary died: promote its most-caught-up standby (exact applied
+    LSNs, summed across TCs), install it under the primary's name,
+    re-link every TC, and re-drive only the gap from the standby's
+    applied LSN to end-of-stable-log ({!Untx_tc.Tc.on_dc_failover}).
+    Counted as ["repl.promotions"]; timed as ["repl.promote_ns"]. *)
 
 val crash_for_point : t -> point:string -> tc:string -> dc:string -> unit
 (** Kill whichever component owns the fault point (see

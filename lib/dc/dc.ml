@@ -13,6 +13,7 @@ module Btree = Untx_btree.Btree
 module Fault = Untx_fault.Fault
 module Op = Untx_msg.Op
 module Wire = Untx_msg.Wire
+module Session = Untx_msg.Session
 
 type sync_policy = Stall_until_lwm | Full_ablsn | Bounded of int
 
@@ -58,13 +59,10 @@ type table = {
    messages are order-sensitive (a Restart_begin must not overtake the
    watermarks that preceded it), so unlike data ops they are applied
    strictly in sequence: a frame arriving ahead of its turn is buffered
-   until the TC's resend of the gap fills it in. *)
-type ctl_session = {
-  mutable cs_epoch : int;
-  mutable cs_applied : int; (* highest control seq applied, contiguous *)
-  cs_replies : (int, Wire.control_reply) Hashtbl.t; (* seq -> memoized reply *)
-  cs_buffer : (int, Wire.control) Hashtbl.t; (* out-of-order arrivals *)
-}
+   until the TC's resend of the gap fills it in.  The contract itself —
+   epoch adoption, in-order apply, duplicate replay from a bounded memo
+   — is {!Session.Receiver}, shared with the replication channel. *)
+type ctl_session = (Wire.control, Wire.control_reply) Session.Receiver.t
 
 type t = {
   cfg : config;
@@ -1283,23 +1281,9 @@ let session t tc =
   match Hashtbl.find_opt t.ctl_sessions key with
   | Some s -> s
   | None ->
-    (* Epoch 0 so that the TC's first real epoch (1 or later) is always
-       adopted as new on first contact. *)
-    let s =
-      {
-        cs_epoch = 0;
-        cs_applied = 0;
-        cs_replies = Hashtbl.create 32;
-        cs_buffer = Hashtbl.create 8;
-      }
-    in
+    let s = Session.Receiver.create () in
     Hashtbl.add t.ctl_sessions key s;
     s
-
-(* Keep memoized control replies for a window of recent seqs: a
-   duplicate can only be a recently-resent frame, and the TC stops
-   resending a seq once any reply for it arrives. *)
-let ctl_memo_window = 1024
 
 let handle_control_frame t frame =
   match Wire.decode_control frame with
@@ -1308,73 +1292,36 @@ let handle_control_frame t frame =
     None
   | m ->
     let s = session t (Wire.control_tc m.Wire.c_ctl) in
-    if m.Wire.c_epoch < s.cs_epoch then begin
+    let reply seq r =
+      Some
+        (Wire.encode_control_reply
+           { Wire.r_epoch = Session.Receiver.epoch s; r_seq = seq; r_reply = r })
+    in
+    (* [control] may run a complete restart mid-apply; the session
+       record survives it (see [complete_restart]), so the receiver's
+       bookkeeping lands on live state.  Duplicates are never re-applied
+       — control messages are not all idempotent (a second Restart_begin
+       would re-enter the fence). *)
+    let apply _seq ctl = control t ctl in
+    (match
+       Session.Receiver.handle s ~epoch:m.Wire.c_epoch ~seq:m.Wire.c_seq
+         m.Wire.c_ctl ~apply ~fallback:Wire.Ack
+     with
+    | Session.Receiver.Stale ->
       (* A straggler from a dead session: silently dropped — nothing on
          the TC side awaits it (the new epoch voided its pending). *)
       Instrument.bump t.counters "dc.control_stale_epoch";
       None
-    end
-    else begin
-      if m.Wire.c_epoch > s.cs_epoch then begin
-        (* The link restarted: the TC's sequence numbering begins again
-           at 1 and everything memoized for the old session is void. *)
-        s.cs_epoch <- m.Wire.c_epoch;
-        s.cs_applied <- 0;
-        Hashtbl.reset s.cs_replies;
-        Hashtbl.reset s.cs_buffer
-      end;
-      if m.Wire.c_seq <= s.cs_applied then begin
-        (* Duplicate of an applied message: answer from the memo, never
-           re-apply (control messages are not all idempotent — a second
-           Restart_begin would re-enter the fence). *)
-        Instrument.bump t.counters "dc.control_dups_absorbed";
-        let reply =
-          match Hashtbl.find_opt s.cs_replies m.Wire.c_seq with
-          | Some r -> r
-          | None -> Wire.Ack (* beyond the memo window: long since settled *)
-        in
-        Some
-          (Wire.encode_control_reply
-             { Wire.r_epoch = s.cs_epoch; r_seq = m.Wire.c_seq; r_reply = reply })
-      end
-      else if m.Wire.c_seq > s.cs_applied + 1 then begin
-        (* Ahead of its turn: park it and wait for the TC's resend to
-           fill the gap.  No reply — the sender's backoff keeps the
-           buffered frame's own resend alive until it is applied. *)
-        Instrument.bump t.counters "dc.control_buffered";
-        Hashtbl.replace s.cs_buffer m.Wire.c_seq m.Wire.c_ctl;
-        None
-      end
-      else begin
-        let apply seq ctl =
-          let r = control t ctl in
-          (* [control] may have run a complete restart; the session
-             records survive it (see [complete_restart]), so this update
-             lands on live state. *)
-          s.cs_applied <- seq;
-          Hashtbl.replace s.cs_replies seq r;
-          Hashtbl.remove s.cs_replies (seq - ctl_memo_window);
-          r
-        in
-        let first = apply m.Wire.c_seq m.Wire.c_ctl in
-        (* The gap this frame filled may release buffered successors.
-           Their replies are only memoized: the TC's resend of each will
-           collect them via the duplicate path above. *)
-        let rec drain_buffer () =
-          let next = s.cs_applied + 1 in
-          match Hashtbl.find_opt s.cs_buffer next with
-          | Some ctl ->
-            Hashtbl.remove s.cs_buffer next;
-            ignore (apply next ctl);
-            drain_buffer ()
-          | None -> ()
-        in
-        drain_buffer ();
-        Some
-          (Wire.encode_control_reply
-             { Wire.r_epoch = s.cs_epoch; r_seq = m.Wire.c_seq; r_reply = first })
-      end
-    end
+    | Session.Receiver.Replayed r ->
+      Instrument.bump t.counters "dc.control_dups_absorbed";
+      reply m.Wire.c_seq r
+    | Session.Receiver.Buffered ->
+      (* Ahead of its turn: parked until the TC's resend fills the gap.
+         No reply — the sender's backoff keeps the buffered frame's own
+         resend alive until it is applied. *)
+      Instrument.bump t.counters "dc.control_buffered";
+      None
+    | Session.Receiver.Applied r -> reply m.Wire.c_seq r)
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)

@@ -155,6 +155,56 @@ let check_idempotence_deploy d ~tc:tc_name errs =
       :: !errs;
   !n
 
+(* Replica consistency: after shipping reaches parity, every standby's
+   logical state must equal its primary's, table by table.  Valid only
+   on a quiesced deployment — mid-workload a standby legitimately trails
+   by the unshipped suffix.  The comparison is over [dump_table]
+   (logical rows), deliberately blind to page structure: primary and
+   standby take different split/consolidation paths under different
+   cache pressure, and that is fine.
+
+   [wlsn] is also normalized away.  It is physical recovery metadata,
+   and it is legitimately path-dependent: when a crash unwinds a commit
+   between logging its version cleanup and dispatching it, the retried
+   commit logs a second cleanup for the same keys.  The standby replays
+   the full stable stream — the first cleanup strips the before-image
+   (stamping its LSN), the second is a state-test no-op — while the
+   primary only ever applied the retry.  Same row, different last-writer
+   LSN; both are stable, so nothing downstream can tell them apart. *)
+let logical_rows rows =
+  List.map
+    (fun (key, (r : Stored_record.t)) ->
+      (key, { r with Stored_record.wlsn = Untx_util.Lsn.zero }))
+    rows
+let check_replicas d errs =
+  let replicated =
+    List.filter (fun dcn -> Deploy.replicas d ~dc:dcn <> []) (Deploy.dc_names d)
+  in
+  if replicated <> [] then begin
+    List.iter (fun tcn -> Tc.force_log (Deploy.tc d tcn)) (Deploy.tc_names d);
+    Deploy.settle_replicas d;
+    List.iter
+      (fun dcn ->
+        let primary = Deploy.dc d dcn in
+        List.iter
+          (fun sbn ->
+            let sb = Untx_repl.Repl.Standby.dc (Deploy.standby d sbn) in
+            check_structure sb ~stage:("standby " ^ sbn) errs;
+            List.iter
+              (fun tbl ->
+                if
+                  logical_rows (Dc.dump_table sb tbl)
+                  <> logical_rows (Dc.dump_table primary tbl)
+                then
+                  errs :=
+                    Printf.sprintf
+                      "replica: %s diverges from %s on table %s" sbn dcn tbl
+                    :: !errs)
+              (Dc.table_names primary))
+          (Deploy.replicas d ~dc:dcn))
+      replicated
+  end
+
 let run_deploy d ~tc ~table ~expected =
   let errs = ref [] in
   List.iter
@@ -170,4 +220,5 @@ let run_deploy d ~tc ~table ~expected =
         errs)
     (Deploy.dc_names d);
   check_oracle_deploy d ~table ~expected errs;
+  check_replicas d errs;
   { violations = List.rev !errs; redelivered }

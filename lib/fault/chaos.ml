@@ -519,6 +519,269 @@ let plans_partitioned () =
   in
   singles @ doubles @ corruption
 
+(* --- replicated deployments ------------------------------------------- *)
+
+module Repl = Untx_repl.Repl
+
+(* The partitioned deployment, plus [replicas] warm standbys per
+   partition fed by continuous redo shipping, under the given
+   durability policy. *)
+let make_deploy_replicated ~counters ~seed ~parts ~replicas ~durability =
+  let policy = if seed mod 3 = 0 then lossy else Transport.reliable in
+  let sync_policy =
+    match seed / 4 mod 3 with
+    | 0 -> Dc.Stall_until_lwm
+    | 1 -> Dc.Bounded 4
+    | _ -> Dc.Full_ablsn
+  in
+  let tc_reset_mode = if seed mod 5 = 0 then Dc.Complete else Dc.Selective in
+  let d = Deploy.create ~counters ~policy ~durability ~seed () in
+  ignore
+    (Deploy.add_tc d ~name:"tc1"
+       {
+         (Tc.default_config (Tc_id.of_int 1)) with
+         lwm_every = 8;
+         debug_checks = true;
+       });
+  let dc_names = List.init parts (Printf.sprintf "dc%d") in
+  List.iter
+    (fun name ->
+      ignore
+        (Deploy.add_dc d ~name
+           {
+             Dc.page_capacity = 160;
+             cache_pages = 6;
+             sync_policy;
+             tc_reset_mode;
+             debug_checks = true;
+           }))
+    dc_names;
+  Deploy.add_partitioned_table d ~name:table ~versioned:(seed land 1 = 0)
+    ~replicas ~dcs:dc_names ();
+  d
+
+(* The replicated twin of [run_cycle_partitioned].  One fault is special
+   here: a kill at the ["repl.ship.batch"] boundary means the PRIMARY
+   being shipped from died at that instant — the harness answers with
+   {!Deploy.fail_over} (promote the most-caught-up standby, re-drive
+   only the gap) instead of a cold crash+restart.
+   [Kernel.component_of_point] would misclassify the point as an
+   ordinary DC fault, so it is intercepted before the generic dispatch.
+   All other faults take the usual routes, including DC points that
+   fire {e inside a standby's apply} — those crash the standby itself
+   ([Deploy.crash_for_point] resolves the component via the attributed
+   handler), which then rejoins from its stable state. *)
+let run_cycle_replicated ?(keep_trace = false) ~label ~plan ~seed ~txns ~parts
+    ~replicas ~durability () =
+  Fault.disarm ();
+  let was_tracing = Trace.enabled () in
+  Trace.clear ();
+  Trace.set_enabled true;
+  let counters = Instrument.create () in
+  let rng = Rng.create ~seed in
+  let d = make_deploy_replicated ~counters ~seed ~parts ~replicas ~durability in
+  let tc = Deploy.tc d "tc1" in
+  let default_dc = List.hd (Deploy.partitions d ~table) in
+  let oracle : (string, string option) Hashtbl.t = Hashtbl.create 128 in
+  let crashes = ref 0 and committed = ref 0 in
+  let handle = function
+    | Fault.Injected_crash p when String.equal p Repl.p_ship_batch ->
+      incr crashes;
+      let primary =
+        match Repl.Manager.last_ship_primary (Deploy.manager d ~tc:"tc1") with
+        | Some p -> p
+        | None -> default_dc
+      in
+      (try Deploy.fail_over d ~dc:primary
+       with Fault.Injected_crash p2 ->
+         (* a second planned kill landed inside the promotion redo *)
+         incr crashes;
+         Deploy.crash_for_point d ~point:p2 ~tc:"tc1" ~dc:default_dc)
+    | Fault.Injected_crash p ->
+      incr crashes;
+      Deploy.crash_for_point d ~point:p ~tc:"tc1" ~dc:default_dc
+    | Fault.Io_error p ->
+      incr crashes;
+      Fault.disarm ();
+      Deploy.crash_for_point d ~point:p ~tc:"tc1" ~dc:default_dc
+    | e -> raise e
+  in
+  let probe marker =
+    let attempt () =
+      let txn = Tc.begin_txn tc in
+      let v =
+        match Tc.read tc txn ~table ~key:marker with
+        | `Ok v -> v
+        | `Blocked | `Fail _ -> None
+      in
+      (match Tc.commit tc txn with
+      | `Ok () -> ()
+      | `Blocked | `Fail _ ->
+        if Tc.is_active txn then Tc.abort tc txn ~reason:"chaos probe");
+      v
+    in
+    try attempt ()
+    with (Fault.Injected_crash _ | Fault.Io_error _) as e ->
+      handle e;
+      (try attempt () with Fault.Injected_crash _ | Fault.Io_error _ -> None)
+  in
+  Fault.arm ~seed plan;
+  for i = 0 to txns - 1 do
+    if i = txns / 2 then begin
+      try
+        Deploy.quiesce d;
+        ignore (Tc.checkpoint tc)
+      with (Fault.Injected_crash _ | Fault.Io_error _) as e -> handle e
+    end;
+    let marker = Printf.sprintf "m%03d" i in
+    let staged : (string, string option) Hashtbl.t = Hashtbl.create 8 in
+    let cur = ref None in
+    let phase = ref `Body in
+    let resolve_by_marker () =
+      if probe marker <> None then begin
+        incr committed;
+        commit_staged oracle staged
+      end
+    in
+    try
+      let txn = Tc.begin_txn tc in
+      cur := Some txn;
+      (match Tc.insert tc txn ~table ~key:marker ~value:"1" with
+      | `Ok () -> Hashtbl.replace staged marker (Some "1")
+      | `Blocked | `Fail _ -> ());
+      let delete_bias = if 3 * i > 2 * txns then 0.7 else 0.25 in
+      for _ = 1 to 1 + Rng.int rng 4 do
+        let key = Printf.sprintf "k%02d" (Rng.int rng 50) in
+        let current =
+          if Hashtbl.mem staged key then Hashtbl.find staged key
+          else Option.join (Hashtbl.find_opt oracle key)
+        in
+        match current with
+        | None -> (
+          let value = Printf.sprintf "v%06d" (Rng.int rng 1_000_000) in
+          match Tc.insert tc txn ~table ~key ~value with
+          | `Ok () -> Hashtbl.replace staged key (Some value)
+          | `Blocked | `Fail _ -> ())
+        | Some _ ->
+          if Rng.chance rng delete_bias then (
+            match Tc.delete tc txn ~table ~key with
+            | `Ok () -> Hashtbl.replace staged key None
+            | `Blocked | `Fail _ -> ())
+          else
+            let value = Printf.sprintf "v%06d" (Rng.int rng 1_000_000) in
+            (match Tc.update tc txn ~table ~key ~value with
+            | `Ok () -> Hashtbl.replace staged key (Some value)
+            | `Blocked | `Fail _ -> ())
+      done;
+      phase := `Commit;
+      match Tc.commit tc txn with
+      | `Ok () ->
+        incr committed;
+        commit_staged oracle staged
+      | `Blocked | `Fail _ -> ()
+    with (Fault.Injected_crash p | Fault.Io_error p) as e -> (
+      handle e;
+      (* a failover counts as a DC-side event for fate resolution: the
+         TC survived it *)
+      let component =
+        if String.equal p Repl.p_ship_batch then `Dc
+        else Kernel.component_of_point p
+      in
+      match (!phase, component, !cur) with
+      | `Body, `Tc, _ -> ()
+      | `Body, `Dc, Some txn ->
+        if Tc.is_active txn then
+          Tc.abort tc txn ~reason:"chaos: rollback after DC crash"
+      | `Body, `Dc, None -> ()
+      | `Commit, `Tc, _ -> resolve_by_marker ()
+      | `Commit, `Dc, Some txn ->
+        let rec settle attempts =
+          if not (Tc.is_active txn) then resolve_by_marker ()
+          else if attempts = 0 then (
+            Tc.abort tc txn ~reason:"chaos: commit retries exhausted";
+            resolve_by_marker ())
+          else
+            try
+              match Tc.commit tc txn with
+              | `Ok () ->
+                incr committed;
+                commit_staged oracle staged
+              | `Blocked | `Fail _ -> ()
+            with (Fault.Injected_crash _ | Fault.Io_error _) as e ->
+              handle e;
+              settle (attempts - 1)
+        in
+        settle 4
+      | `Commit, `Dc, None -> ())
+  done;
+  let rec quiesce_settle attempts =
+    try Deploy.quiesce d
+    with (Fault.Injected_crash _ | Fault.Io_error _) as e when attempts > 0 ->
+      handle e;
+      quiesce_settle (attempts - 1)
+  in
+  quiesce_settle 4;
+  let fired = Fault.fired_points () in
+  Fault.disarm ();
+  Trace.set_enabled was_tracing;
+  let counters_at_quiesce = Instrument.snapshot counters in
+  let report =
+    Audit.run_deploy d ~tc:"tc1" ~table ~expected:(oracle_rows oracle)
+  in
+  {
+    c_label = label;
+    c_seed = seed;
+    c_fired = fired;
+    c_crashes = !crashes;
+    c_committed = !committed;
+    c_redelivered = report.Audit.redelivered;
+    c_violations = report.Audit.violations;
+    c_counters = counters_at_quiesce;
+    c_trace =
+      (if keep_trace || report.Audit.violations <> [] then Trace.to_jsonl ()
+       else "");
+  }
+
+(* Primary-kill-at-every-batch-boundary plans: singles sweep the Nth
+   shipped batch (early, mid-workload, deep), a double promotes twice in
+   one cycle (needs two standbys), and combos land a cold kill next to a
+   promotion — cold restart and failover redo must coexist.  Standby
+   kills ride the ordinary DC points, which fire inside standby applies
+   too. *)
+let plans_replicated () =
+  let ship n =
+    ( Printf.sprintf "repl.ship.batch@%d" n,
+      [ Fault.crash_at "repl.ship.batch" n ] )
+  in
+  let singles = List.map ship [ 1; 2; 3; 5; 9; 14 ] in
+  let doubles =
+    [
+      ( "repl.ship.batch@2+repl.ship.batch@9",
+        [ Fault.crash_at "repl.ship.batch" 2; Fault.crash_at "repl.ship.batch" 9 ]
+      );
+    ]
+  in
+  let combos =
+    [
+      ( "repl.ship.batch@3+dc.flush.after_page_write@2",
+        [
+          Fault.crash_at "repl.ship.batch" 3;
+          Fault.crash_at "dc.flush.after_page_write" 2;
+        ] );
+      ( "repl.ship.batch@4+tc.commit.after_force@3",
+        [
+          Fault.crash_at "repl.ship.batch" 4;
+          Fault.crash_at "tc.commit.after_force" 3;
+        ] );
+      ( "dc.smo.split.mid@1+repl.ship.batch@6",
+        [
+          Fault.crash_at "dc.smo.split.mid" 1;
+          Fault.crash_at "repl.ship.batch" 6;
+        ] );
+    ]
+  in
+  singles @ doubles @ combos
+
 (* --- the standard plan sweep ------------------------------------------ *)
 
 let plans () =
@@ -656,5 +919,24 @@ let soak_partitioned ?(base_seed = 0x5A4D) ?(seeds_per_plan = 4) ?(txns = 24)
                  ~seed:(base_seed + (131 * pi) + (17 * si))
                  ~txns ~parts ()))
          (plans_partitioned ()))
+  in
+  (cycles, summarize cycles)
+
+let soak_replicated ?(base_seed = 0x9E97) ?(seeds_per_plan = 3) ?(txns = 24)
+    ?(parts = 2) ?(replicas = 2) () =
+  let cycles =
+    List.concat
+      (List.mapi
+         (fun pi (label, plan) ->
+           List.init seeds_per_plan (fun si ->
+               let seed = base_seed + (131 * pi) + (17 * si) in
+               (* alternate durability policies so Quorum-gated commits
+                  also live through mid-workload promotions *)
+               let durability =
+                 if seed land 1 = 0 then Repl.Quorum 1 else Repl.Primary_only
+               in
+               run_cycle_replicated ~label ~plan ~seed ~txns ~parts ~replicas
+                 ~durability ()))
+         (plans_replicated ()))
   in
   (cycles, summarize cycles)

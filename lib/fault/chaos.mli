@@ -76,6 +76,32 @@ val plans_partitioned : unit -> (string * Untx_fault.Fault.rule list) list
     and double-kill plans that take down two different partitions in
     one cycle. *)
 
+val run_cycle_replicated :
+  ?keep_trace:bool ->
+  label:string ->
+  plan:Untx_fault.Fault.rule list ->
+  seed:int ->
+  txns:int ->
+  parts:int ->
+  replicas:int ->
+  durability:Untx_repl.Repl.durability ->
+  unit ->
+  cycle
+(** The replicated twin of {!run_cycle_partitioned}: every partition has
+    [replicas] warm standbys fed by continuous redo shipping.  A kill at
+    the ["repl.ship.batch"] boundary is answered with
+    {!Untx_cloud.Deploy.fail_over} — promote the most-caught-up standby
+    and re-drive only the gap — instead of a cold crash+restart; DC
+    faults that fire inside a standby's apply crash the standby, which
+    rejoins from its stable state.  The audit additionally checks every
+    surviving standby's logical state against its primary after shipping
+    parity. *)
+
+val plans_replicated : unit -> (string * Untx_fault.Fault.rule list) list
+(** Primary kills swept across shipped-batch boundaries (early, mid,
+    deep), a double-promotion plan, and combos pairing a promotion with
+    cold DC kills and TC commit kills. *)
+
 type summary = {
   s_cycles : int;
   s_fired : int;  (** cycles in which at least one rule fired *)
@@ -98,3 +124,15 @@ val soak_partitioned :
 (** Sweep every plan from {!plans_partitioned} across [seeds_per_plan]
     seeds (default 4, [parts] 3, [txns] 24 per cycle) over a
     1-TC × [parts]-DC deployment. *)
+
+val soak_replicated :
+  ?base_seed:int ->
+  ?seeds_per_plan:int ->
+  ?txns:int ->
+  ?parts:int ->
+  ?replicas:int ->
+  unit ->
+  cycle list * summary
+(** Sweep every plan from {!plans_replicated} across [seeds_per_plan]
+    seeds (default 3, [parts] 2, [replicas] 2, [txns] 24 per cycle),
+    alternating [Quorum 1] and [Primary_only] durability by seed. *)

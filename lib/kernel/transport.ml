@@ -25,7 +25,7 @@ let chaotic =
    other lost message. *)
 let p_frame_corrupt = Fault.declare "transport.frame.corrupt"
 
-type channel = Data | Control
+type channel = Data | Control | Repl
 
 type item = { due : int; seq : int; frame : string }
 
@@ -35,6 +35,7 @@ type t = {
   rng : Rng.t;
   data_handler : string -> string option;
   control_handler : string -> string option;
+  repl_handler : string -> string option;
   counters : Instrument.t;
   label : string option;
       (* per-link counter prefix: a deployment names each (TC, DC) link
@@ -43,8 +44,10 @@ type t = {
   mutable seq : int;
   mutable dc_data : item list; (* TC -> DC request frames *)
   mutable dc_ctl : item list; (* TC -> DC control frames *)
+  mutable dc_repl : item list; (* TC -> standby replication frames *)
   mutable tc_data : item list; (* DC -> TC reply frames *)
   mutable tc_ctl : item list; (* DC -> TC control-reply frames *)
+  mutable tc_repl : item list; (* standby -> TC replication acks *)
   mutable delivered : int;
   mutable dropped : int;
   mutable duplicated : int;
@@ -52,24 +55,28 @@ type t = {
   mutable corrupt_dropped : int;
   mutable data_bytes : int;
   mutable control_bytes : int;
+  mutable repl_bytes : int;
 }
 
 let create ?(counters = Instrument.global) ?(policy = reliable) ?control_policy
-    ?label ~seed ~data ~control () =
+    ?label ?(repl = fun _ -> None) ~seed ~data ~control () =
   {
     policy;
     control_policy = Option.value control_policy ~default:policy;
     rng = Rng.create ~seed;
     data_handler = data;
     control_handler = control;
+    repl_handler = repl;
     counters;
     label;
     now = 0;
     seq = 0;
     dc_data = [];
     dc_ctl = [];
+    dc_repl = [];
     tc_data = [];
     tc_ctl = [];
+    tc_repl = [];
     delivered = 0;
     dropped = 0;
     duplicated = 0;
@@ -77,6 +84,7 @@ let create ?(counters = Instrument.global) ?(policy = reliable) ?control_policy
     corrupt_dropped = 0;
     data_bytes = 0;
     control_bytes = 0;
+    repl_bytes = 0;
   }
 
 let bump_labeled t suffix n =
@@ -91,14 +99,18 @@ let set_policy t policy =
 
 let set_control_policy t policy = t.control_policy <- policy
 
-let policy_for t = function Data -> t.policy | Control -> t.control_policy
+(* Replication frames are contract-governed like control traffic and
+   face the same adversary. *)
+let policy_for t = function
+  | Data -> t.policy
+  | Control | Repl -> t.control_policy
 
 (* Span attributes identifying where on the plane an event happened:
    channel, direction, and (in a deployment) the link's label. *)
 let trace_attrs t ch dir =
   let base =
     [
-      ("ch", (match ch with Data -> "data" | Control -> "ctl"));
+      ("ch", (match ch with Data -> "data" | Control -> "ctl" | Repl -> "repl"));
       ("dir", (match dir with `Req -> "req" | `Rep -> "rep"));
     ]
   in
@@ -122,7 +134,11 @@ let schedule t ch dir queue frame =
   | Control ->
     t.control_bytes <- t.control_bytes + len;
     Instrument.bump_by t.counters "transport.control_bytes" len;
-    bump_labeled t "control_bytes" len);
+    bump_labeled t "control_bytes" len
+  | Repl ->
+    t.repl_bytes <- t.repl_bytes + len;
+    Instrument.bump_by t.counters "transport.repl_bytes" len;
+    bump_labeled t "repl_bytes" len);
   if Metrics.timed t.counters then
     Metrics.observe t.counters "transport.frame_bytes" len;
   let copies =
@@ -154,6 +170,8 @@ let schedule t ch dir queue frame =
 let send t frame = t.dc_data <- schedule t Data `Req t.dc_data frame
 
 let send_control t frame = t.dc_ctl <- schedule t Control `Req t.dc_ctl frame
+
+let send_repl t frame = t.dc_repl <- schedule t Repl `Req t.dc_repl frame
 
 (* Split a queue into due and not-yet-due; due messages come back in
    delivery order (FIFO by seq, or shuffled when reordering). *)
@@ -231,7 +249,21 @@ let deliver_requests t =
         match t.control_handler frame with
         | None -> ()
         | Some reply -> t.tc_ctl <- schedule t Control `Rep t.tc_ctl reply))
-    due_c
+    due_c;
+  let due_r, rest_r = take_due t Repl t.dc_repl in
+  t.dc_repl <- rest_r;
+  count_batch t (List.length due_r);
+  List.iter
+    (fun item ->
+      match receive t item.frame with
+      | None -> ()
+      | Some frame -> (
+        Instrument.bump t.counters "transport.repl_delivered";
+        trace_event t Repl `Req "recv" frame;
+        match t.repl_handler frame with
+        | None -> ()
+        | Some reply -> t.tc_repl <- schedule t Repl `Rep t.tc_repl reply))
+    due_r
 
 let take_replies t =
   let due_d, rest_d = take_due t Data t.tc_data in
@@ -251,10 +283,31 @@ let take_replies t =
   in
   (keep Data due_d, keep Control due_c)
 
+let take_repl_replies t =
+  let due_r, rest_r = take_due t Repl t.tc_repl in
+  t.tc_repl <- rest_r;
+  count_batch t (List.length due_r);
+  List.filter_map
+    (fun item ->
+      match receive t item.frame with
+      | None -> None
+      | Some frame ->
+        trace_event t Repl `Rep "recv" frame;
+        Some frame)
+    due_r
+
 let drain t =
   t.now <- t.now + 1;
   deliver_requests t;
   take_replies t
+
+(* The replication channel drains on its own clock: a repl-only link
+   (TC -> standby) never carries data or control frames, so the shared
+   [drain] keeps its two-channel signature. *)
+let drain_repl t =
+  t.now <- t.now + 1;
+  deliver_requests t;
+  take_repl_replies t
 
 let flush t =
   let saved_data = t.policy and saved_ctl = t.control_policy in
@@ -262,10 +315,14 @@ let flush t =
   t.control_policy <- reliable;
   let out_d = ref [] and out_c = ref [] (* newest first; reversed on return *) in
   let n = ref 0 in
-  while t.dc_data <> [] || t.dc_ctl <> [] || t.tc_data <> [] || t.tc_ctl <> [] do
+  while
+    t.dc_data <> [] || t.dc_ctl <> [] || t.dc_repl <> [] || t.tc_data <> []
+    || t.tc_ctl <> [] || t.tc_repl <> []
+  do
     t.now <- t.now + 1000;
     deliver_requests t;
     let replies, ctl_replies = take_replies t in
+    let repl_replies = take_repl_replies t in
     List.iter
       (fun f ->
         incr n;
@@ -275,7 +332,8 @@ let flush t =
       (fun f ->
         incr n;
         out_c := f :: !out_c)
-      ctl_replies
+      ctl_replies;
+    List.iter (fun _ -> incr n) repl_replies
   done;
   t.policy <- saved_data;
   t.control_policy <- saved_ctl;
@@ -286,12 +344,14 @@ let flush t =
 let drop_in_flight t =
   t.dc_data <- [];
   t.dc_ctl <- [];
+  t.dc_repl <- [];
   t.tc_data <- [];
-  t.tc_ctl <- []
+  t.tc_ctl <- [];
+  t.tc_repl <- []
 
 let in_flight t =
-  List.length t.dc_data + List.length t.dc_ctl + List.length t.tc_data
-  + List.length t.tc_ctl
+  List.length t.dc_data + List.length t.dc_ctl + List.length t.dc_repl
+  + List.length t.tc_data + List.length t.tc_ctl + List.length t.tc_repl
 
 let requests_delivered t = t.delivered
 
@@ -307,4 +367,6 @@ let data_bytes_sent t = t.data_bytes
 
 let control_bytes_sent t = t.control_bytes
 
-let bytes_sent t = t.data_bytes + t.control_bytes
+let repl_bytes_sent t = t.repl_bytes
+
+let bytes_sent t = t.data_bytes + t.control_bytes + t.repl_bytes

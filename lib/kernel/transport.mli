@@ -48,6 +48,7 @@ val create :
   ?policy:policy ->
   ?control_policy:policy ->
   ?label:string ->
+  ?repl:(string -> string option) ->
   seed:int ->
   data:(string -> string option) ->
   control:(string -> string option) ->
@@ -82,9 +83,22 @@ val send : t -> string -> unit
 val send_control : t -> string -> unit
 (** Enqueue an encoded control frame on the control channel. *)
 
+val send_repl : t -> string -> unit
+(** Enqueue an encoded replication frame on the repl channel.  The
+    receiving endpoint is the [repl] handler given to {!create}
+    (a standby's frame entry point); its replies surface through
+    {!drain_repl}.  Repl frames face the control channel's adversary
+    and are charged to ["transport.repl_bytes"] /
+    ["transport.<label>.repl_bytes"]. *)
+
 val drain : t -> string list * string list
 (** Advance one tick and surface due (reply frames, control-reply
     frames). *)
+
+val drain_repl : t -> string list
+(** Advance one tick, deliver due frames (all channels) and surface due
+    replication acks.  Replication links carry only repl traffic, so
+    {!drain}'s two-channel signature is untouched. *)
 
 val flush : t -> string list * string list
 (** Deliver everything in flight (reliably).  A test-only escape hatch:
@@ -116,5 +130,9 @@ val data_bytes_sent : t -> int
 
 val control_bytes_sent : t -> int
 
+val repl_bytes_sent : t -> int
+(** Measured encoded bytes handed to the replication channel (both
+    directions). *)
+
 val bytes_sent : t -> int
-(** [data_bytes_sent + control_bytes_sent]. *)
+(** [data_bytes_sent + control_bytes_sent + repl_bytes_sent]. *)

@@ -1,0 +1,116 @@
+(** Per-link epoch/seq contract sessions.
+
+    The control channel (PR 2) and the replication channel both govern
+    their traffic with the same contract: every message carries a
+    densely-increasing sequence number under a session {e epoch} that
+    advances whenever either end restarts; the sender caches encoded
+    frames and resends them with bounded exponential backoff until
+    acknowledged; the receiver applies strictly in order, buffers
+    out-of-order arrivals, absorbs duplicates by answering from a
+    bounded reply memo, and discards frames from dead epochs.
+
+    This module is that contract, factored once.  It is deliberately
+    counter-free and transport-free: callers supply [encode]/[send]
+    closures and translate outcomes into their own metric names, so the
+    accounting stays where it is read. *)
+
+module Sender : sig
+  type 'reply t
+  (** The sending half of one link's session, parameterized by the
+      reply type parked for awaited messages. *)
+
+  val create : unit -> 'reply t
+  (** A fresh session at epoch 1, next seq 1. *)
+
+  val epoch : _ t -> int
+
+  val unacked : _ t -> int
+  (** Messages posted but not yet acknowledged this epoch. *)
+
+  val post :
+    'reply t ->
+    ?awaited:bool ->
+    backoff:int ->
+    encode:(epoch:int -> seq:int -> string) ->
+    send:(string -> unit) ->
+    unit ->
+    int
+  (** Allocate the next seq, build the frame with [encode] (cached so
+      every resend puts identical bytes on the wire), [send] it, and
+      track it as pending with initial resend [backoff].  Returns the
+      seq; when [awaited] (default false), the matching ack's reply is
+      parked for {!take_reply}. *)
+
+  val ack : 'reply t -> epoch:int -> seq:int -> 'reply -> bool
+  (** Match an acknowledgement: [false] for stale epochs and duplicate
+      acks, [true] when a pending was retired (parking the reply if it
+      was awaited). *)
+
+  val has_reply : 'reply t -> int -> bool
+
+  val take_reply : 'reply t -> int -> 'reply option
+  (** Consume the parked reply for an awaited seq, if it has arrived. *)
+
+  val tick :
+    'reply t ->
+    backoff_max:int ->
+    max_retries:int ->
+    on_resend:(seq:int -> string -> unit) ->
+    on_timeout:(seq:int -> retries:int -> unit) ->
+    unit
+  (** Age every pending one tick.  A pending whose backoff expires is
+      resent through [on_resend] with doubled backoff (bounded by
+      [backoff_max]); one that has already been resent [max_retries]
+      times goes to [on_timeout] first, which is expected to raise. *)
+
+  val clear : 'reply t -> int
+  (** Drop all pendings and parked replies (they died with a crash, or
+      a new epoch voids them).  Returns the number of pendings dropped
+      so the caller can keep its unacked gauge honest. *)
+
+  val new_epoch : 'reply t -> int
+  (** Advance the epoch, reset seq numbering to 1, and {!clear};
+      returns the dropped-pending count. *)
+end
+
+module Receiver : sig
+  type ('msg, 'reply) t
+  (** The receiving half: per-sender idempotence/ordering state. *)
+
+  val create : ?memo_window:int -> unit -> ('msg, 'reply) t
+  (** Epoch 0, so the sender's first real epoch (1 or later) is always
+      adopted as new on first contact.  [memo_window] (default 1024)
+      bounds how many recent replies are kept for duplicate replay. *)
+
+  val epoch : _ t -> int
+  (** The adopted epoch — replies must travel stamped with it. *)
+
+  val applied : _ t -> int
+  (** Highest contiguously-applied seq this epoch. *)
+
+  type 'reply outcome =
+    | Stale  (** dead epoch: drop, no reply (nothing awaits it) *)
+    | Replayed of 'reply  (** duplicate, answered from the memo *)
+    | Buffered  (** ahead of turn: parked, no reply until the gap fills *)
+    | Applied of 'reply  (** applied in turn; buffered successors drained *)
+
+  val handle :
+    ('msg, 'reply) t ->
+    epoch:int ->
+    seq:int ->
+    'msg ->
+    apply:(int -> 'msg -> 'reply) ->
+    fallback:'reply ->
+    'reply outcome
+  (** Run one received message through the contract.  [apply seq msg]
+      executes an in-turn message and returns its reply; it also runs
+      for each buffered successor this message releases, whose replies
+      are only memoized (the sender's own resend collects them through
+      the duplicate path).  [fallback] answers a duplicate older than
+      the memo window — long since settled, a bare acknowledgement
+      suffices. *)
+
+  val reset : ('msg, 'reply) t -> unit
+  (** Forget everything (component crash lost the state the session
+      guards). *)
+end

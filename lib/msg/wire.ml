@@ -33,6 +33,31 @@ type control_reply_msg = {
   r_reply : control_reply;
 }
 
+(* Replication traffic (the third channel).  [Repl_hello] opens or
+   resumes a session: the standby answers with its exact applied LSN so
+   a rejoining sender ships only the missing suffix.  [Repl_ship]
+   carries a batch of stable-log records covering the LSN range up to
+   [upto] (reads are never logged, so the list may skip LSNs), plus the
+   sender's current watermarks so the standby's cache obeys the same
+   causality rule as the primary's. *)
+type repl =
+  | Repl_hello of { tc : Tc_id.t }
+  | Repl_ship of {
+      tc : Tc_id.t;
+      eosl : Lsn.t;
+      lwm : Lsn.t;
+      upto : Lsn.t;
+      ops : (Lsn.t * Op.t) list;
+    }
+
+type repl_reply = Repl_ack of { applied : Lsn.t }
+
+type repl_msg = { p_epoch : int; p_seq : int; p_repl : repl }
+
+type repl_reply_msg = { q_epoch : int; q_seq : int; q_reply : repl_reply }
+
+let repl_tc = function Repl_hello { tc } | Repl_ship { tc; _ } -> tc
+
 let control_tc = function
   | End_of_stable_log { tc; _ }
   | Low_water_mark { tc; _ }
@@ -103,6 +128,8 @@ let frame_kind s =
       | 'R' -> Some `Reply
       | 'C' -> Some `Control
       | 'K' -> Some `Control_reply
+      | 'S' -> Some `Repl
+      | 'T' -> Some `Repl_reply
       | _ -> None
 
 let frame_ok s = frame_kind s <> None
@@ -269,6 +296,77 @@ let decode_control_reply s =
     }
   | _ -> invalid_arg "Wire.decode_control_reply"
 
+(* ---- replication ---- *)
+
+(* Each shipped record nests as one Codec blob (lsn :: op fields), so a
+   batch of any size stays a flat field list at the envelope level. *)
+let repl_fields = function
+  | Repl_hello { tc } -> [ "H"; int_field (Tc_id.to_int tc) ]
+  | Repl_ship { tc; eosl; lwm; upto; ops } ->
+    "S"
+    :: int_field (Tc_id.to_int tc)
+    :: int_field (Lsn.to_int eosl)
+    :: int_field (Lsn.to_int lwm)
+    :: int_field (Lsn.to_int upto)
+    :: List.map
+         (fun (lsn, op) ->
+           Codec.encode (int_field (Lsn.to_int lsn) :: Op.to_fields op))
+         ops
+
+let repl_of_fields = function
+  | [ "H"; tc ] -> Repl_hello { tc = tc_of_field tc }
+  | "S" :: tc :: eosl :: lwm :: upto :: blobs ->
+    let op_of_blob blob =
+      match Codec.decode blob with
+      | lsn :: op_fields -> (lsn_of_field lsn, Op.of_fields op_fields)
+      | [] -> invalid_arg "Wire: empty shipped record"
+    in
+    Repl_ship
+      {
+        tc = tc_of_field tc;
+        eosl = lsn_of_field eosl;
+        lwm = lsn_of_field lwm;
+        upto = lsn_of_field upto;
+        ops = List.map op_of_blob blobs;
+      }
+  | _ -> invalid_arg "Wire: bad repl"
+
+let encode_repl ?tid { p_epoch; p_seq; p_repl } =
+  frame ?tid 'S'
+    (Codec.encode (int_field p_epoch :: int_field p_seq :: repl_fields p_repl))
+
+let decode_repl s =
+  match Codec.decode (unframe `Repl s) with
+  | epoch :: seq :: rest ->
+    {
+      p_epoch = int_of_field epoch;
+      p_seq = int_of_field seq;
+      p_repl = repl_of_fields rest;
+    }
+  | _ -> invalid_arg "Wire.decode_repl"
+
+let repl_reply_fields = function
+  | Repl_ack { applied } -> [ "A"; int_field (Lsn.to_int applied) ]
+
+let repl_reply_of_fields = function
+  | [ "A"; applied ] -> Repl_ack { applied = lsn_of_field applied }
+  | _ -> invalid_arg "Wire: bad repl reply"
+
+let encode_repl_reply ?tid { q_epoch; q_seq; q_reply } =
+  frame ?tid 'T'
+    (Codec.encode
+       (int_field q_epoch :: int_field q_seq :: repl_reply_fields q_reply))
+
+let decode_repl_reply s =
+  match Codec.decode (unframe `Repl_reply s) with
+  | epoch :: seq :: rest ->
+    {
+      q_epoch = int_of_field epoch;
+      q_seq = int_of_field seq;
+      q_reply = repl_reply_of_fields rest;
+    }
+  | _ -> invalid_arg "Wire.decode_repl_reply"
+
 (* The real size of a request on the wire — what the transport's byte
    accounting charges, not an estimate. *)
 let request_size r = String.length (encode_request r)
@@ -301,3 +399,13 @@ let pp_control ppf = function
   | Redo_fence_begin { tc } ->
     Format.fprintf ppf "redo-fence-begin %a" Tc_id.pp tc
   | Redo_fence_end { tc } -> Format.fprintf ppf "redo-fence-end %a" Tc_id.pp tc
+
+let pp_repl ppf = function
+  | Repl_hello { tc } -> Format.fprintf ppf "repl-hello %a" Tc_id.pp tc
+  | Repl_ship { tc; eosl; lwm; upto; ops } ->
+    Format.fprintf ppf "repl-ship %a eosl=%a lwm=%a upto=%a ops=%d" Tc_id.pp tc
+      Lsn.pp eosl Lsn.pp lwm Lsn.pp upto (List.length ops)
+
+let pp_repl_reply ppf = function
+  | Repl_ack { applied } ->
+    Format.fprintf ppf "repl-ack applied=%a" Lsn.pp applied

@@ -89,6 +89,42 @@ type control_reply_msg = {
 val control_tc : control -> Untx_util.Tc_id.t
 (** The TC a control message speaks for (every variant carries one). *)
 
+(** {2 Replication}
+
+    The third channel: a primary's TC continuously ships its stable log
+    to warm standbys.  Repl traffic travels under the same epoch/seq
+    contract sessions as control traffic ({!Session}). *)
+
+type repl =
+  | Repl_hello of { tc : Untx_util.Tc_id.t }
+      (** Open or resume a session.  The standby's ack carries its exact
+          applied LSN, so a rejoining sender ships only the missing
+          suffix instead of rebuilding the replica. *)
+  | Repl_ship of {
+      tc : Untx_util.Tc_id.t;
+      eosl : Untx_util.Lsn.t;
+          (** the sender's end-of-stable-log, shipped in-band so the
+              standby's page cache obeys the same causality rule as the
+              primary's *)
+      lwm : Untx_util.Lsn.t;
+      upto : Untx_util.Lsn.t;
+          (** the batch covers the stable-log range up to here; [ops]
+              may skip LSNs (reads are never logged), so the standby
+              advances its applied LSN to [upto], not to the last
+              listed record *)
+      ops : (Untx_util.Lsn.t * Op.t) list;
+    }
+
+type repl_reply = Repl_ack of { applied : Untx_util.Lsn.t }
+(** The standby's cumulative applied LSN — the sender's replication
+    low-water mark derives from the minimum of these across replicas. *)
+
+type repl_msg = { p_epoch : int; p_seq : int; p_repl : repl }
+
+type repl_reply_msg = { q_epoch : int; q_seq : int; q_reply : repl_reply }
+
+val repl_tc : repl -> Untx_util.Tc_id.t
+
 (** {2 Frames}
 
     [encode_*] produce self-contained binary frames: a kind byte, a
@@ -115,6 +151,14 @@ val encode_control_reply : ?tid:int -> control_reply_msg -> string
 
 val decode_control_reply : string -> control_reply_msg
 
+val encode_repl : ?tid:int -> repl_msg -> string
+
+val decode_repl : string -> repl_msg
+
+val encode_repl_reply : ?tid:int -> repl_reply_msg -> string
+
+val decode_repl_reply : string -> repl_reply_msg
+
 val frame_ok : string -> bool
 (** Structural + checksum validation without a full decode — what a
     receiving endpoint checks before accepting a frame.  A frame that
@@ -136,3 +180,7 @@ val pp_result : Format.formatter -> result -> unit
 val pp_request : Format.formatter -> request -> unit
 
 val pp_control : Format.formatter -> control -> unit
+
+val pp_repl : Format.formatter -> repl -> unit
+
+val pp_repl_reply : Format.formatter -> repl_reply -> unit

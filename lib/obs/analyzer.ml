@@ -22,6 +22,7 @@ type report = {
   r_orphans : int;
   r_hops : (string * Metrics.hsnap) list;
   r_parts : (int * Metrics.hsnap) list; (* per-partition round trips *)
+  r_repl : (string * int) list; (* replication events by kind (ship/ack/…) *)
 }
 
 (* ---- JSONL parsing ---------------------------------------------------- *)
@@ -235,6 +236,19 @@ let analyze events =
       parts []
     |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in
+  (* Replication traffic is untraced (tid 0 — no operation owns a ship),
+     so it is counted by event kind rather than joined into timelines. *)
+  let r_repl =
+    let counts = Hashtbl.create 4 in
+    List.iter
+      (fun (e : Trace.event) ->
+        if e.Trace.e_comp = "repl" then
+          Hashtbl.replace counts e.Trace.e_ev
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts e.Trace.e_ev)))
+      events;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   {
     r_timelines = timelines;
     r_orphans =
@@ -245,6 +259,7 @@ let analyze events =
           Option.map (fun s -> (name, s)) (Metrics.hist_snapshot hops name))
         (Metrics.hist_names hops);
     r_parts;
+    r_repl;
   }
 
 let pp_summary ppf r =
@@ -265,4 +280,9 @@ let pp_summary ppf r =
     (fun (p, s) ->
       Format.fprintf ppf "partition %d rtt: %a@," p Metrics.pp_hsnap s)
     r.r_parts;
+  if r.r_repl <> [] then begin
+    Format.fprintf ppf "repl:";
+    List.iter (fun (ev, n) -> Format.fprintf ppf " %s=%d" ev n) r.r_repl;
+    Format.fprintf ppf "@,"
+  end;
   Format.fprintf ppf "@]"

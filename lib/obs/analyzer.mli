@@ -25,6 +25,10 @@ type report = {
   r_parts : (int * Metrics.hsnap) list;
       (** completed round trips grouped by partition — skew shows as
           diverging counts/percentiles *)
+  r_repl : (string * int) list;
+      (** replication events counted by kind (["ship"], ["ack"],
+          ["promote"]); repl traffic is untraced (tid 0) so it appears
+          here rather than in timelines *)
 }
 
 val of_jsonl : string -> Trace.event list

@@ -1,0 +1,458 @@
+module Lsn = Untx_util.Lsn
+module Tc_id = Untx_util.Tc_id
+module Instrument = Untx_util.Instrument
+module Metrics = Untx_obs.Metrics
+module Trace = Untx_obs.Trace
+module Fault = Untx_fault.Fault
+module Wire = Untx_msg.Wire
+module Session = Untx_msg.Session
+module Dc = Untx_dc.Dc
+module Tc = Untx_tc.Tc
+
+(* Log-shipping replication: each partition's primary DC gains K warm
+   standbys fed continuously from the TC's *stable* log over the repl
+   channel.  A volatile record can still be disowned by a TC crash, so
+   only stable records ship — a standby must never hold effects the
+   TC's log cannot account for.
+
+   The shipping contract is the same epoch/seq session machinery the
+   control channel uses ({!Session}); the standby applies the stream
+   through the DC's normal abstract-LSN idempotence path, which is what
+   makes resent batches, duplicated frames and post-promotion redo
+   overlap all safe to deliver. *)
+
+type durability = Primary_only | Quorum of int
+
+let pp_durability ppf = function
+  | Primary_only -> Format.pp_print_string ppf "primary-only"
+  | Quorum k -> Format.fprintf ppf "quorum-%d" k
+
+(* A kill at a shipped-batch boundary is the interesting crash instant:
+   the standby holds a strict prefix of the stream and promotion must
+   re-drive exactly the rest. *)
+let p_ship_batch = Fault.declare "repl.ship.batch"
+
+module Standby = struct
+  type t = {
+    dc : Dc.t;
+    counters : Instrument.t;
+    sessions : (int, (Wire.repl, Wire.repl_reply) Session.Receiver.t) Hashtbl.t;
+    applied : (int, Lsn.t) Hashtbl.t; (* per-TC cumulative applied LSN *)
+  }
+
+  let create ?(counters = Instrument.global) config ~part =
+    let dc = Dc.create ~counters config in
+    Dc.set_identity dc ~part;
+    { dc; counters; sessions = Hashtbl.create 4; applied = Hashtbl.create 4 }
+
+  let dc t = t.dc
+
+  let applied t ~tc =
+    Option.value ~default:Lsn.zero
+      (Hashtbl.find_opt t.applied (Tc_id.to_int tc))
+
+  let session t tc =
+    let key = Tc_id.to_int tc in
+    match Hashtbl.find_opt t.sessions key with
+    | Some s -> s
+    | None ->
+      let s = Session.Receiver.create () in
+      Hashtbl.add t.sessions key s;
+      s
+
+  (* Apply one shipped batch.  Watermarks travel in-band so the
+     standby's cache obeys the same flush-causality rules as the
+     primary's — but the low-water claim is capped at the standby's own
+     applied cursor first: the primary may have acknowledged operations
+     this standby has not applied yet, and an uncapped claim would let
+     abstract-LSN compaction mark them included, silently absorbing the
+     rest of the stream as duplicates.  This is the redo cursor-cap rule
+     of the restart path, carried over verbatim to the shipping path. *)
+  let apply_ship t ~tc ~eosl ~lwm ~upto ~ops =
+    let cursor = applied t ~tc in
+    let lwm = Lsn.min lwm cursor in
+    ignore (Dc.control t.dc (Wire.Watermarks { tc; eosl; lwm }));
+    List.iter
+      (fun (lsn, op) ->
+        let reply = Dc.perform t.dc { Wire.tc; lsn; part = Dc.part t.dc; op } in
+        (match reply.Wire.result with
+        | Wire.Failed msg ->
+          failwith (Printf.sprintf "Repl.Standby: shipped op rejected: %s" msg)
+        | _ -> ());
+        Instrument.bump t.counters "repl.standby_ops")
+      ops;
+    if Lsn.(cursor < upto) then
+      Hashtbl.replace t.applied (Tc_id.to_int tc) upto;
+    Instrument.bump t.counters "repl.standby_batches"
+
+  let handle_repl_frame t frame =
+    match Wire.decode_repl frame with
+    | exception Invalid_argument _ ->
+      Instrument.bump t.counters "repl.bad_frames";
+      None
+    | m ->
+      let tc = Wire.repl_tc m.Wire.p_repl in
+      let s = session t tc in
+      let ack () = Wire.Repl_ack { applied = applied t ~tc } in
+      let apply _seq = function
+        | Wire.Repl_hello _ -> ack ()
+        | Wire.Repl_ship { tc; eosl; lwm; upto; ops } ->
+          apply_ship t ~tc ~eosl ~lwm ~upto ~ops;
+          ack ()
+      in
+      let reply seq r =
+        Some
+          (Wire.encode_repl_reply
+             { Wire.q_epoch = Session.Receiver.epoch s; q_seq = seq; q_reply = r })
+      in
+      (match
+         Session.Receiver.handle s ~epoch:m.Wire.p_epoch ~seq:m.Wire.p_seq
+           m.Wire.p_repl ~apply ~fallback:(ack ())
+       with
+      | Session.Receiver.Stale ->
+        Instrument.bump t.counters "repl.stale_epoch";
+        None
+      | Session.Receiver.Replayed r ->
+        Instrument.bump t.counters "repl.dups_absorbed";
+        reply m.Wire.p_seq r
+      | Session.Receiver.Buffered ->
+        Instrument.bump t.counters "repl.buffered";
+        None
+      | Session.Receiver.Applied r -> reply m.Wire.p_seq r)
+
+  (* A standby crash loses the volatile applied cursors and session
+     state along with the DC's cache; the rebuilt replica re-adopts the
+     stream from zero and the abstract-LSN idempotence path absorbs
+     everything its stable pages already contain. *)
+  let crash t =
+    Dc.crash t.dc;
+    Hashtbl.reset t.sessions;
+    Hashtbl.reset t.applied
+
+  let recover t = Dc.recover t.dc
+end
+
+module Manager = struct
+  type replica = {
+    r_name : string; (* the standby's deployment name *)
+    r_primary : string; (* the primary DC it shadows *)
+    r_standby : Standby.t;
+    r_session : Wire.repl_reply Session.Sender.t;
+    r_send : string -> unit;
+    r_drain : unit -> string list;
+    mutable r_applied : Lsn.t; (* confirmed floor, from acks *)
+    mutable r_cursor : Lsn.t; (* next LSN to ship (optimistic) *)
+    mutable r_attached : bool;
+  }
+
+  type config = {
+    durability : durability;
+    batch_ops : int; (* max records per Repl_ship frame *)
+    resend_after : int;
+    resend_backoff_max : int;
+    resend_max_retries : int;
+    max_pump_rounds : int;
+  }
+
+  let default_config =
+    {
+      durability = Primary_only;
+      batch_ops = 32;
+      resend_after = 4;
+      resend_backoff_max = 64;
+      resend_max_retries = 32;
+      max_pump_rounds = 100_000;
+    }
+
+  type t = {
+    cfg : config;
+    tc : Tc.t;
+    counters : Instrument.t;
+    replicas : (string, replica) Hashtbl.t; (* keyed by standby name *)
+    mutable last_ship : string option;
+        (* the primary whose stream was last being shipped — the chaos
+           harness reads this to know which primary a kill at the
+           ["repl.ship.batch"] point belongs to *)
+  }
+
+  (* Replication must never let log truncation pass what the slowest
+     replica still needs: catch-up reads the stable log from the
+     replica's applied LSN, and a truncated cursor would force a full
+     rebuild.  Detached replicas count too — holding the floor for them
+     is exactly what makes rejoin cheap. *)
+  let truncate_floor t =
+    Hashtbl.fold
+      (fun _ r acc ->
+        let need = Lsn.next r.r_applied in
+        match acc with
+        | None -> Some need
+        | Some a -> Some (Lsn.min a need))
+      t.replicas None
+
+  let post t r repl =
+    let frame = ref "" in
+    let seq =
+      Session.Sender.post r.r_session ~backoff:t.cfg.resend_after
+        ~encode:(fun ~epoch ~seq ->
+          let f =
+            Wire.encode_repl { Wire.p_epoch = epoch; p_seq = seq; p_repl = repl }
+          in
+          frame := f;
+          f)
+        ~send:r.r_send ()
+    in
+    Instrument.bump t.counters "repl.ships";
+    Instrument.bump_by t.counters "repl.ship_bytes" (String.length !frame);
+    if Trace.enabled () then
+      Trace.record ~tid:0 ~comp:"repl" ~ev:"ship"
+        [
+          ("to", r.r_name);
+          ("seq", string_of_int seq);
+          ("bytes", string_of_int (String.length !frame));
+        ];
+    seq
+
+  (* Ship the stable suffix past a replica's cursor, in batches of at
+     most [batch_ops] records, each batch passing the
+     ["repl.ship.batch"] fault point.  Records routed to other
+     partitions are skipped but still covered by the batch's [upto], so
+     every replica's applied LSN tracks the whole stable log and quorum
+     gating needs no per-partition bookkeeping. *)
+  let ship_replica t r =
+    let stable = Tc.stable_lsn t.tc in
+    if r.r_attached && Lsn.(r.r_cursor <= stable) then begin
+      let tc_id = Tc.id t.tc in
+      let eosl = stable and lwm = stable in
+      (* the standby caps the lwm claim at its own applied cursor; see
+         [Standby.apply_ship] *)
+      let batch = ref [] and batch_n = ref 0 in
+      let flush_batch ~upto =
+        t.last_ship <- Some r.r_primary;
+        Fault.hit p_ship_batch;
+        ignore
+          (post t r
+             (Wire.Repl_ship
+                { tc = tc_id; eosl; lwm; upto; ops = List.rev !batch }));
+        batch := [];
+        batch_n := 0;
+        r.r_cursor <- Lsn.next upto
+      in
+      Tc.iter_stable_ops_from t.tc ~from:r.r_cursor (fun lsn op ->
+          if String.equal (Tc.dc_of_op t.tc op) r.r_primary then begin
+            batch := (lsn, op) :: !batch;
+            incr batch_n;
+            if !batch_n >= t.cfg.batch_ops then flush_batch ~upto:lsn
+          end);
+      (* the final (possibly empty) batch carries the cursor to the end
+         of the stable log *)
+      if Lsn.(r.r_cursor <= stable) then flush_batch ~upto:stable
+    end
+
+  let ship t = Hashtbl.iter (fun _ r -> ship_replica t r) t.replicas
+
+  (* One delivery round per replica link: drain the transport, match
+     acks against the session, advance the confirmed floor. *)
+  let pump t =
+    let progressed = ref false in
+    Hashtbl.iter
+      (fun _ r ->
+        if r.r_attached then begin
+          List.iter
+            (fun frame ->
+              match Wire.decode_repl_reply frame with
+              | exception Invalid_argument _ ->
+                Instrument.bump t.counters "repl.bad_frames"
+              | m ->
+                if
+                  Session.Sender.ack r.r_session ~epoch:m.Wire.q_epoch
+                    ~seq:m.Wire.q_seq m.Wire.q_reply
+                then begin
+                  progressed := true;
+                  Instrument.bump t.counters "repl.acks";
+                  let (Wire.Repl_ack { applied }) = m.Wire.q_reply in
+                  if Lsn.(r.r_applied < applied) then r.r_applied <- applied;
+                  if Trace.enabled () then
+                    Trace.record ~tid:0 ~comp:"repl" ~ev:"ack"
+                      [ ("from", r.r_name); ("applied", Lsn.to_string applied) ]
+                end)
+            (r.r_drain ());
+          Metrics.observe t.counters "repl.lag_lsn"
+            (Lsn.to_int (Tc.stable_lsn t.tc) - Lsn.to_int r.r_applied)
+        end)
+      t.replicas;
+    !progressed
+
+  let tick_resend t =
+    Hashtbl.iter
+      (fun _ r ->
+        if r.r_attached then
+          Session.Sender.tick r.r_session ~backoff_max:t.cfg.resend_backoff_max
+            ~max_retries:t.cfg.resend_max_retries
+            ~on_resend:(fun ~seq:_ frame ->
+              Instrument.bump t.counters "repl.resends";
+              r.r_send frame)
+            ~on_timeout:(fun ~seq ~retries ->
+              Instrument.bump t.counters "repl.timeouts";
+              failwith
+                (Printf.sprintf "Repl: ship %d to %s timed out after %d resends"
+                   seq r.r_name retries)))
+      t.replicas
+
+  let await t pred =
+    let stalls = ref 0 in
+    while not (pred ()) do
+      if pump t then stalls := 0
+      else begin
+        incr stalls;
+        tick_resend t;
+        if !stalls > t.cfg.max_pump_rounds then
+          failwith "Repl.await: no progress (lost ship without resend?)"
+      end
+    done
+
+  (* The durability gate installed on the TC: invoked after every
+     group-commit force with the new stable LSN.  Shipping happens here
+     under every policy — each commit force pushes the fresh suffix to
+     the standbys, which is what keeps them warm; [Quorum k] then also
+     blocks the commit acknowledgement until at least [k] replicas of
+     every replicated primary (clamped to how many it has) confirm the
+     LSN. *)
+  let gate t lsn =
+    ship t;
+    ignore (pump t);
+    match t.cfg.durability with
+    | Primary_only -> ()
+    | Quorum k ->
+      let satisfied () =
+        let by_primary : (string, int * int) Hashtbl.t = Hashtbl.create 4 in
+        Hashtbl.iter
+          (fun _ r ->
+            if r.r_attached then begin
+              let have, ok =
+                Option.value ~default:(0, 0)
+                  (Hashtbl.find_opt by_primary r.r_primary)
+              in
+              let ok = if Lsn.(r.r_applied >= lsn) then ok + 1 else ok in
+              Hashtbl.replace by_primary r.r_primary (have + 1, ok)
+            end)
+          t.replicas;
+        Hashtbl.fold
+          (fun _ (have, ok) acc -> acc && ok >= Stdlib.min k have)
+          by_primary true
+      in
+      await t satisfied
+
+  let create ?(counters = Instrument.global) ?(cfg = default_config) tc =
+    let t =
+      { cfg; tc; counters; replicas = Hashtbl.create 4; last_ship = None }
+    in
+    Tc.set_durability_gate tc (fun lsn -> gate t lsn);
+    Tc.set_truncate_floor tc (fun () -> truncate_floor t);
+    t
+
+  let durability t = t.cfg.durability
+
+  let last_ship_primary t = t.last_ship
+
+  (* Open (or resume) the session with a hello and adopt the standby's
+     exact applied LSN as the shipping cursor: zero for a fresh standby,
+     wherever it left off for a rejoining one — catch-up without a
+     rebuild.  [r_applied] alone would not do: it is only a floor (acks
+     may have been lost). *)
+  let hello t r =
+    let seq =
+      Session.Sender.post r.r_session ~awaited:true ~backoff:t.cfg.resend_after
+        ~encode:(fun ~epoch ~seq ->
+          Wire.encode_repl
+            {
+              Wire.p_epoch = epoch;
+              p_seq = seq;
+              p_repl = Wire.Repl_hello { tc = Tc.id t.tc };
+            })
+        ~send:r.r_send ()
+    in
+    await t (fun () -> Session.Sender.has_reply r.r_session seq);
+    match Session.Sender.take_reply r.r_session seq with
+    | Some (Wire.Repl_ack { applied }) ->
+      r.r_applied <- applied;
+      r.r_cursor <- Lsn.next applied
+    | None -> ()
+
+  let attach t ~name ~primary ~standby ~send ~drain =
+    let r =
+      {
+        r_name = name;
+        r_primary = primary;
+        r_standby = standby;
+        r_session = Session.Sender.create ();
+        r_send = send;
+        r_drain = drain;
+        r_applied = Lsn.zero;
+        r_cursor = Lsn.next Lsn.zero;
+        r_attached = true;
+      }
+    in
+    Hashtbl.replace t.replicas name r;
+    hello t r;
+    Instrument.bump t.counters "repl.attached"
+
+  (* Stop shipping to a replica without forgetting it: its applied LSN
+     keeps holding the truncation floor so a later [reattach] only
+     ships the suffix it missed. *)
+  let detach t ~name =
+    match Hashtbl.find_opt t.replicas name with
+    | Some r ->
+      r.r_attached <- false;
+      ignore (Session.Sender.clear r.r_session)
+    | None -> ()
+
+  let reattach t ~name =
+    match Hashtbl.find_opt t.replicas name with
+    | Some r ->
+      (* a new epoch voids any frame of the old session still in flight *)
+      ignore (Session.Sender.new_epoch r.r_session);
+      r.r_attached <- true;
+      hello t r;
+      ship_replica t r
+    | None -> invalid_arg ("Repl.reattach: unknown replica " ^ name)
+
+  (* Remove a replica from the set entirely (promoted or
+     decommissioned): its cursor no longer holds the truncation floor. *)
+  let remove t ~name = Hashtbl.remove t.replicas name
+
+  let replicas_of t ~primary =
+    Hashtbl.fold
+      (fun _ r acc -> if String.equal r.r_primary primary then r :: acc else acc)
+      t.replicas []
+    |> List.sort (fun a b -> String.compare a.r_name b.r_name)
+
+  let replica_names t ~primary =
+    List.map (fun r -> r.r_name) (replicas_of t ~primary)
+
+  let standby_of t ~name =
+    match Hashtbl.find_opt t.replicas name with
+    | Some r -> r.r_standby
+    | None -> invalid_arg ("Repl: unknown replica " ^ name)
+
+  let applied_of t ~name =
+    match Hashtbl.find_opt t.replicas name with
+    | Some r -> r.r_applied
+    | None -> invalid_arg ("Repl: unknown replica " ^ name)
+
+  (* Ship everything stable and pump until every attached replica
+     confirms it — replication parity, used by quiesce and the
+     deployment auditor before comparing replica state. *)
+  let settle t =
+    ship t;
+    let stable = Tc.stable_lsn t.tc in
+    await t (fun () ->
+        Hashtbl.fold
+          (fun _ r acc ->
+            acc && ((not r.r_attached) || Lsn.(r.r_applied >= stable)))
+          t.replicas true)
+
+  let lag t ~name =
+    match Hashtbl.find_opt t.replicas name with
+    | Some r -> Lsn.to_int (Tc.stable_lsn t.tc) - Lsn.to_int r.r_applied
+    | None -> 0
+end

@@ -1,0 +1,146 @@
+(** Log-shipping replication: warm standbys per partition.
+
+    Each partition's primary DC gains K warm standbys fed by continuous
+    redo shipping over the transport's third ([Repl]) channel.  Only
+    {e stable} log records ship — a volatile record can still be
+    disowned by a TC crash, and a standby must never hold effects the
+    TC's log cannot account for.  Shipped batches travel under the same
+    epoch/seq contract sessions as control traffic
+    ({!Untx_msg.Session}); the standby applies them through the DC's
+    normal abstract-LSN idempotence path, so resent batches, duplicated
+    frames and post-promotion redo overlap are all safe.
+
+    On a primary crash the deployment promotes the most-caught-up
+    standby and asks the TC ({!Untx_tc.Tc.on_dc_failover}) to re-drive
+    only the gap between the standby's applied LSN and end-of-stable-log
+    — a small fraction of a cold restart's full redo. *)
+
+type durability =
+  | Primary_only
+      (** Commit acknowledgement waits only for the TC's own log force;
+          standbys catch up asynchronously. *)
+  | Quorum of int
+      (** [Quorum k]: commit acknowledgement additionally waits until at
+          least [k] standbys of every replicated primary (clamped to how
+          many it has) have acknowledged applying the commit's LSN. *)
+
+val pp_durability : Format.formatter -> durability -> unit
+
+val p_ship_batch : string
+(** The ["repl.ship.batch"] fault point, hit once per shipped batch
+    before it is posted — the chaos harness kills the primary here to
+    exercise promotion at every batch boundary. *)
+
+(** A warm standby: a full DC continuously applying the shipped redo
+    stream. *)
+module Standby : sig
+  type t
+
+  val create :
+    ?counters:Untx_util.Instrument.t -> Untx_dc.Dc.config -> part:int -> t
+  (** A standby for a primary whose partition id is [part] (shipped
+      requests are stamped with it, and the DC rejects misrouted
+      frames like any other). *)
+
+  val dc : t -> Untx_dc.Dc.t
+  (** The underlying DC — what promotion installs as the new primary. *)
+
+  val applied : t -> tc:Untx_util.Tc_id.t -> Untx_util.Lsn.t
+  (** Cumulative applied LSN for [tc]'s stream: every stable record at
+      or below it has been applied (or was never shipped: reads, other
+      partitions' records).  Promotion picks the standby maximizing
+      this, and redo after promotion starts just past it. *)
+
+  val handle_repl_frame : t -> string -> string option
+  (** Decode one repl frame, run it through the session contract, apply
+      in-turn ships, and return the encoded [Repl_ack] if one is owed.
+      Wired as the transport's repl handler. *)
+
+  val crash : t -> unit
+  (** Lose all volatile state — DC cache, session state, applied
+      cursors.  After {!recover}, re-shipping from zero is absorbed by
+      the idempotence path. *)
+
+  val recover : t -> unit
+end
+
+(** The TC-side shipping engine: one per TC, managing every replica of
+    every primary that TC fronts. *)
+module Manager : sig
+  type t
+
+  type config = {
+    durability : durability;
+    batch_ops : int;  (** max records per shipped frame *)
+    resend_after : int;
+    resend_backoff_max : int;
+    resend_max_retries : int;
+    max_pump_rounds : int;
+  }
+
+  val default_config : config
+  (** [Primary_only], 32-op batches, resend pacing mirroring the TC's
+      control channel. *)
+
+  val create :
+    ?counters:Untx_util.Instrument.t -> ?cfg:config -> Untx_tc.Tc.t -> t
+  (** Create the manager and install its hooks on the TC: the
+      durability gate (ship + optional quorum wait after every
+      group-commit force) and the truncate floor (checkpoint log
+      truncation never passes the slowest replica's catch-up cursor). *)
+
+  val durability : t -> durability
+
+  val attach :
+    t ->
+    name:string ->
+    primary:string ->
+    standby:Standby.t ->
+    send:(string -> unit) ->
+    drain:(unit -> string list) ->
+    unit
+  (** Register a standby for [primary] and open its session with a
+      hello; the ack carries the standby's exact applied LSN, from
+      which shipping resumes — a rejoining standby catches up from
+      where it left off instead of rebuilding. *)
+
+  val detach : t -> name:string -> unit
+  (** Stop shipping without forgetting the replica: its applied LSN
+      keeps holding the truncation floor so {!reattach} stays cheap. *)
+
+  val reattach : t -> name:string -> unit
+  (** Resume shipping on a new session epoch (any old in-flight frame
+      is void), re-adopting the standby's applied LSN, then ship the
+      missed suffix. *)
+
+  val remove : t -> name:string -> unit
+  (** Forget a replica entirely (promoted or decommissioned). *)
+
+  val ship : t -> unit
+  (** Ship the stable suffix past every attached replica's cursor. *)
+
+  val pump : t -> bool
+  (** One delivery round: drain every replica link, match acks,
+      advance confirmed floors.  [true] if any ack landed. *)
+
+  val settle : t -> unit
+  (** Ship everything stable and pump (with backoff resend) until every
+      attached replica confirms the current end-of-stable-log —
+      replication parity for quiesce and audits. *)
+
+  val replica_names : t -> primary:string -> string list
+
+  val standby_of : t -> name:string -> Standby.t
+
+  val applied_of : t -> name:string -> Untx_util.Lsn.t
+  (** The confirmed (acked) applied floor — may trail the standby's
+      exact {!Standby.applied} if acks are in flight. *)
+
+  val lag : t -> name:string -> int
+  (** End-of-stable-log minus the replica's confirmed applied LSN. *)
+
+  val last_ship_primary : t -> string option
+  (** The primary whose stream was last being shipped — a chaos harness
+      reads this to learn which primary a kill at {!p_ship_batch}
+      belongs to. *)
+end

@@ -7,6 +7,7 @@ module Wal = Untx_wal.Wal
 module Fault = Untx_fault.Fault
 module Op = Untx_msg.Op
 module Wire = Untx_msg.Wire
+module Session = Untx_msg.Session
 
 type cc_protocol = Key_locks | Range_locks of int | Table_locks | Optimistic
 
@@ -54,30 +55,14 @@ type dc_link = {
       (* due (reply frames, control-reply frames) *)
 }
 
-(* An unacknowledged control message: the control-channel analogue of a
-   data [pending], resent with the same backoff machinery.  The encoded
-   frame is cached so every resend puts identical bytes on the wire. *)
-type ctl_pending = {
-  cp_seq : int;
-  cp_frame : string;
-  mutable cp_age : int;
-  mutable cp_backoff : int;
-  mutable cp_retries : int;
-  cp_awaited : bool; (* a caller will consume the reply (checkpoint &c) *)
-}
-
 (* Per-link control-session state wrapped around the kernel-provided
-   link.  [ls_epoch] numbers the control session: it advances whenever
-   either end of the link restarts, so frames from before a crash can
-   never be applied to freshly-reset state.  [ls_next_seq] hands out the
-   unique, densely-increasing control-sequence ids the DC's idempotence
-   table orders by. *)
+   link.  The epoch/seq contract — unique densely-increasing sequence
+   ids under an epoch that advances whenever either end restarts, cached
+   frames resent with backoff — lives in {!Session.Sender}, shared with
+   the replication channel. *)
 type link_state = {
   ls_link : dc_link;
-  mutable ls_epoch : int;
-  mutable ls_next_seq : int;
-  ls_ctl_pending : (int, ctl_pending) Hashtbl.t; (* seq -> *)
-  ls_ctl_replies : (int, Wire.control_reply) Hashtbl.t; (* awaited replies *)
+  ls_ctl : Wire.control_reply Session.Sender.t;
   mutable ls_outstanding : Lsn.Set.t;
       (* requests in flight *to this DC*.  The per-link low-water mark
          derives from this set alone: an operation outstanding at a
@@ -158,6 +143,15 @@ type t = {
   mutable msgs : int;
   mutable resend_count : int;
   mutable unforced_commits : int; (* group commit: commits awaiting a force *)
+  mutable durability_gate : (Lsn.t -> unit) option;
+      (* invoked after every group-commit force with the new stable LSN;
+         a replication manager blocks here until its durability policy
+         (e.g. quorum of standby acks) covers the LSN, so the commit ack
+         below carries replicated durability, not just a local fsync *)
+  mutable truncate_floor : (unit -> Lsn.t option) option;
+      (* extra lower bound on checkpoint log truncation: a replication
+         manager returns the lowest LSN a lagging standby still needs,
+         so catch-up never finds its cursor truncated away *)
 }
 
 let create ?(counters = Instrument.global) cfg =
@@ -181,18 +175,21 @@ let create ?(counters = Instrument.global) cfg =
     msgs = 0;
     resend_count = 0;
     unforced_commits = 0;
+    durability_gate = None;
+    truncate_floor = None;
   }
 
 let id t = t.cfg.id
+
+let set_durability_gate t f = t.durability_gate <- Some f
+
+let set_truncate_floor t f = t.truncate_floor <- Some f
 
 let attach_dc t link =
   Hashtbl.replace t.links link.dc_name
     {
       ls_link = link;
-      ls_epoch = 1;
-      ls_next_seq = 1;
-      ls_ctl_pending = Hashtbl.create 16;
-      ls_ctl_replies = Hashtbl.create 8;
+      ls_ctl = Session.Sender.create ();
       ls_outstanding = Lsn.Set.empty;
       ls_sent_watermarks = None;
     }
@@ -253,38 +250,29 @@ let is_active txn = txn.state = Active
    the reply (checkpoint grants, restart barriers) pass [~awaited:true]
    and collect it with [await_control_reply]. *)
 let post_control ?(awaited = false) t ls ctl =
-  let seq = ls.ls_next_seq in
-  ls.ls_next_seq <- seq + 1;
-  let frame =
-    Wire.encode_control { Wire.c_epoch = ls.ls_epoch; c_seq = seq; c_ctl = ctl }
+  let seq =
+    Session.Sender.post ls.ls_ctl ~awaited ~backoff:t.cfg.resend_after
+      ~encode:(fun ~epoch ~seq ->
+        Wire.encode_control { Wire.c_epoch = epoch; c_seq = seq; c_ctl = ctl })
+      ~send:ls.ls_link.send_control ()
   in
-  Hashtbl.replace ls.ls_ctl_pending seq
-    {
-      cp_seq = seq;
-      cp_frame = frame;
-      cp_age = 0;
-      cp_backoff = t.cfg.resend_after;
-      cp_retries = 0;
-      cp_awaited = awaited;
-    };
   Instrument.bump t.counters "tc.control_sent";
   Instrument.bump_by t.counters "tc.control_unacked" 1;
-  ls.ls_link.send_control frame;
   seq
 
 let broadcast_control t ctl =
   Hashtbl.iter (fun _ ls -> ignore (post_control t ls ctl)) t.links
 
 let control_unacked t =
-  Hashtbl.fold (fun _ ls acc -> acc + Hashtbl.length ls.ls_ctl_pending) t.links 0
+  Hashtbl.fold
+    (fun _ ls acc -> acc + Session.Sender.unacked ls.ls_ctl)
+    t.links 0
 
 (* Drop a link's control-session state (the pendings died with a crash,
    or a new epoch voids them), keeping the unacked gauge honest. *)
 let clear_ctl t ls =
   Instrument.bump_by t.counters "tc.control_unacked"
-    (-Hashtbl.length ls.ls_ctl_pending);
-  Hashtbl.reset ls.ls_ctl_pending;
-  Hashtbl.reset ls.ls_ctl_replies;
+    (-Session.Sender.clear ls.ls_ctl);
   (* The watermark memo is only valid within a session: after a crash on
      either end the DC's view is gone, so the next watermark must travel
      even if its value is unchanged. *)
@@ -294,9 +282,9 @@ let clear_ctl t ls =
    still in flight (either direction) become stale and the DC resets
    its per-TC applied-sequence state on first contact. *)
 let new_epoch t ls =
-  ls.ls_epoch <- ls.ls_epoch + 1;
-  ls.ls_next_seq <- 1;
-  clear_ctl t ls
+  Instrument.bump_by t.counters "tc.control_unacked"
+    (-Session.Sender.new_epoch ls.ls_ctl);
+  ls.ls_sent_watermarks <- None
 
 (* Cap a low-water claim: never past the stable log (pages whose
    abstract LSNs advance beyond it would all look "affected" after a TC
@@ -418,16 +406,14 @@ let handle_reply t (r : Wire.reply) =
    pending and, when a caller awaits it, parks the reply for
    [await_control_reply]. *)
 let handle_control_reply t ls (m : Wire.control_reply_msg) =
-  if m.Wire.r_epoch <> ls.ls_epoch then false
-  else
-    match Hashtbl.find_opt ls.ls_ctl_pending m.Wire.r_seq with
-    | None -> false (* duplicate ack *)
-    | Some cp ->
-      Hashtbl.remove ls.ls_ctl_pending m.Wire.r_seq;
-      Instrument.bump_by t.counters "tc.control_unacked" (-1);
-      if cp.cp_awaited then
-        Hashtbl.replace ls.ls_ctl_replies m.Wire.r_seq m.Wire.r_reply;
-      true
+  if
+    Session.Sender.ack ls.ls_ctl ~epoch:m.Wire.r_epoch ~seq:m.Wire.r_seq
+      m.Wire.r_reply
+  then begin
+    Instrument.bump_by t.counters "tc.control_unacked" (-1);
+    true
+  end
+  else false
 
 let pump t =
   let progressed = ref false in
@@ -491,24 +477,16 @@ let resend_stale t =
      duplicates this creates. *)
   Hashtbl.iter
     (fun _ ls ->
-      Hashtbl.iter
-        (fun _ cp ->
-          cp.cp_age <- cp.cp_age + 1;
-          if cp.cp_age >= cp.cp_backoff then begin
-            if cp.cp_retries >= t.cfg.resend_max_retries then begin
-              Instrument.bump t.counters "tc.control_timeouts";
-              failwith
-                (Printf.sprintf
-                   "Tc: control %d to %s timed out after %d resends" cp.cp_seq
-                   ls.ls_link.dc_name cp.cp_retries)
-            end;
-            cp.cp_age <- 0;
-            cp.cp_retries <- cp.cp_retries + 1;
-            cp.cp_backoff <- Stdlib.min (2 * cp.cp_backoff) t.cfg.resend_backoff_max;
-            Instrument.bump t.counters "tc.control_resends";
-            ls.ls_link.send_control cp.cp_frame
-          end)
-        ls.ls_ctl_pending)
+      Session.Sender.tick ls.ls_ctl ~backoff_max:t.cfg.resend_backoff_max
+        ~max_retries:t.cfg.resend_max_retries
+        ~on_resend:(fun ~seq:_ frame ->
+          Instrument.bump t.counters "tc.control_resends";
+          ls.ls_link.send_control frame)
+        ~on_timeout:(fun ~seq ~retries ->
+          Instrument.bump t.counters "tc.control_timeouts";
+          failwith
+            (Printf.sprintf "Tc: control %d to %s timed out after %d resends"
+               seq ls.ls_link.dc_name retries)))
     t.links
 
 let await t pred =
@@ -534,10 +512,8 @@ let await_reply t lsn =
    with [post_control ~awaited:true]: the grant/ack arrives through the
    pump loop like any other frame. *)
 let await_control_reply t ls seq =
-  await t (fun () -> Hashtbl.mem ls.ls_ctl_replies seq);
-  let r = Hashtbl.find ls.ls_ctl_replies seq in
-  Hashtbl.remove ls.ls_ctl_replies seq;
-  r
+  await t (fun () -> Session.Sender.has_reply ls.ls_ctl seq);
+  Option.get (Session.Sender.take_reply ls.ls_ctl seq)
 
 (* A control barrier: post to every link, then pump until every DC has
    acknowledged.  Posting everywhere before awaiting keeps the round
@@ -1075,7 +1051,14 @@ let rec commit t txn =
         Fault.hit p_commit_before_force;
         Wal.force t.log;
         Fault.hit p_commit_after_force;
-        send_eosl t
+        send_eosl t;
+        (* Replicated durability: the gate ships the freshly-stable
+           suffix and blocks until the policy's quorum of standby acks
+           covers it, so the `Ok below means what the deployment's
+           durability policy promises. *)
+        match t.durability_gate with
+        | Some gate -> gate (Wal.stable_lsn t.log)
+        | None -> ()
       end;
       (try
          List.iter
@@ -1169,7 +1152,19 @@ let checkpoint t =
             if txn.state = Active then Lsn.min acc txn.first_lsn else acc)
           t.txns target
       in
-      Wal.truncate t.log (Lsn.min target oldest_active);
+      let cut = Lsn.min target oldest_active in
+      (* A lagging standby's catch-up reads the stable log from its
+         applied cursor; truncation must never outrun the slowest
+         replica or rejoin would need a full rebuild. *)
+      let cut =
+        match t.truncate_floor with
+        | Some floor -> (
+          match floor () with
+          | Some fl -> Lsn.min cut fl
+          | None -> cut)
+        | None -> cut
+      in
+      Wal.truncate t.log cut;
       Instrument.bump t.counters "tc.checkpoints";
       true
     end
@@ -1328,15 +1323,23 @@ let recover t =
   broadcast_sync t (Wire.Restart_end { tc = t.cfg.id });
   Instrument.bump t.counters "tc.recoveries"
 
-let on_dc_restart t ~dc =
+let on_dc_restart ?(from = Lsn.zero) t ~dc =
   (* The DC rebuilt itself from stable state; every logged operation from
      the redo scan start point may be missing there.  Resend them (the
-     DC's idempotence test absorbs the ones it still has). *)
+     DC's idempotence test absorbs the ones it still has).
+
+     [from] narrows the scan for failover to a promoted standby: the
+     standby applied the shipped stream through [from - 1], so only the
+     gap between its applied LSN and end-of-stable-log needs re-driving.
+     The fence/cap ordering below is identical either way — this is
+     exactly the watermark race of the cold-restart path, and the
+     promoted replica must not reintroduce it. *)
   let ls =
     match Hashtbl.find_opt t.links dc with
     | Some ls -> ls
     | None -> invalid_arg ("Tc.on_dc_restart: unknown DC " ^ dc)
   in
+  let start = Lsn.max t.rssp from in
   (* Control messages from before the crash (and their replies) are
      gone; open a fresh session so stragglers in flight cannot reach
      the rebuilt DC's state. *)
@@ -1375,14 +1378,38 @@ let on_dc_restart t ~dc =
      push.  Uncapped, that watermark claims every acknowledged LSN —
      including operations the rebuilt DC lost with its cache — and the
      DC, whose pages came back with empty abstract LSNs, would compact
-     them to the claim and absorb the entire redo stream as duplicates. *)
-  t.lwm_cap <- Some (Lsn.prev t.rssp);
+     them to the claim and absorb the entire redo stream as duplicates.
+     (For a promoted standby the cap sits at its applied LSN: the ship
+     stream put every earlier effect there, so claims below it are
+     covered by real state.) *)
+  t.lwm_cap <- Some (Lsn.prev start);
   (* Both fences are barriers: the begin must be applied before any redo
      frame, the end before fresh traffic resumes. *)
   ignore
     (await_control_reply t ls
        (post_control ~awaited:true t ls (Wire.Redo_fence_begin { tc = t.cfg.id })));
-  Wal.iter_from t.log t.rssp resend;
+  (* Fenced pendings below the scan start were already applied by the
+     promoted standby (they are stable, hence shipped).  Their replies
+     died with the primary, so re-dispatch each in LSN order first: the
+     standby absorbs the duplicate and re-answers from its memo. *)
+  let early =
+    Hashtbl.fold
+      (fun _ p acc ->
+        if
+          p.p_fenced
+          && Lsn.(p.p_req.Wire.lsn < start)
+          && (match Wal.find t.log p.p_req.Wire.lsn with
+             | Some (Log_record.Op_log _ | Log_record.Compensation _) -> true
+             | _ -> false)
+        then p :: acc
+        else acc)
+      t.pendings []
+    |> List.sort (fun a b -> Lsn.compare a.p_req.Wire.lsn b.p_req.Wire.lsn)
+  in
+  List.iter
+    (fun p -> resend_logged ?xid:p.p_xid t p.p_req.Wire.lsn p.p_req.Wire.op)
+    early;
+  Wal.iter_from t.log start resend;
   Wal.iter_volatile t.log resend;
   ignore
     (await_control_reply t ls
@@ -1408,6 +1435,11 @@ let on_dc_restart t ~dc =
         | None -> ())
       | None -> ())
     dead
+
+(* Failover: the link's DC is now a promoted standby that applied the
+   shipped stream through [from - 1].  Same fence/cap protocol, redo
+   narrowed to the gap. *)
+let on_dc_failover t ~dc ~from = on_dc_restart ~from t ~dc
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)
@@ -1443,5 +1475,20 @@ let iter_stable_ops t f =
       | Log_record.Op_log { op; _ } | Log_record.Compensation { op; _ } ->
         f lsn op
       | _ -> ())
+
+(* The log-shipping read path: logged operations of the stable log from
+   an arbitrary cursor.  Only stable records ship — a volatile record
+   can still be lost by a TC crash, and a standby must never hold
+   effects the TC's log cannot account for. *)
+let iter_stable_ops_from t ~from f =
+  Wal.iter_from t.log from (fun lsn record ->
+      match record with
+      | Log_record.Op_log { op; _ } | Log_record.Compensation { op; _ } ->
+        f lsn op
+      | _ -> ())
+
+let force_log t =
+  Wal.force t.log;
+  send_eosl t
 
 let dump_locks t = Lock_mgr.dump t.locks

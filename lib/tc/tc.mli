@@ -174,9 +174,35 @@ val recover : t -> unit
     start point (repeating history), then roll back loser transactions
     and finish interrupted version cleanup. *)
 
-val on_dc_restart : t -> dc:string -> unit
+val on_dc_restart : ?from:Untx_util.Lsn.t -> t -> dc:string -> unit
 (** A DC lost its cache (Section 5.3.2 DC failure): resend logged
-    operations from the redo-scan start point to that DC. *)
+    operations from the redo-scan start point to that DC.  [from]
+    (default [Lsn.zero]) raises the scan start — see
+    {!on_dc_failover}. *)
+
+val on_dc_failover : t -> dc:string -> from:Untx_util.Lsn.t -> unit
+(** The named link now fronts a promoted standby that applied the
+    shipped log through [from - 1]: run the same redo-fence protocol as
+    {!on_dc_restart} (including its cursor-cap ordering, which a
+    watermark pushed mid-barrier must not race), but re-drive only the
+    gap from [from] to end-of-stable-log.  In-flight requests below
+    [from] are re-dispatched inside the fence so the standby re-answers
+    them from its idempotence memo. *)
+
+val set_durability_gate : t -> (Untx_util.Lsn.t -> unit) -> unit
+(** Install a hook invoked after every group-commit force with the new
+    stable LSN, before the commit acknowledgement is returned.  A
+    replication manager blocks in it until its durability policy
+    (e.g. a quorum of standby acks) covers the LSN. *)
+
+val set_truncate_floor : t -> (unit -> Untx_util.Lsn.t option) -> unit
+(** Install an extra lower bound on checkpoint log truncation: return
+    the lowest LSN still needed (e.g. by a lagging standby's catch-up
+    cursor), or [None] for no constraint. *)
+
+val force_log : t -> unit
+(** Force the log and push the resulting end-of-stable-log — makes the
+    whole volatile tail shippable (replication parity checks). *)
 
 (** {2 Introspection} *)
 
@@ -205,6 +231,17 @@ val iter_stable_ops :
 (** Visit every operation in the stable log from the redo scan start
     point, in LSN order — the exact suffix recovery would resend.  The
     post-recovery auditor re-delivers it to prove idempotence. *)
+
+val iter_stable_ops_from :
+  t ->
+  from:Untx_util.Lsn.t ->
+  (Untx_util.Lsn.t -> Untx_msg.Op.t -> unit) ->
+  unit
+(** Visit the stable log's logged operations from an arbitrary cursor,
+    in LSN order — the log-shipping read path.  Allocation-light: seeks
+    to the cursor instead of scanning the whole log.  Volatile records
+    are never visited (a standby must not hold effects a TC crash could
+    disown). *)
 
 val dc_of_op : t -> Untx_msg.Op.t -> string
 (** The DC this operation routes to under the current table maps — the

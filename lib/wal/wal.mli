@@ -59,7 +59,11 @@ val truncate : 'a t -> Untx_util.Lsn.t -> unit
 
 val iter_from :
   'a t -> Untx_util.Lsn.t -> (Untx_util.Lsn.t -> 'a -> unit) -> unit
-(** Visit stable records with LSN >= the argument, in LSN order. *)
+(** Visit stable records with LSN >= the argument, in LSN order.
+    Allocation-light: seeks to the start point and walks only the tail
+    (O(log n + visited)), so continuous log shipping can re-read the
+    suffix past a replica's cursor on every pump without copying or
+    rescanning the whole log. *)
 
 val iter_volatile : 'a t -> (Untx_util.Lsn.t -> 'a -> unit) -> unit
 (** Visit unforced records, in LSN order (normal-execution bookkeeping

@@ -1,0 +1,149 @@
+(* Replication properties: log-prefix determinism of promotion, plus
+   replicated chaos acceptance cycles (primary killed at shipped-batch
+   boundaries mid-workload, audit must come back clean). *)
+
+module Deploy = Untx_cloud.Deploy
+module Repl = Untx_repl.Repl
+module Chaos = Untx_audit.Chaos
+module Tc = Untx_tc.Tc
+module Dc = Untx_dc.Dc
+module Tc_id = Untx_util.Tc_id
+module Fault = Untx_fault.Fault
+
+let test prop = QCheck_alcotest.to_alcotest prop
+
+(* --- log-prefix determinism ------------------------------------------- *)
+
+(* Promoting a standby frozen after ANY prefix of the shipped stream,
+   then re-driving the gap from the TC's stable log, must land on
+   exactly the state the primary had — byte-for-byte over every table
+   dump.  The prefix length and the workload are both generator-chosen,
+   so this sweeps arbitrary promotion points, not just batch edges. *)
+
+type scenario = { ops : (int * string) list; cut : int }
+(* ops: (key-index, value) writes, one committed txn each; cut: how many
+   run before the standby is frozen at its then-current prefix. *)
+
+let scenario_gen =
+  QCheck.Gen.(
+    let* n = int_range 4 28 in
+    let* cut = int_range 0 n in
+    let* vals = list_repeat n (int_bound 999) in
+    let ops = List.mapi (fun i v -> (i mod 9, Printf.sprintf "v%d.%d" i v)) vals in
+    return { ops; cut })
+
+let scenario_arb =
+  QCheck.make
+    ~print:(fun s ->
+      Printf.sprintf "cut=%d ops=[%s]" s.cut
+        (String.concat ";"
+           (List.map (fun (k, v) -> Printf.sprintf "k%d=%s" k v) s.ops)))
+    scenario_gen
+
+let commit_one tc ~key ~value =
+  let txn = Tc.begin_txn tc in
+  (match Tc.update tc txn ~table:"t" ~key ~value with
+  | `Ok () -> ()
+  | `Blocked -> failwith "blocked"
+  | `Fail _ -> (
+    match Tc.insert tc txn ~table:"t" ~key ~value with
+    | `Ok () -> ()
+    | `Blocked | `Fail _ -> failwith "insert failed"));
+  match Tc.commit tc txn with
+  | `Ok () -> ()
+  | `Blocked | `Fail _ -> failwith "commit failed"
+
+let dump_all dc =
+  List.map (fun tbl -> (tbl, Dc.dump_table dc tbl)) (Dc.table_names dc)
+
+let prop_promotion_prefix_deterministic =
+  QCheck.Test.make ~count:40 ~name:"promotion from any prefix is deterministic"
+    scenario_arb (fun s ->
+      let d = Deploy.create () in
+      let tc =
+        Deploy.add_tc d ~name:"tc1" (Tc.default_config (Tc_id.of_int 1))
+      in
+      ignore (Deploy.add_dc d ~name:"dc0" Dc.default_config);
+      Deploy.add_partitioned_table d ~replicas:1 ~name:"t" ~versioned:false
+        ~dcs:[ "dc0" ] ();
+      let m = Deploy.manager d ~tc:"tc1" in
+      let sbn = List.hd (Deploy.replicas d ~dc:"dc0") in
+      let run (k, v) = commit_one tc ~key:(Printf.sprintf "k%d" k) ~value:v in
+      let before, after =
+        List.filteri (fun i _ -> i < s.cut) s.ops,
+        List.filteri (fun i _ -> i >= s.cut) s.ops
+      in
+      List.iter run before;
+      Deploy.quiesce d;
+      (* freeze the standby at whatever prefix shipping had reached *)
+      Repl.Manager.detach m ~name:sbn;
+      List.iter run after;
+      Deploy.quiesce d;
+      let primary_state = dump_all (Deploy.dc d "dc0") in
+      (* primary "dies"; the frozen-prefix standby is the only candidate *)
+      Deploy.fail_over d ~dc:"dc0";
+      let promoted_state = dump_all (Deploy.dc d "dc0") in
+      if promoted_state <> primary_state then
+        QCheck.Test.fail_report
+          "promoted state diverges from the dead primary's";
+      (* the promoted DC keeps serving: one more commit round-trips *)
+      commit_one tc ~key:"post" ~value:"alive";
+      Tc.read_committed tc ~table:"t" ~key:"post" = Some "alive")
+
+(* --- replicated chaos acceptance -------------------------------------- *)
+
+let run_clean ~label ~plan ~seed ~durability =
+  let c =
+    Chaos.run_cycle_replicated ~label ~plan ~seed ~txns:18 ~parts:2
+      ~replicas:2 ~durability ()
+  in
+  Alcotest.(check (list string)) (label ^ " audit clean") []
+    c.Chaos.c_violations;
+  c
+
+let test_promotion_cycle_clean () =
+  let c =
+    run_clean ~label:"kill primary at 3rd shipped batch"
+      ~plan:[ Fault.crash_at Repl.p_ship_batch 3 ]
+      ~seed:0x5EED ~durability:Repl.Primary_only
+  in
+  Alcotest.(check bool) "the kill actually fired" true
+    (List.mem Repl.p_ship_batch c.Chaos.c_fired)
+
+let test_promotion_cycle_quorum_clean () =
+  (* The acceptance scenario from the issue: mid-workload primary kill
+     under Quorum 1 — promotion must preserve every acked commit. *)
+  let c =
+    run_clean ~label:"quorum-1 primary kill mid-workload"
+      ~plan:[ Fault.crash_at Repl.p_ship_batch 5 ]
+      ~seed:0xB0B ~durability:(Repl.Quorum 1)
+  in
+  Alcotest.(check bool) "promotion happened" true
+    (match List.assoc_opt "repl.promotions" c.Chaos.c_counters with
+    | Some n -> n > 0
+    | None -> false)
+
+let test_double_promotion_clean () =
+  ignore
+    (run_clean ~label:"two promotions in one cycle"
+       ~plan:[ Fault.crash_at Repl.p_ship_batch 2 ]
+       ~seed:0xACE ~durability:(Repl.Quorum 1));
+  ignore
+    (run_clean ~label:"promotion then cold DC kill"
+       ~plan:
+         [
+           Fault.crash_at Repl.p_ship_batch 3;
+           Fault.crash_at "dc.flush.after_page_write" 2;
+         ]
+       ~seed:0xD1CE ~durability:Repl.Primary_only)
+
+let suite =
+  [
+    test prop_promotion_prefix_deterministic;
+    Alcotest.test_case "chaos: promotion cycle clean" `Quick
+      test_promotion_cycle_clean;
+    Alcotest.test_case "chaos: quorum-1 mid-workload kill clean" `Quick
+      test_promotion_cycle_quorum_clean;
+    Alcotest.test_case "chaos: promotion combos clean" `Quick
+      test_double_promotion_clean;
+  ]

@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "untx-repl"
+    [
+      ("session", Suite_session.suite);
+      ("repl", Suite_repl.suite);
+      ("props_repl", Props_repl.suite);
+    ]
