@@ -207,16 +207,79 @@ let run_soak_replicated ~seeds_per_plan () =
     "E11 replicated ok: %d cycles, %d kills, %d promotions, 0 violations\n"
     s.Chaos.s_cycles s.Chaos.s_crashes promotions
 
+(* The detach soak: every cycle detaches dc0's sole standby a quarter
+   in, lands a granted checkpoint past its frozen cursor mid-workload
+   (burning its retention lease), and promotes it at the three-quarter
+   mark.  The promotion must catch the laggard up from the retained log
+   — or, under the forced-lease-expiry plan, refuse and cold-restart.
+   Either way the auditor must find every acked commit. *)
+let run_soak_detach ~seeds_per_plan () =
+  let parts = 2 and replicas = 1 in
+  let cycles, s = Chaos.soak_detach ~seeds_per_plan ~parts ~replicas () in
+  Bench_util.print_table
+    ~title:
+      (Printf.sprintf
+         "E11: detach/checkpoint/promote soak (1 TC x %d DCs x %d standby), \
+          fires per point"
+         parts replicas)
+    ~header:[ "fault point"; "fires" ]
+    (List.map
+       (fun (p, n) -> [ p; string_of_int n ])
+       s.Chaos.s_fires_by_point);
+  let counter name =
+    Option.value ~default:0 (List.assoc_opt name s.Chaos.s_counters)
+  in
+  let promotions = counter "repl.promotions"
+  and refusals = counter "repl.promote_refusals"
+  and catchup_ops = counter "repl.catchup_ops"
+  and expirations = counter "repl.lease_expirations" in
+  Bench_util.print_table ~title:"E11: detach soak summary"
+    ~header:[ "metric"; "value" ]
+    [
+      [ "cycles"; string_of_int s.Chaos.s_cycles ];
+      [ "injected hard kills"; string_of_int s.Chaos.s_crashes ];
+      [ "laggard promotions"; string_of_int promotions ];
+      [ "promotions refused (cold restart instead)"; string_of_int refusals ];
+      [ "catch-up ops re-shipped at promotion"; string_of_int catchup_ops ];
+      [ "retention leases expired"; string_of_int expirations ];
+      [ "auditor violations"; string_of_int (List.length s.Chaos.s_violating) ];
+    ];
+  print_cycle_failures cycles;
+  let problems =
+    List.filter_map
+      (fun (ok, msg) -> if ok then None else Some msg)
+      [
+        (s.Chaos.s_violating = [], "detach-soak auditor violations");
+        (promotions >= 1, "no laggard was ever promoted");
+        (catchup_ops >= 1, "promotion never had to catch a laggard up");
+        ( List.mem_assoc "repl.lease.expire" s.Chaos.s_fires_by_point,
+          "no forced lease expiry fired" );
+        (refusals >= 1, "forced lease expiry never produced a refusal");
+        (expirations >= 1, "no retention lease ever expired");
+      ]
+  in
+  if problems <> [] then begin
+    List.iter (fun m -> Printf.printf "E11 FAILED: %s\n" m) problems;
+    exit 1
+  end;
+  Printf.printf
+    "E11 detach ok: %d cycles, %d promotions (%d catch-up ops), %d refusals, \
+     0 violations\n"
+    s.Chaos.s_cycles promotions catchup_ops refusals
+
 let run () =
   run_soak ~seeds_per_plan:7 ();
   run_soak_partitioned ~seeds_per_plan:7 ();
-  run_soak_replicated ~seeds_per_plan:5 ()
+  run_soak_replicated ~seeds_per_plan:5 ();
+  run_soak_detach ~seeds_per_plan:4 ()
 
 (* Short fixed-seed soak for the @chaos dune alias (which @ci includes):
    single-kernel plans at one seed each, plus the multi-DC soak at four
    seeds per plan — at least 50 partitioned cycles on every CI run —
-   plus primary-kill + promotion cycles over the replicated plans. *)
+   plus primary-kill + promotion cycles over the replicated plans and
+   detach/checkpoint/promote cycles over the lease plans. *)
 let run_short () =
   run_soak ~seeds_per_plan:1 ();
   run_soak_partitioned ~seeds_per_plan:4 ();
-  run_soak_replicated ~seeds_per_plan:3 ()
+  run_soak_replicated ~seeds_per_plan:3 ();
+  run_soak_detach ~seeds_per_plan:2 ()

@@ -1,7 +1,7 @@
 (* E12 — warm-standby replication: what failover buys and what the
    durability gate costs.
 
-   Three measurements over 1-TC x 2-partition deployments where every
+   Four measurements over 1-TC x 2-partition deployments where every
    partition has warm standbys fed by continuous redo shipping:
 
    1. Losing a primary, two ways.  Cold path: crash + rebuild from
@@ -19,7 +19,15 @@
    3. The price of [Quorum k] durability: per-commit latency when the
       group-commit force additionally waits for k standby acks per
       replicated primary, vs [Primary_only] where standbys trail
-      asynchronously. *)
+      asynchronously.
+
+   4. The catch-up price of promoting a detached laggard: the standby
+      freezes a fifth of the way in, a granted checkpoint advances the
+      redo-scan start point past its cursor, and [Deploy.fail_over]
+      must first re-ship the retained suffix before installing it.
+      Measured beside a caught-up promotion and a cold restart of the
+      same workload — the ordering cold >> catch-up > caught-up is the
+      expected shape, with zero loss in every column. *)
 
 module Deploy = Untx_cloud.Deploy
 module Repl = Untx_repl.Repl
@@ -214,10 +222,95 @@ let run_gate_cost () =
     ~header:[ "durability"; "replicas"; "total ms"; "us/txn"; "batches shipped" ]
     rows
 
+(* --- 4: promoting a laggard — the catch-up price ---------------------- *)
+
+let run_catchup_promotion () =
+  let rows =
+    List.map
+      (fun n ->
+        (* cold restart of the same shape, replicas = 1 throughout so the
+           three columns compare like for like *)
+        let cold_d, cold_tc = make_deploy ~replicas:1 () in
+        workload cold_tc n;
+        let (), cold_s =
+          Bench_util.time (fun () -> Deploy.crash_dc cold_d "dc0")
+        in
+        workload cold_tc 5;
+
+        (* caught-up standby: shipping has confirmed end-of-stable-log,
+           so promotion re-drives at most one batch *)
+        let warm_d, warm_tc = make_deploy ~replicas:1 () in
+        workload warm_tc n;
+        let (), warm_s =
+          Bench_util.time (fun () -> Deploy.fail_over warm_d ~dc:"dc0")
+        in
+        workload warm_tc 5;
+
+        (* detached laggard: frozen a fifth of the way in, a granted
+           checkpoint advances the redo-scan start point past its
+           cursor, and promotion must first re-ship the retained
+           suffix — the repro_gap shape, timed *)
+        let lag_c = Instrument.create () in
+        let lag_d, lag_tc = make_deploy ~counters:lag_c ~replicas:1 () in
+        let m = Deploy.manager lag_d ~tc:"tc1" in
+        workload lag_tc (n / 5);
+        Deploy.quiesce lag_d;
+        let sbn = List.hd (Deploy.replicas lag_d ~dc:"dc0") in
+        Repl.Manager.detach m ~name:sbn;
+        for i = n / 5 to n - 1 do
+          commit_one lag_tc
+            ~key:(Printf.sprintf "k%03d" (i mod 200))
+            ~value:(Printf.sprintf "v%d" i)
+        done;
+        Deploy.quiesce lag_d;
+        let rec grant tries =
+          if (not (Tc.checkpoint lag_tc)) && tries > 0 then begin
+            Deploy.quiesce lag_d;
+            List.iter
+              (fun dc -> Dc.flush_all (Deploy.dc lag_d dc))
+              [ "dc0"; "dc1" ];
+            grant (tries - 1)
+          end
+        in
+        grant 4;
+        let (), lag_s =
+          Bench_util.time (fun () -> Deploy.fail_over lag_d ~dc:"dc0")
+        in
+        let catchup = Instrument.get lag_c "repl.catchup_ops" in
+        (* durability spot-check: the last write before the kill survives
+           the laggard promotion *)
+        let key = Printf.sprintf "k%03d" ((n - 1) mod 200) in
+        (match Tc.read_committed lag_tc ~table ~key with
+        | Some v when String.equal v (Printf.sprintf "v%d" (n - 1)) -> ()
+        | _ ->
+          Printf.printf "E12 FAILED: %s lost across catch-up promotion\n" key;
+          exit 1);
+        if catchup = 0 then begin
+          Printf.printf
+            "E12 FAILED: laggard promotion at %d txns re-shipped nothing\n" n;
+          exit 1
+        end;
+        workload lag_tc 5;
+        [
+          string_of_int n;
+          Printf.sprintf "%.2f" (cold_s *. 1e3);
+          Printf.sprintf "%.2f" (warm_s *. 1e3);
+          Printf.sprintf "%.2f" (lag_s *. 1e3);
+          string_of_int catchup;
+        ])
+      [ 100; 300; 600 ]
+  in
+  Bench_util.print_table
+    ~title:"E12: promoting a detached laggard — the catch-up price"
+    ~header:
+      [ "txns"; "cold ms"; "caught-up ms"; "catch-up ms"; "catch-up ops" ]
+    rows
+
 let run () =
   let speedups = run_loss_comparison () in
   run_lag ();
   run_gate_cost ();
+  run_catchup_promotion ();
   (* acceptance: promotion must beat cold restart-redo clearly on the
      largest workload, where redo volume dominates fixed costs *)
   let last = List.nth speedups (List.length speedups - 1) in

@@ -367,7 +367,11 @@ let crash_tc t name =
    every session on a fresh epoch.  Its volatile applied cursors are
    gone, so the hello re-adopts zero and the whole stable stream is
    re-shipped — the abstract-LSN idempotence path absorbs everything
-   its stable pages already contain. *)
+   its stable pages already contain.  When checkpoint truncation has
+   passed the rejoin cursor that re-ship is impossible; the manager
+   demotes the replica to rebuild-required and it stays crashed-out of
+   the replica set (an already rebuild-required replica skips the
+   rejoin entirely). *)
 let crash_standby t name =
   let e =
     match Hashtbl.find_opt t.standbys name with
@@ -386,23 +390,66 @@ let crash_standby t name =
      raise ex);
   Hashtbl.iter
     (fun _ m ->
-      if List.mem name (Repl.Manager.replica_names m ~primary:e.sb_primary)
+      if
+        List.mem name (Repl.Manager.replica_names m ~primary:e.sb_primary)
+        && Repl.Manager.state_of m ~name <> Repl.Manager.Rebuild_required
       then Repl.Manager.reattach m ~name)
     t.managers
 
-(* Promote the most-caught-up standby in place of a dead primary
-   (Section 5.3.2 taken one step further: instead of rebuilding the
-   crashed DC's cache by redoing from the redo-scan start point, a warm
-   standby already holds the shipped prefix and only the gap to
-   end-of-stable-log is re-driven). *)
-let fail_over t ~dc:dc_name =
+exception Promotion_refused of string
+
+(* A candidate is promotable only if EVERY TC's manager can prove its
+   acked history reconstructible from its retained log — one TC with a
+   truncated suffix is one hole too many. *)
+let promotion_eligible t name =
+  Hashtbl.fold
+    (fun _ m acc -> acc && Repl.Manager.promotion_eligible m ~name)
+    t.managers true
+
+let attached_replicas t ~dc =
+  List.filter
+    (fun name ->
+      Hashtbl.fold
+        (fun _ m acc ->
+          acc && Repl.Manager.state_of m ~name = Repl.Manager.Attached)
+        t.managers true)
+    (replicas t ~dc)
+
+(* Promote the most-caught-up *eligible* standby in place of a dead
+   primary (Section 5.3.2 taken one step further: instead of rebuilding
+   the crashed DC's cache by redoing from the redo-scan start point, a
+   warm standby already holds the shipped prefix and only the gap to
+   end-of-stable-log is re-driven).  Three defenses keep the promotion
+   durability-preserving:
+
+   - candidates whose missed suffix the log no longer retains are
+     refused ({!Promotion_refused}) — never silently promoted with a
+     hole where acked commits used to be;
+   - the chosen laggard is caught up from the retained log BEFORE being
+     installed (skippable with [~catch_up:false], which leans entirely
+     on the TC's redo-below-rssp path instead);
+   - the TC's failover redo may start below the redo-scan start point
+     when the retained suffix covers it (Tc.on_dc_failover). *)
+let fail_over ?(catch_up = true) t ~dc:dc_name =
   let t0 = Metrics.start t.counters in
   drop_in_flight_for t ~dc_name;
   let candidates = replicas t ~dc:dc_name in
   if candidates = [] then
     invalid_arg ("Deploy.fail_over: no standby for " ^ dc_name);
-  (* rank by exactly-applied LSNs (not the ack floor — acks may be in
-     flight), summed across TCs *)
+  let eligible = List.filter (promotion_eligible t) candidates in
+  if eligible = [] then begin
+    Instrument.bump t.counters "repl.promote_refusals";
+    Trace.record ~tid:0 ~comp:"repl" ~ev:"refuse"
+      [ ("dc", dc_name); ("candidates", string_of_int (List.length candidates)) ];
+    raise
+      (Promotion_refused
+         (Printf.sprintf
+            "Deploy.fail_over: no eligible standby for %s (%d candidate(s) \
+             cannot prove their acked history retained)"
+            dc_name (List.length candidates)))
+  end;
+  (* among the eligible, rank by exactly-applied LSNs (not the ack
+     floor — acks may be in flight), summed across TCs *)
   let caught_up name =
     let sb = (Hashtbl.find t.standbys name).sb_standby in
     Hashtbl.fold
@@ -415,10 +462,15 @@ let fail_over t ~dc:dc_name =
         match best with
         | Some (_, b) when b >= caught_up name -> best
         | _ -> Some (name, caught_up name))
-      None candidates
+      None eligible
     |> Option.get |> fst
   in
   let sb = (Hashtbl.find t.standbys chosen).sb_standby in
+  (* defense 3: re-ship the retained suffix to the chosen laggard while
+     it is still a replica, so it is promoted caught-up and the TC redo
+     below shrinks to the (usually empty) post-catch-up gap *)
+  if catch_up then
+    Hashtbl.iter (fun _ m -> Repl.Manager.catch_up m ~name:chosen) t.managers;
   (* the promoted replica leaves the replica set: it no longer holds
      the truncation floor, and its repl links die with its old role *)
   Hashtbl.iter (fun _ m -> Repl.Manager.remove m ~name:chosen) t.managers;

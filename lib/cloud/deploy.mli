@@ -108,14 +108,38 @@ val settle_replicas : t -> unit
 val crash_standby : t -> string -> unit
 (** Crash + recover one standby, then reattach it on a fresh session
     epoch: its applied cursors are volatile, so the whole stable stream
-    re-ships and the idempotence path absorbs what survived. *)
+    re-ships and the idempotence path absorbs what survived.  If
+    checkpoint truncation already passed the rejoin cursor the re-ship
+    is impossible: the manager demotes the replica to rebuild-required
+    and it stays out of the replica set.  An already rebuild-required
+    replica just crashes without the rejoin. *)
 
-val fail_over : t -> dc:string -> unit
-(** The primary died: promote its most-caught-up standby (exact applied
-    LSNs, summed across TCs), install it under the primary's name,
-    re-link every TC, and re-drive only the gap from the standby's
-    applied LSN to end-of-stable-log ({!Untx_tc.Tc.on_dc_failover}).
-    Counted as ["repl.promotions"]; timed as ["repl.promote_ns"]. *)
+val attached_replicas : t -> dc:string -> string list
+(** The subset of {!replicas} attached in every manager — the ones
+    actively shadowing the primary.  Detached and rebuild-required
+    replicas legitimately trail it (parity audits skip them). *)
+
+exception Promotion_refused of string
+(** {!fail_over} found candidates but none whose acked history is
+    provably reconstructible from the retained log.  Refusal is the
+    durability-preserving outcome: the operator falls back to a cold
+    restart of the primary ({!crash_dc}) instead of losing commits.
+    Counted as ["repl.promote_refusals"]. *)
+
+val fail_over : ?catch_up:bool -> t -> dc:string -> unit
+(** The primary died: promote its most-caught-up {e eligible} standby
+    (exact applied LSNs, summed across TCs; eligibility per
+    {!Untx_repl.Repl.Manager.promotion_eligible} in every manager),
+    install it under the primary's name, re-link every TC, and re-drive
+    only the gap from the standby's applied LSN to end-of-stable-log
+    ({!Untx_tc.Tc.on_dc_failover}).  With [catch_up] (default [true])
+    the chosen laggard is first caught up from the retained stable log
+    while still a replica, so the TC redo shrinks to the post-catch-up
+    gap; [~catch_up:false] promotes it frozen and leans entirely on the
+    TC's redo — which may legally start below the redo-scan start point
+    when the suffix is retained.  Raises {!Promotion_refused} when no
+    candidate is eligible.  Counted as ["repl.promotions"]; timed as
+    ["repl.promote_ns"]. *)
 
 val crash_for_point : t -> point:string -> tc:string -> dc:string -> unit
 (** Kill whichever component owns the fault point (see

@@ -176,6 +176,10 @@ let logical_rows rows =
     (fun (key, (r : Stored_record.t)) ->
       (key, { r with Stored_record.wlsn = Untx_util.Lsn.zero }))
     rows
+(* Parity is only owed by *attached* replicas: a detached one is frozen
+   at its leased cursor by design, and a rebuild-required one has
+   honestly declared it cannot reconstruct the suffix — both
+   legitimately trail the primary until reattach/rebuild. *)
 let check_replicas d errs =
   let replicated =
     List.filter (fun dcn -> Deploy.replicas d ~dc:dcn <> []) (Deploy.dc_names d)
@@ -201,7 +205,7 @@ let check_replicas d errs =
                       "replica: %s diverges from %s on table %s" sbn dcn tbl
                     :: !errs)
               (Dc.table_names primary))
-          (Deploy.replicas d ~dc:dcn))
+          (Deploy.attached_replicas d ~dc:dcn))
       replicated
   end
 

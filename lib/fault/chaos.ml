@@ -563,16 +563,24 @@ let make_deploy_replicated ~counters ~seed ~parts ~replicas ~durability =
 (* The replicated twin of [run_cycle_partitioned].  One fault is special
    here: a kill at the ["repl.ship.batch"] boundary means the PRIMARY
    being shipped from died at that instant — the harness answers with
-   {!Deploy.fail_over} (promote the most-caught-up standby, re-drive
-   only the gap) instead of a cold crash+restart.
+   {!Deploy.fail_over} (promote the most-caught-up eligible standby,
+   re-drive only the gap) instead of a cold crash+restart.  When the
+   gate refuses every candidate ({!Deploy.Promotion_refused} — e.g. the
+   only standby went rebuild-required after a lease expiry or a
+   post-truncation crash) the harness does what an operator would:
+   cold-restart the primary, trading availability for zero loss.
    [Kernel.component_of_point] would misclassify the point as an
    ordinary DC fault, so it is intercepted before the generic dispatch.
    All other faults take the usual routes, including DC points that
    fire {e inside a standby's apply} — those crash the standby itself
    ([Deploy.crash_for_point] resolves the component via the attributed
-   handler), which then rejoins from its stable state. *)
-let run_cycle_replicated ?(keep_trace = false) ~label ~plan ~seed ~txns ~parts
-    ~replicas ~durability () =
+   handler), which then rejoins from its stable state.
+
+   [maintain ~i d tc ~handle ~promote] runs before iteration [i] of the
+   workload: the stock replicated cycle checkpoints at the midpoint,
+   the detach cycle interleaves detach → checkpoint → promote. *)
+let run_cycle_repl_core ?(keep_trace = false) ~label ~plan ~seed ~txns ~parts
+    ~replicas ~durability ~maintain () =
   Fault.disarm ();
   let was_tracing = Trace.enabled () in
   Trace.clear ();
@@ -584,6 +592,20 @@ let run_cycle_replicated ?(keep_trace = false) ~label ~plan ~seed ~txns ~parts
   let default_dc = List.hd (Deploy.partitions d ~table) in
   let oracle : (string, string option) Hashtbl.t = Hashtbl.create 128 in
   let crashes = ref 0 and committed = ref 0 in
+  let promote primary =
+    try Deploy.fail_over d ~dc:primary with
+    | Deploy.Promotion_refused _ -> (
+      (* honest refusal: fall back to a cold restart of the primary —
+         slower, but every acked commit survives *)
+      try Deploy.crash_dc d primary
+      with Fault.Injected_crash p2 ->
+        incr crashes;
+        Deploy.crash_for_point d ~point:p2 ~tc:"tc1" ~dc:default_dc)
+    | Fault.Injected_crash p2 ->
+      (* a second planned kill landed inside the promotion redo *)
+      incr crashes;
+      Deploy.crash_for_point d ~point:p2 ~tc:"tc1" ~dc:default_dc
+  in
   let handle = function
     | Fault.Injected_crash p when String.equal p Repl.p_ship_batch ->
       incr crashes;
@@ -592,11 +614,7 @@ let run_cycle_replicated ?(keep_trace = false) ~label ~plan ~seed ~txns ~parts
         | Some p -> p
         | None -> default_dc
       in
-      (try Deploy.fail_over d ~dc:primary
-       with Fault.Injected_crash p2 ->
-         (* a second planned kill landed inside the promotion redo *)
-         incr crashes;
-         Deploy.crash_for_point d ~point:p2 ~tc:"tc1" ~dc:default_dc)
+      promote primary
     | Fault.Injected_crash p ->
       incr crashes;
       Deploy.crash_for_point d ~point:p ~tc:"tc1" ~dc:default_dc
@@ -627,12 +645,7 @@ let run_cycle_replicated ?(keep_trace = false) ~label ~plan ~seed ~txns ~parts
   in
   Fault.arm ~seed plan;
   for i = 0 to txns - 1 do
-    if i = txns / 2 then begin
-      try
-        Deploy.quiesce d;
-        ignore (Tc.checkpoint tc)
-      with (Fault.Injected_crash _ | Fault.Io_error _) as e -> handle e
-    end;
+    maintain ~i d tc ~handle ~promote;
     let marker = Printf.sprintf "m%03d" i in
     let staged : (string, string option) Hashtbl.t = Hashtbl.create 8 in
     let cur = ref None in
@@ -742,6 +755,67 @@ let run_cycle_replicated ?(keep_trace = false) ~label ~plan ~seed ~txns ~parts
        else "");
   }
 
+let run_cycle_replicated ?keep_trace ~label ~plan ~seed ~txns ~parts ~replicas
+    ~durability () =
+  let maintain ~i d tc ~handle ~promote:_ =
+    if i = txns / 2 then
+      try
+        Deploy.quiesce d;
+        ignore (Tc.checkpoint tc)
+      with (Fault.Injected_crash _ | Fault.Io_error _) as e -> handle e
+  in
+  run_cycle_repl_core ?keep_trace ~label ~plan ~seed ~txns ~parts ~replicas
+    ~durability ~maintain ()
+
+(* The detach→checkpoint→promote interleaving: dc0's first standby is
+   detached a quarter into the workload, a granted checkpoint
+   mid-workload advances the redo-scan start point past its frozen
+   cursor (consulting — and burning — its retention lease), and at the
+   three-quarter mark dc0 "dies" and must fail over to that laggard.
+   This is exactly the repro_gap shape with live traffic around it: the
+   promotion must either catch the laggard up from the retained log or
+   refuse and cold-restart — never serve a hole.  A plan arming
+   ["repl.lease.expire"] forces the refusal path. *)
+let run_cycle_detach ?keep_trace ~label ~plan ~seed ~txns ~parts ~replicas
+    ~durability () =
+  let maintain ~i d tc ~handle ~promote =
+    let guard f =
+      try f ()
+      with (Fault.Injected_crash _ | Fault.Io_error _) as e -> handle e
+    in
+    if i = txns / 4 then
+      guard (fun () ->
+          match Deploy.replicas d ~dc:"dc0" with
+          | sbn :: _ ->
+            Repl.Manager.detach (Deploy.manager d ~tc:"tc1") ~name:sbn
+          | [] -> ())
+    else if i = txns / 2 then
+      guard (fun () ->
+          (* a *granted* checkpoint is the point of this cycle: flush
+             every primary so the grant loop converges under faults *)
+          let flush_primaries () =
+            Deploy.quiesce d;
+            List.iter
+              (fun n -> Dc.flush_all (Deploy.dc d n))
+              (Deploy.dc_names d)
+          in
+          flush_primaries ();
+          let rec grant tries =
+            if (not (Tc.checkpoint tc)) && tries > 0 then begin
+              flush_primaries ();
+              grant (tries - 1)
+            end
+          in
+          grant 3)
+    else if i = 3 * txns / 4 then
+      guard (fun () ->
+          (* skip if a planned ship-batch kill already promoted dc0's
+             only standby earlier in the cycle *)
+          if Deploy.replicas d ~dc:"dc0" <> [] then promote "dc0")
+  in
+  run_cycle_repl_core ?keep_trace ~label ~plan ~seed ~txns ~parts ~replicas
+    ~durability ~maintain ()
+
 (* Primary-kill-at-every-batch-boundary plans: singles sweep the Nth
    shipped batch (early, mid-workload, deep), a double promotes twice in
    one cycle (needs two standbys), and combos land a cold kill next to a
@@ -781,6 +855,28 @@ let plans_replicated () =
     ]
   in
   singles @ doubles @ combos
+
+(* Plans for the detach→checkpoint→promote cycle.  The no-fault plan is
+   the pure interleaving (promotion must catch the laggard up from the
+   retained log); ["repl.lease.expire"]@1 force-expires the detached
+   replica's lease at the mid-cycle checkpoint, so the promotion must
+   refuse and the harness cold-restarts instead; the combos land a
+   planned primary kill and a TC kill around the same interleaving. *)
+let plans_detach () =
+  [
+    ("detach+ckpt+promote", []);
+    ( "detach+ckpt+lease.expire@1",
+      [ Fault.crash_at "repl.lease.expire" 1 ] );
+    ( "detach+ckpt+promote+ship.batch@6",
+      [ Fault.crash_at "repl.ship.batch" 6 ] );
+    ( "detach+ckpt+lease.expire@1+tc.commit.after_force@3",
+      [
+        Fault.crash_at "repl.lease.expire" 1;
+        Fault.crash_at "tc.commit.after_force" 3;
+      ] );
+    ( "detach+ckpt+promote+wal.dc.force.mid@2",
+      [ Fault.crash_at "wal.dc.force.mid" 2 ] );
+  ]
 
 (* --- the standard plan sweep ------------------------------------------ *)
 
@@ -938,5 +1034,22 @@ let soak_replicated ?(base_seed = 0x9E97) ?(seeds_per_plan = 3) ?(txns = 24)
                run_cycle_replicated ~label ~plan ~seed ~txns ~parts ~replicas
                  ~durability ()))
          (plans_replicated ()))
+  in
+  (cycles, summarize cycles)
+
+let soak_detach ?(base_seed = 0xD7AC) ?(seeds_per_plan = 3) ?(txns = 24)
+    ?(parts = 2) ?(replicas = 1) () =
+  let cycles =
+    List.concat
+      (List.mapi
+         (fun pi (label, plan) ->
+           List.init seeds_per_plan (fun si ->
+               let seed = base_seed + (131 * pi) + (17 * si) in
+               let durability =
+                 if seed land 1 = 0 then Repl.Quorum 1 else Repl.Primary_only
+               in
+               run_cycle_detach ~label ~plan ~seed ~txns ~parts ~replicas
+                 ~durability ()))
+         (plans_detach ()))
   in
   (cycles, summarize cycles)

@@ -90,17 +90,47 @@ val run_cycle_replicated :
 (** The replicated twin of {!run_cycle_partitioned}: every partition has
     [replicas] warm standbys fed by continuous redo shipping.  A kill at
     the ["repl.ship.batch"] boundary is answered with
-    {!Untx_cloud.Deploy.fail_over} — promote the most-caught-up standby
-    and re-drive only the gap — instead of a cold crash+restart; DC
-    faults that fire inside a standby's apply crash the standby, which
-    rejoins from its stable state.  The audit additionally checks every
-    surviving standby's logical state against its primary after shipping
-    parity. *)
+    {!Untx_cloud.Deploy.fail_over} — promote the most-caught-up eligible
+    standby and re-drive only the gap — instead of a cold crash+restart;
+    if the gate refuses every candidate
+    ({!Untx_cloud.Deploy.Promotion_refused}) the harness cold-restarts
+    the primary instead, trading availability for zero loss.  DC faults
+    that fire inside a standby's apply crash the standby, which rejoins
+    from its stable state (or is demoted to rebuild-required when
+    truncation already passed its rejoin cursor).  The audit
+    additionally checks every surviving {e attached} standby's logical
+    state against its primary after shipping parity. *)
 
 val plans_replicated : unit -> (string * Untx_fault.Fault.rule list) list
 (** Primary kills swept across shipped-batch boundaries (early, mid,
     deep), a double-promotion plan, and combos pairing a promotion with
     cold DC kills and TC commit kills. *)
+
+val run_cycle_detach :
+  ?keep_trace:bool ->
+  label:string ->
+  plan:Untx_fault.Fault.rule list ->
+  seed:int ->
+  txns:int ->
+  parts:int ->
+  replicas:int ->
+  durability:Untx_repl.Repl.durability ->
+  unit ->
+  cycle
+(** The detach→checkpoint→promote interleaving on the replicated
+    deployment: dc0's first standby detaches a quarter into the
+    workload, a granted checkpoint at the midpoint advances the
+    redo-scan start point past its frozen cursor (burning one unit of
+    its retention lease), and at the three-quarter mark dc0 dies and
+    fails over to that laggard — the repro_gap shape with live traffic
+    around it.  The promotion must catch the laggard up from the
+    retained log, or refuse ({!Untx_cloud.Deploy.Promotion_refused},
+    answered with a cold restart) — never serve a hole. *)
+
+val plans_detach : unit -> (string * Untx_fault.Fault.rule list) list
+(** The pure interleaving (no faults), a forced ["repl.lease.expire"]
+    (drives the refusal path), and combos landing primary-kill and
+    TC-kill plans around the same interleaving. *)
 
 type summary = {
   s_cycles : int;
@@ -136,3 +166,16 @@ val soak_replicated :
 (** Sweep every plan from {!plans_replicated} across [seeds_per_plan]
     seeds (default 3, [parts] 2, [replicas] 2, [txns] 24 per cycle),
     alternating [Quorum 1] and [Primary_only] durability by seed. *)
+
+val soak_detach :
+  ?base_seed:int ->
+  ?seeds_per_plan:int ->
+  ?txns:int ->
+  ?parts:int ->
+  ?replicas:int ->
+  unit ->
+  cycle list * summary
+(** Sweep every plan from {!plans_detach} across [seeds_per_plan] seeds
+    (default 3, [parts] 2, [replicas] 1 — a sole standby, so the lease
+    decides promotability — [txns] 24 per cycle), alternating
+    durability by seed as {!soak_replicated} does. *)

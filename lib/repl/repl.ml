@@ -32,6 +32,12 @@ let pp_durability ppf = function
    re-drive exactly the rest. *)
 let p_ship_batch = Fault.declare "repl.ship.batch"
 
+(* Fires inside the truncation-floor consult, once per detached replica
+   per granted checkpoint: a chaos plan arming it force-expires that
+   replica's retention lease on the spot, exercising the
+   rebuild-required demotion and the promotion refusal it implies. *)
+let p_lease_expire = Fault.declare "repl.lease.expire"
+
 module Standby = struct
   type t = {
     dc : Dc.t;
@@ -133,6 +139,27 @@ module Standby = struct
 end
 
 module Manager = struct
+  (* The replica life cycle around detachment is a retention-lease
+     state machine:
+
+       Attached --detach--> Detached{lease} --lease runs out-->
+       Rebuild_required (terminal)
+
+     A detached replica holds the log-truncation floor at its frozen
+     applied cursor, but only for [lease] granted checkpoints: each
+     floor consult burns one unit.  While the lease holds, reattach and
+     promotion stay cheap (the missed suffix is still in the log).
+     When it expires the replica stops holding the floor and is demoted
+     to rebuild-required: it can no longer prove the acked history is
+     reconstructible from its cursor, so it is ineligible for promotion
+     and refuses reattach — honest unavailability instead of silent
+     data loss.  A crashed standby whose rejoin cursor (zero) fell
+     below the retained log lands in the same state. *)
+  type replica_state =
+    | Attached
+    | Detached of { lease : int } (* floor consults left *)
+    | Rebuild_required
+
   type replica = {
     r_name : string; (* the standby's deployment name *)
     r_primary : string; (* the primary DC it shadows *)
@@ -142,8 +169,10 @@ module Manager = struct
     r_drain : unit -> string list;
     mutable r_applied : Lsn.t; (* confirmed floor, from acks *)
     mutable r_cursor : Lsn.t; (* next LSN to ship (optimistic) *)
-    mutable r_attached : bool;
+    mutable r_state : replica_state;
   }
+
+  let attached r = r.r_state = Attached
 
   type config = {
     durability : durability;
@@ -152,6 +181,7 @@ module Manager = struct
     resend_backoff_max : int;
     resend_max_retries : int;
     max_pump_rounds : int;
+    lease_checkpoints : int; (* retention-lease budget of a detached replica *)
   }
 
   let default_config =
@@ -162,6 +192,7 @@ module Manager = struct
       resend_backoff_max = 64;
       resend_max_retries = 32;
       max_pump_rounds = 100_000;
+      lease_checkpoints = 4;
     }
 
   type t = {
@@ -178,16 +209,52 @@ module Manager = struct
   (* Replication must never let log truncation pass what the slowest
      replica still needs: catch-up reads the stable log from the
      replica's applied LSN, and a truncated cursor would force a full
-     rebuild.  Detached replicas count too — holding the floor for them
-     is exactly what makes rejoin cheap. *)
+     rebuild.  Attached replicas hold the floor unconditionally;
+     detached replicas hold it under a retention lease of
+     [lease_checkpoints] granted checkpoints, each consult burning one
+     unit.  On expiry (or when the ["repl.lease.expire"] fault point
+     forces it) the replica is demoted to rebuild-required and stops
+     constraining truncation — it can no longer claim the retained
+     suffix, so it must no longer be silently promotable either.  The
+     gap between end-of-stable-log and the floor a replica holds is the
+     log volume leases pin, recorded as the ["repl.floor_lag"]
+     histogram. *)
   let truncate_floor t =
-    Hashtbl.fold
-      (fun _ r acc ->
-        let need = Lsn.next r.r_applied in
-        match acc with
-        | None -> Some need
-        | Some a -> Some (Lsn.min a need))
-      t.replicas None
+    let floor =
+      Hashtbl.fold
+        (fun _ r acc ->
+          (match r.r_state with
+          | Detached { lease } ->
+            let forced =
+              try
+                Fault.hit p_lease_expire;
+                false
+              with Fault.Injected_crash _ -> true
+            in
+            if forced || lease <= 0 then begin
+              r.r_state <- Rebuild_required;
+              Instrument.bump t.counters "repl.lease_expirations";
+              if Trace.enabled () then
+                Trace.record ~tid:0 ~comp:"repl" ~ev:"lease.expire"
+                  [ ("replica", r.r_name); ("forced", string_of_bool forced) ]
+            end
+            else r.r_state <- Detached { lease = lease - 1 }
+          | Attached | Rebuild_required -> ());
+          match r.r_state with
+          | Rebuild_required -> acc
+          | Attached | Detached _ -> (
+            let need = Lsn.next r.r_applied in
+            match acc with
+            | None -> Some need
+            | Some a -> Some (Lsn.min a need)))
+        t.replicas None
+    in
+    (match floor with
+    | Some f ->
+      Metrics.observe t.counters "repl.floor_lag"
+        (Stdlib.max 0 (Lsn.to_int (Tc.stable_lsn t.tc) - Lsn.to_int f + 1))
+    | None -> ());
+    floor
 
   let post t r repl =
     let frame = ref "" in
@@ -217,10 +284,12 @@ module Manager = struct
      ["repl.ship.batch"] fault point.  Records routed to other
      partitions are skipped but still covered by the batch's [upto], so
      every replica's applied LSN tracks the whole stable log and quorum
-     gating needs no per-partition bookkeeping. *)
+     gating needs no per-partition bookkeeping.  Returns the number of
+     operations shipped (catch-up accounting). *)
   let ship_replica t r =
     let stable = Tc.stable_lsn t.tc in
-    if r.r_attached && Lsn.(r.r_cursor <= stable) then begin
+    let shipped = ref 0 in
+    if attached r && Lsn.(r.r_cursor <= stable) then begin
       let tc_id = Tc.id t.tc in
       let eosl = stable and lwm = stable in
       (* the standby caps the lwm claim at its own applied cursor; see
@@ -233,6 +302,7 @@ module Manager = struct
           (post t r
              (Wire.Repl_ship
                 { tc = tc_id; eosl; lwm; upto; ops = List.rev !batch }));
+        shipped := !shipped + !batch_n;
         batch := [];
         batch_n := 0;
         r.r_cursor <- Lsn.next upto
@@ -246,9 +316,10 @@ module Manager = struct
       (* the final (possibly empty) batch carries the cursor to the end
          of the stable log *)
       if Lsn.(r.r_cursor <= stable) then flush_batch ~upto:stable
-    end
+    end;
+    !shipped
 
-  let ship t = Hashtbl.iter (fun _ r -> ship_replica t r) t.replicas
+  let ship t = Hashtbl.iter (fun _ r -> ignore (ship_replica t r)) t.replicas
 
   (* One delivery round per replica link: drain the transport, match
      acks against the session, advance the confirmed floor. *)
@@ -256,7 +327,7 @@ module Manager = struct
     let progressed = ref false in
     Hashtbl.iter
       (fun _ r ->
-        if r.r_attached then begin
+        if attached r then begin
           List.iter
             (fun frame ->
               match Wire.decode_repl_reply frame with
@@ -285,7 +356,7 @@ module Manager = struct
   let tick_resend t =
     Hashtbl.iter
       (fun _ r ->
-        if r.r_attached then
+        if attached r then
           Session.Sender.tick r.r_session ~backoff_max:t.cfg.resend_backoff_max
             ~max_retries:t.cfg.resend_max_retries
             ~on_resend:(fun ~seq:_ frame ->
@@ -327,7 +398,7 @@ module Manager = struct
         let by_primary : (string, int * int) Hashtbl.t = Hashtbl.create 4 in
         Hashtbl.iter
           (fun _ r ->
-            if r.r_attached then begin
+            if attached r then begin
               let have, ok =
                 Option.value ~default:(0, 0)
                   (Hashtbl.find_opt by_primary r.r_primary)
@@ -389,7 +460,7 @@ module Manager = struct
         r_drain = drain;
         r_applied = Lsn.zero;
         r_cursor = Lsn.next Lsn.zero;
-        r_attached = true;
+        r_state = Attached;
       }
     in
     Hashtbl.replace t.replicas name r;
@@ -397,24 +468,102 @@ module Manager = struct
     Instrument.bump t.counters "repl.attached"
 
   (* Stop shipping to a replica without forgetting it: its applied LSN
-     keeps holding the truncation floor so a later [reattach] only
-     ships the suffix it missed. *)
+     keeps holding the truncation floor — under a retention lease of
+     [lease_checkpoints] granted checkpoints — so a later [reattach]
+     only ships the suffix it missed.  Idempotent: a second detach does
+     not refresh a running lease. *)
   let detach t ~name =
     match Hashtbl.find_opt t.replicas name with
     | Some r ->
-      r.r_attached <- false;
+      (match r.r_state with
+      | Attached -> r.r_state <- Detached { lease = t.cfg.lease_checkpoints }
+      | Detached _ | Rebuild_required -> ());
       ignore (Session.Sender.clear r.r_session)
     | None -> ()
+
+  let exact_applied t r = Standby.applied r.r_standby ~tc:(Tc.id t.tc)
+
+  (* Whether the stable log still retains everything past the standby's
+     exact applied cursor — the condition under which its missed suffix
+     is provably reconstructible by re-shipping (catch-up) or TC redo.
+     A candidate caught up to the rssp is always covered: truncation
+     cuts never pass the checkpoint target, so retained_from <= rssp. *)
+  let covered t r =
+    Lsn.(Tc.log_retained_from t.tc <= Lsn.next (exact_applied t r))
+
+  let rebuild_required t r ~why =
+    r.r_state <- Rebuild_required;
+    Instrument.bump t.counters "repl.rebuild_required";
+    if Trace.enabled () then
+      Trace.record ~tid:0 ~comp:"repl" ~ev:"rebuild.required"
+        [ ("replica", r.r_name); ("why", why) ]
 
   let reattach t ~name =
     match Hashtbl.find_opt t.replicas name with
     | Some r ->
+      (match r.r_state with
+      | Rebuild_required ->
+        invalid_arg
+          ("Repl.reattach: " ^ name
+         ^ " requires a rebuild (lease expired or log truncated past its \
+            cursor)")
+      | Attached | Detached _ -> ());
       (* a new epoch voids any frame of the old session still in flight *)
       ignore (Session.Sender.new_epoch r.r_session);
-      r.r_attached <- true;
+      r.r_state <- Attached;
       hello t r;
-      ship_replica t r
+      (* The hello re-adopted the standby's exact cursor — zero for one
+         that crashed while away.  If truncation has passed that cursor
+         the missed records are gone and re-shipping would silently
+         skip them: demote instead of resuming with a hole. *)
+      if covered t r then ignore (ship_replica t r)
+      else rebuild_required t r ~why:"reattach cursor below retained log"
     | None -> invalid_arg ("Repl.reattach: unknown replica " ^ name)
+
+  (* Promotion eligibility (the fail-over gate's per-manager half): a
+     candidate is eligible iff its acked history is provably
+     reconstructible — it is not rebuild-required, and this TC's stable
+     log retains everything past its applied cursor, so either peer
+     catch-up or post-promotion redo can re-drive the gap
+     [applied+1, stable] in full. *)
+  let promotion_eligible t ~name =
+    match Hashtbl.find_opt t.replicas name with
+    | None -> false
+    | Some r -> (
+      match r.r_state with
+      | Rebuild_required -> false
+      | Attached | Detached _ -> covered t r)
+
+  (* Peer catch-up: re-ship the retained stable suffix past the
+     replica's cursor and wait until it confirms end-of-stable-log.
+     Promotion runs this on the chosen laggard first, so the redo the
+     TC then drives is only the (usually empty) post-catch-up gap. *)
+  let catch_up t ~name =
+    match Hashtbl.find_opt t.replicas name with
+    | None -> invalid_arg ("Repl.catch_up: unknown replica " ^ name)
+    | Some r ->
+      (match r.r_state with
+      | Rebuild_required ->
+        invalid_arg ("Repl.catch_up: " ^ name ^ " requires a rebuild")
+      | Detached _ ->
+        ignore (Session.Sender.new_epoch r.r_session);
+        r.r_state <- Attached;
+        hello t r
+      | Attached -> ());
+      let stable = Tc.stable_lsn t.tc in
+      let shipped = ship_replica t r in
+      if shipped > 0 then begin
+        Instrument.bump_by t.counters "repl.catchup_ops" shipped;
+        if Trace.enabled () then
+          Trace.record ~tid:0 ~comp:"repl" ~ev:"catchup"
+            [ ("replica", r.r_name); ("ops", string_of_int shipped) ]
+      end;
+      await t (fun () -> Lsn.(r.r_applied >= stable))
+
+  let state_of t ~name =
+    match Hashtbl.find_opt t.replicas name with
+    | Some r -> r.r_state
+    | None -> invalid_arg ("Repl.state_of: unknown replica " ^ name)
 
   (* Remove a replica from the set entirely (promoted or
      decommissioned): its cursor no longer holds the truncation floor. *)
@@ -448,7 +597,7 @@ module Manager = struct
     await t (fun () ->
         Hashtbl.fold
           (fun _ r acc ->
-            acc && ((not r.r_attached) || Lsn.(r.r_applied >= stable)))
+            acc && ((not (attached r)) || Lsn.(r.r_applied >= stable)))
           t.replicas true)
 
   let lag t ~name =

@@ -11,9 +11,16 @@
     frames and post-promotion redo overlap are all safe.
 
     On a primary crash the deployment promotes the most-caught-up
-    standby and asks the TC ({!Untx_tc.Tc.on_dc_failover}) to re-drive
-    only the gap between the standby's applied LSN and end-of-stable-log
-    — a small fraction of a cold restart's full redo. *)
+    {e eligible} standby and asks the TC ({!Untx_tc.Tc.on_dc_failover})
+    to re-drive only the gap between the standby's applied LSN and
+    end-of-stable-log — a small fraction of a cold restart's full redo.
+    Eligibility is the promotion durability contract: a candidate may
+    only be promoted when its acked history is provably reconstructible
+    from the retained stable log.  Detached replicas keep that provable
+    under a bounded {e retention lease} on the log suffix past their
+    frozen cursor; when the lease expires they are demoted to
+    rebuild-required — honestly unavailable — rather than left silently
+    promotable with a hole where acked commits used to be. *)
 
 type durability =
   | Primary_only
@@ -30,6 +37,13 @@ val p_ship_batch : string
 (** The ["repl.ship.batch"] fault point, hit once per shipped batch
     before it is posted — the chaos harness kills the primary here to
     exercise promotion at every batch boundary. *)
+
+val p_lease_expire : string
+(** The ["repl.lease.expire"] fault point, hit inside the
+    truncation-floor consult once per detached replica per granted
+    checkpoint.  A plan arming it force-expires that replica's
+    retention lease on the spot — the demotion-and-refusal path without
+    waiting out the lease budget. *)
 
 (** A warm standby: a full DC continuously applying the shipped redo
     stream. *)
@@ -69,6 +83,20 @@ end
 module Manager : sig
   type t
 
+  (** Where a replica stands in the retention-lease life cycle:
+
+      [Attached] —[detach]→ [Detached]{lease} —lease runs out→
+      [Rebuild_required] (terminal). *)
+  type replica_state =
+    | Attached  (** shipping; holds the truncation floor unconditionally *)
+    | Detached of { lease : int }
+        (** frozen at its cursor; holds the floor for [lease] more
+            granted checkpoints *)
+    | Rebuild_required
+        (** its missed suffix is no longer provably retained: ineligible
+            for promotion, refuses {!reattach}.  Terminal — recovering
+            such a replica needs a state copy, not the log. *)
+
   type config = {
     durability : durability;
     batch_ops : int;  (** max records per shipped frame *)
@@ -76,18 +104,22 @@ module Manager : sig
     resend_backoff_max : int;
     resend_max_retries : int;
     max_pump_rounds : int;
+    lease_checkpoints : int;
+        (** how many granted checkpoints a detached replica's retention
+            lease holds the log-truncation floor for *)
   }
 
   val default_config : config
   (** [Primary_only], 32-op batches, resend pacing mirroring the TC's
-      control channel. *)
+      control channel, 4-checkpoint retention leases. *)
 
   val create :
     ?counters:Untx_util.Instrument.t -> ?cfg:config -> Untx_tc.Tc.t -> t
   (** Create the manager and install its hooks on the TC: the
       durability gate (ship + optional quorum wait after every
       group-commit force) and the truncate floor (checkpoint log
-      truncation never passes the slowest replica's catch-up cursor). *)
+      truncation never passes the catch-up cursor of any attached
+      replica, nor of any detached replica whose lease still holds). *)
 
   val durability : t -> durability
 
@@ -106,12 +138,41 @@ module Manager : sig
 
   val detach : t -> name:string -> unit
   (** Stop shipping without forgetting the replica: its applied LSN
-      keeps holding the truncation floor so {!reattach} stays cheap. *)
+      keeps holding the truncation floor — under a retention lease of
+      [lease_checkpoints] granted checkpoints — so {!reattach} stays
+      cheap while the lease lasts.  Each checkpoint that consults the
+      floor burns one lease unit; at zero the replica is demoted to
+      {!Rebuild_required} and stops constraining truncation.
+      Idempotent: detaching an already-detached replica does not
+      refresh its lease. *)
 
   val reattach : t -> name:string -> unit
   (** Resume shipping on a new session epoch (any old in-flight frame
       is void), re-adopting the standby's applied LSN, then ship the
-      missed suffix. *)
+      missed suffix — provided the log still retains it.  If the
+      standby's cursor (zero, for one that crashed while away) fell
+      below {!Untx_tc.Tc.log_retained_from}, the replica is demoted to
+      {!Rebuild_required} instead of resuming with a silent hole.
+      Raises [Invalid_argument] for an unknown or already
+      rebuild-required replica. *)
+
+  val catch_up : t -> name:string -> unit
+  (** Re-ship the retained stable suffix past the replica's cursor and
+      wait until it confirms end-of-stable-log (reattaching it first if
+      detached).  Promotion runs this on the chosen laggard before
+      installing it, so the TC's post-promotion redo shrinks to the
+      post-catch-up gap.  Shipped records are counted as
+      ["repl.catchup_ops"].  Raises [Invalid_argument] for an unknown
+      or rebuild-required replica. *)
+
+  val promotion_eligible : t -> name:string -> bool
+  (** The fail-over gate's per-manager half: [true] iff the candidate's
+      acked history is provably reconstructible — it is not
+      {!Rebuild_required} and this TC's stable log retains everything
+      past its exact applied cursor, so {!catch_up} or post-promotion
+      redo can re-drive the gap in full.  [false] for unknown names. *)
+
+  val state_of : t -> name:string -> replica_state
 
   val remove : t -> name:string -> unit
   (** Forget a replica entirely (promoted or decommissioned). *)

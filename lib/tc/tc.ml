@@ -1339,7 +1339,27 @@ let on_dc_restart ?(from = Lsn.zero) t ~dc =
     | Some ls -> ls
     | None -> invalid_arg ("Tc.on_dc_restart: unknown DC " ^ dc)
   in
-  let start = Lsn.max t.rssp from in
+  (* An explicit failover cursor may sit BELOW the redo-scan start
+     point: a detached standby's applied LSN is frozen while the
+     checkpoint keeps advancing.  Clamping it up to the rssp here was
+     the data-loss line — the gap [from, rssp) was never re-driven, and
+     the promoted replica served a hole where acked commits used to be.
+     Starting below the rssp is legal exactly when the log still
+     retains that suffix (the retention lease a detached replica holds
+     against truncation is what keeps it there); when it does not, the
+     caller must refuse the promotion (Deploy.fail_over's eligibility
+     gate) rather than promote a candidate whose history is gone. *)
+  let start =
+    if
+      Lsn.(Lsn.zero < from)
+      && Lsn.(from < t.rssp)
+      && Lsn.(Wal.retained_from t.log <= from)
+    then begin
+      Instrument.bump t.counters "tc.redo_below_rssp";
+      from
+    end
+    else Lsn.max t.rssp from
+  in
   (* Control messages from before the crash (and their replies) are
      gone; open a fresh session so stragglers in flight cannot reach
      the rebuilt DC's state. *)
@@ -1445,6 +1465,8 @@ let on_dc_failover t ~dc ~from = on_dc_restart ~from t ~dc
 (* Introspection                                                       *)
 
 let rssp t = t.rssp
+
+let log_retained_from t = Wal.retained_from t.log
 
 let stable_lsn t = Wal.stable_lsn t.log
 

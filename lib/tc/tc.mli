@@ -177,8 +177,8 @@ val recover : t -> unit
 val on_dc_restart : ?from:Untx_util.Lsn.t -> t -> dc:string -> unit
 (** A DC lost its cache (Section 5.3.2 DC failure): resend logged
     operations from the redo-scan start point to that DC.  [from]
-    (default [Lsn.zero]) raises the scan start — see
-    {!on_dc_failover}. *)
+    (default [Lsn.zero]) moves the scan start to the caller's cursor —
+    see {!on_dc_failover}. *)
 
 val on_dc_failover : t -> dc:string -> from:Untx_util.Lsn.t -> unit
 (** The named link now fronts a promoted standby that applied the
@@ -187,7 +187,16 @@ val on_dc_failover : t -> dc:string -> from:Untx_util.Lsn.t -> unit
     watermark pushed mid-barrier must not race), but re-drive only the
     gap from [from] to end-of-stable-log.  In-flight requests below
     [from] are re-dispatched inside the fence so the standby re-answers
-    them from its idempotence memo. *)
+    them from its idempotence memo.
+
+    [from] may legally sit {e below} the redo-scan start point — a
+    detached standby's applied cursor freezes while checkpoints keep
+    advancing — provided the log still retains the suffix
+    ([{!log_retained_from} <= from]): the scan then starts at [from]
+    and re-drives the whole retained gap (counted as
+    ["tc.redo_below_rssp"]).  If the suffix was truncated the scan
+    clamps up to the rssp as before, which would leave a hole — callers
+    must refuse such promotions instead ({!Untx_repl} eligibility). *)
 
 val set_durability_gate : t -> (Untx_util.Lsn.t -> unit) -> unit
 (** Install a hook invoked after every group-commit force with the new
@@ -207,6 +216,12 @@ val force_log : t -> unit
 (** {2 Introspection} *)
 
 val rssp : t -> Untx_util.Lsn.t
+
+val log_retained_from : t -> Untx_util.Lsn.t
+(** Lowest LSN checkpoint truncation has provably kept in the log
+    (see {!Untx_wal.Wal.retained_from}).  Always [<= rssp]: every
+    truncation cut is bounded by the checkpoint target.  Replica
+    serviceability and promotion eligibility are decided against it. *)
 
 val stable_lsn : t -> Untx_util.Lsn.t
 

@@ -16,6 +16,7 @@ type 'a t = {
   mutable volatile : (Lsn.t * 'a) list; (* newest first *)
   mutable next_lsn : Lsn.t;
   mutable stable_lsn : Lsn.t;
+  mutable trunc : Lsn.t; (* lowest LSN the log still guarantees to hold *)
   mutable forces : int;
   mutable appended_bytes : int;
 }
@@ -33,6 +34,7 @@ let create ?(counters = Instrument.global) ?(label = "wal") ~size () =
     volatile = [];
     next_lsn = Lsn.next Lsn.zero;
     stable_lsn = Lsn.zero;
+    trunc = Lsn.next Lsn.zero;
     forces = 0;
     appended_bytes = 0;
   }
@@ -95,7 +97,10 @@ let crash t = t.volatile <- []
    restart protocol tells the DC to forget everything above stable_lsn. *)
 
 let truncate t lsn =
+  if Lsn.(t.trunc < lsn) then t.trunc <- lsn;
   t.stable <- Lsn.Map.filter (fun l _ -> Lsn.(l >= lsn)) t.stable
+
+let retained_from t = t.trunc
 
 (* Seek, then walk only the tail: O(log n) to find the start and O(1)
    amortized per record visited, against the whole-map filtering scan

@@ -55,7 +55,17 @@ val crash : 'a t -> unit
 
 val truncate : 'a t -> Untx_util.Lsn.t -> unit
 (** Discard stable records with LSN < the argument (contract
-    termination / checkpoint advancing the redo scan start point). *)
+    termination / checkpoint advancing the redo scan start point).
+    The truncation point is remembered: see {!retained_from}. *)
+
+val retained_from : 'a t -> Untx_util.Lsn.t
+(** The lowest LSN the log still guarantees to hold: every record at or
+    above it (and at or below {!stable_lsn}) is present.  [Lsn.next
+    Lsn.zero] until the first {!truncate}, the highest truncation point
+    thereafter.  Anything that replays a log suffix — replica catch-up,
+    redo from below the redo-scan start point after a laggard promotion
+    — must check its start cursor against this before trusting
+    {!iter_from}, which silently skips missing records. *)
 
 val iter_from :
   'a t -> Untx_util.Lsn.t -> (Untx_util.Lsn.t -> 'a -> unit) -> unit

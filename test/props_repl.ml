@@ -90,6 +90,115 @@ let prop_promotion_prefix_deterministic =
       commit_one tc ~key:"post" ~value:"alive";
       Tc.read_committed tc ~table:"t" ~key:"post" = Some "alive")
 
+(* --- promotion durability under arbitrary interleavings ---------------- *)
+
+(* Generator-chosen sequences of fill / detach / checkpoint / reattach /
+   standby-crash against a sole standby, then a forced failover.  The
+   contract under test is fail_over's dichotomy: either it promotes and
+   every acked commit is readable afterwards, or it raises
+   Promotion_refused — and then it must be the case that the candidate
+   really was ineligible, and a cold restart of the primary still serves
+   everything.  Silent loss and spurious refusal both fail the property. *)
+
+type fo_step = Fill of int | Detach | Reattach | Crash_standby | Checkpoint
+
+let fo_step_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun n -> Fill n) (int_range 1 8));
+        (2, return Detach);
+        (2, return Reattach);
+        (1, return Crash_standby);
+        (3, return Checkpoint);
+      ])
+
+let fo_print = function
+  | Fill n -> Printf.sprintf "Fill %d" n
+  | Detach -> "Detach"
+  | Reattach -> "Reattach"
+  | Crash_standby -> "Crash_standby"
+  | Checkpoint -> "Checkpoint"
+
+let fo_arb =
+  QCheck.make
+    ~print:(fun steps -> String.concat "; " (List.map fo_print steps))
+    QCheck.Gen.(list_size (int_range 4 14) fo_step_gen)
+
+let prop_failover_never_loses_acked =
+  QCheck.Test.make ~count:40
+    ~name:"failover never loses an acked commit, never promotes ineligible"
+    fo_arb (fun steps ->
+      let d = Deploy.create () in
+      let tc =
+        Deploy.add_tc d ~name:"tc1" (Tc.default_config (Tc_id.of_int 1))
+      in
+      ignore (Deploy.add_dc d ~name:"dc0" Dc.default_config);
+      Deploy.add_partitioned_table d ~replicas:1 ~name:"t" ~versioned:false
+        ~dcs:[ "dc0" ] ();
+      let m = Deploy.manager d ~tc:"tc1" in
+      let sbn = List.hd (Deploy.replicas d ~dc:"dc0") in
+      let oracle = ref [] in
+      let next = ref 0 in
+      let fill n =
+        for _ = 1 to n do
+          let key = Printf.sprintf "p%04d" !next in
+          incr next;
+          commit_one tc ~key ~value:"v";
+          oracle := key :: !oracle
+        done
+      in
+      let checkpoint () =
+        (* a checkpoint only counts when granted; flush until it is (or
+           give up — an ungranted attempt must also be harmless) *)
+        let rec grant tries =
+          if (not (Tc.checkpoint tc)) && tries > 0 then begin
+            Deploy.quiesce d;
+            Dc.flush_all (Deploy.dc d "dc0");
+            grant (tries - 1)
+          end
+        in
+        grant 3
+      in
+      let apply = function
+        | Fill n -> fill n
+        | Detach -> (
+          match Repl.Manager.state_of m ~name:sbn with
+          | Repl.Manager.Attached -> Repl.Manager.detach m ~name:sbn
+          | Repl.Manager.Detached _ | Repl.Manager.Rebuild_required -> ())
+        | Reattach -> (
+          match Repl.Manager.state_of m ~name:sbn with
+          | Repl.Manager.Detached _ -> Repl.Manager.reattach m ~name:sbn
+          | Repl.Manager.Attached -> ()
+          | Repl.Manager.Rebuild_required ->
+            (* terminal: reattach must refuse, not resurrect *)
+            let refused =
+              try
+                Repl.Manager.reattach m ~name:sbn;
+                false
+              with Invalid_argument _ -> true
+            in
+            if not refused then
+              QCheck.Test.fail_report "reattach resurrected rebuild-required")
+        | Crash_standby -> Deploy.crash_standby d sbn
+        | Checkpoint -> checkpoint ()
+      in
+      List.iter apply steps;
+      Deploy.quiesce d;
+      let eligible = Repl.Manager.promotion_eligible m ~name:sbn in
+      (match Deploy.fail_over d ~dc:"dc0" with
+      | () ->
+        if not eligible then
+          QCheck.Test.fail_report "promoted an ineligible candidate"
+      | exception Deploy.Promotion_refused _ ->
+        if eligible then
+          QCheck.Test.fail_report "refused an eligible candidate";
+        (* the operator fallback keeps the no-loss promise *)
+        Deploy.crash_dc d "dc0");
+      List.for_all
+        (fun key -> Tc.read_committed tc ~table:"t" ~key = Some "v")
+        !oracle)
+
 (* --- replicated chaos acceptance -------------------------------------- *)
 
 let run_clean ~label ~plan ~seed ~durability =
@@ -140,6 +249,7 @@ let test_double_promotion_clean () =
 let suite =
   [
     test prop_promotion_prefix_deterministic;
+    test prop_failover_never_loses_acked;
     Alcotest.test_case "chaos: promotion cycle clean" `Quick
       test_promotion_cycle_clean;
     Alcotest.test_case "chaos: quorum-1 mid-workload kill clean" `Quick

@@ -203,6 +203,150 @@ let test_truncation_respects_lagging_replica () =
   Deploy.settle_replicas d;
   check_parity d ~dc:"dc0"
 
+(* Drive a *granted* checkpoint: the lwm only covers flushed state, so
+   flush the primary and retry until every DC grants. *)
+let grant_checkpoint d tc ~dc:dcn =
+  Dc.flush_all (Deploy.dc d dcn);
+  let rec grant tries =
+    if Tc.checkpoint tc then ()
+    else if tries > 0 then begin
+      Deploy.quiesce d;
+      Dc.flush_all (Deploy.dc d dcn);
+      grant (tries - 1)
+    end
+    else Alcotest.fail "checkpoint never granted"
+  in
+  grant 4
+
+(* The repro_gap scenario as a unit test: a detached laggard whose
+   cursor fell below the redo-scan start point is promoted, and the
+   default catch-up re-ships the retained suffix before installation —
+   every acked commit survives. *)
+let test_failover_catches_laggard_up () =
+  let counters = Instrument.create () in
+  let d, tc = repl_deploy ~counters ~parts:1 ~replicas:1 () in
+  fill tc 10;
+  Deploy.quiesce d;
+  let m = Deploy.manager d ~tc:"tc1" in
+  let sbn = List.hd (Deploy.replicas d ~dc:"dc0") in
+  let frozen = Repl.Standby.applied (Deploy.standby d sbn) ~tc:(Tc.id tc) in
+  Repl.Manager.detach m ~name:sbn;
+  fill tc ~prefix:"gap" 40;
+  Deploy.quiesce d;
+  grant_checkpoint d tc ~dc:"dc0";
+  Alcotest.(check bool) "rssp passed the laggard" true
+    Lsn.(Tc.rssp tc > Lsn.next frozen);
+  Alcotest.(check bool) "laggard still eligible (lease holds the log)" true
+    (Repl.Manager.promotion_eligible m ~name:sbn);
+  Deploy.fail_over d ~dc:"dc0";
+  Alcotest.(check bool) "catch-up re-shipped the gap" true
+    (Instrument.get counters "repl.catchup_ops" > 0);
+  List.iter
+    (fun i ->
+      let key = Printf.sprintf "gap%03d" i in
+      Alcotest.(check (option string)) (key ^ " survives") (Some "v")
+        (Tc.read_committed tc ~table:"t" ~key))
+    (List.init 40 Fun.id)
+
+(* Same scenario with catch-up disabled: promotion installs the frozen
+   laggard and leans entirely on the TC's redo, which must legally
+   start below the redo-scan start point (the retained suffix covers
+   it).  This pins the tc.ml redo-start fix in isolation. *)
+let test_failover_below_rssp_without_catchup () =
+  let counters = Instrument.create () in
+  let d, tc = repl_deploy ~counters ~parts:1 ~replicas:1 () in
+  fill tc 10;
+  Deploy.quiesce d;
+  let m = Deploy.manager d ~tc:"tc1" in
+  let sbn = List.hd (Deploy.replicas d ~dc:"dc0") in
+  let frozen = Repl.Standby.applied (Deploy.standby d sbn) ~tc:(Tc.id tc) in
+  Repl.Manager.detach m ~name:sbn;
+  fill tc ~prefix:"gap" 40;
+  Deploy.quiesce d;
+  grant_checkpoint d tc ~dc:"dc0";
+  Alcotest.(check bool) "promotion cursor sits below the rssp" true
+    Lsn.(Lsn.next frozen < Tc.rssp tc);
+  Deploy.fail_over ~catch_up:false d ~dc:"dc0";
+  Alcotest.(check int) "nothing was re-shipped" 0
+    (Instrument.get counters "repl.catchup_ops");
+  Alcotest.(check bool) "redo started below the rssp" true
+    (Instrument.get counters "tc.redo_below_rssp" > 0);
+  List.iter
+    (fun i ->
+      let key = Printf.sprintf "gap%03d" i in
+      Alcotest.(check (option string)) (key ^ " survives") (Some "v")
+        (Tc.read_committed tc ~table:"t" ~key))
+    (List.init 40 Fun.id)
+
+(* Retention-lease expiry: each granted checkpoint burns one lease
+   unit; past the budget the replica is demoted to rebuild-required —
+   it refuses reattach, fail_over refuses to promote it, and a cold
+   restart still serves every acked commit (honest unavailability, not
+   loss). *)
+let test_lease_expiry_demotes_and_refuses () =
+  let counters = Instrument.create () in
+  let d, tc = repl_deploy ~counters ~parts:1 ~replicas:1 () in
+  fill tc 10;
+  Deploy.quiesce d;
+  let m = Deploy.manager d ~tc:"tc1" in
+  let sbn = List.hd (Deploy.replicas d ~dc:"dc0") in
+  Repl.Manager.detach m ~name:sbn;
+  (* lease_checkpoints = 4: four granted checkpoints hold the floor,
+     the fifth consult expires the lease *)
+  List.iter
+    (fun round ->
+      fill tc ~prefix:(Printf.sprintf "r%d." round) 8;
+      Deploy.quiesce d;
+      grant_checkpoint d tc ~dc:"dc0")
+    (List.init 5 Fun.id);
+  Alcotest.(check int) "one lease expired" 1
+    (Instrument.get counters "repl.lease_expirations");
+  Alcotest.(check bool) "demoted to rebuild-required" true
+    (Repl.Manager.state_of m ~name:sbn = Repl.Manager.Rebuild_required);
+  Alcotest.(check bool) "reattach refused" true
+    (try
+       Repl.Manager.reattach m ~name:sbn;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "promotion refused" true
+    (try
+       Deploy.fail_over d ~dc:"dc0";
+       false
+     with Deploy.Promotion_refused _ -> true);
+  Alcotest.(check int) "refusal counted" 1
+    (Instrument.get counters "repl.promote_refusals");
+  (* the operator fallback: cold-restart the primary — zero loss *)
+  Deploy.crash_dc d "dc0";
+  List.iter
+    (fun round ->
+      let key = Printf.sprintf "r%d.000" round in
+      Alcotest.(check (option string)) (key ^ " survives cold restart")
+        (Some "v")
+        (Tc.read_committed tc ~table:"t" ~key))
+    (List.init 5 Fun.id)
+
+(* A standby that crashes after truncation passed its rejoin cursor
+   (zero) cannot re-ship the missing prefix: it must come back
+   rebuild-required, not attached-with-a-hole. *)
+let test_crashed_standby_past_truncation_needs_rebuild () =
+  let counters = Instrument.create () in
+  let d, tc = repl_deploy ~counters ~parts:1 ~replicas:1 () in
+  fill tc 30;
+  Deploy.quiesce d;
+  let m = Deploy.manager d ~tc:"tc1" in
+  let sbn = List.hd (Deploy.replicas d ~dc:"dc0") in
+  (* the replica is caught up, so its floor lets truncation advance *)
+  grant_checkpoint d tc ~dc:"dc0";
+  Alcotest.(check bool) "log head truncated" true
+    Lsn.(Tc.log_retained_from tc > Lsn.next Lsn.zero);
+  Deploy.crash_standby d sbn;
+  Alcotest.(check bool) "rejoin demoted to rebuild-required" true
+    (Repl.Manager.state_of m ~name:sbn = Repl.Manager.Rebuild_required);
+  Alcotest.(check bool) "rebuild demotion counted" true
+    (Instrument.get counters "repl.rebuild_required" > 0);
+  Alcotest.(check (list string)) "not among attached replicas" []
+    (Deploy.attached_replicas d ~dc:"dc0")
+
 let test_lag_histogram_recorded () =
   let counters = Instrument.create () in
   let d, tc = repl_deploy ~counters ~parts:1 ~replicas:1 () in
@@ -246,4 +390,12 @@ let suite =
       test_lag_histogram_recorded;
     Alcotest.test_case "late replica bootstraps from log" `Quick
       test_add_replica_later_catches_up;
+    Alcotest.test_case "failover catches laggard up" `Quick
+      test_failover_catches_laggard_up;
+    Alcotest.test_case "failover redoes below rssp without catch-up" `Quick
+      test_failover_below_rssp_without_catchup;
+    Alcotest.test_case "lease expiry demotes and refuses" `Quick
+      test_lease_expiry_demotes_and_refuses;
+    Alcotest.test_case "crashed standby past truncation needs rebuild" `Quick
+      test_crashed_standby_past_truncation_needs_rebuild;
   ]
