@@ -26,6 +26,8 @@ let experiments =
     ("e11", "chaos soak: crash points, torn I/O, recovery audit", E11_chaos.run);
     ("e12", "replication: failover vs cold redo, lag, quorum cost",
      E12_replication.run);
+    ("e13", "layered log storage: compaction, read amp, layer bootstrap",
+     E13_layers.run);
     ("chaos", "short fixed-seed chaos soak (the @chaos alias)", E11_chaos.run_short);
     ("ablations", "design-choice ablations A1-A5", A_ablations.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);

@@ -6,6 +6,8 @@ module Transport = Untx_kernel.Transport
 module Tc = Untx_tc.Tc
 module Dc = Untx_dc.Dc
 module Repl = Untx_repl.Repl
+module Op = Untx_msg.Op
+module Layer = Untx_layer.Layer
 
 type scheme = Hash | Range of string list
 
@@ -21,6 +23,10 @@ type t = {
   counters : Instrument.t;
   policy : Transport.policy;
   durability : Repl.durability;
+  layers : bool;
+      (* every TC's manager runs a layered log store: truncation floors
+         at the store's durable watermark, failover can redo from
+         layers, standbys bootstrap from materialized state *)
   mutable seed : int;
   dcs : (string, Dc.t) Hashtbl.t;
   tcs : (string, Tc.t) Hashtbl.t;
@@ -41,11 +47,12 @@ type t = {
 }
 
 let create ?(counters = Instrument.global) ?(policy = Transport.reliable)
-    ?(durability = Repl.Primary_only) ?(seed = 42) () =
+    ?(durability = Repl.Primary_only) ?(layers = false) ?(seed = 42) () =
   {
     counters;
     policy;
     durability;
+    layers;
     seed;
     dcs = Hashtbl.create 4;
     tcs = Hashtbl.create 4;
@@ -139,6 +146,28 @@ let link t ~tc_name ~dc_name =
       }
   end
 
+(* Point-in-time reads are answered by whichever layered manager holds
+   history (looked up at call time — managers may not exist yet when the
+   DC is wired).  One layered TC is the supported shape: stores are
+   per-TC, and merging overlapping histories is not defined here. *)
+let wire_history_read t ~dc_name =
+  let dc = Hashtbl.find t.dcs dc_name in
+  Dc.set_history_read dc (fun ~table ~key ~at ->
+      let stores =
+        Hashtbl.fold
+          (fun _ m acc ->
+            match Repl.Manager.layer_store m with
+            | Some s -> s :: acc
+            | None -> acc)
+          t.managers []
+      in
+      match stores with
+      | [ store ] -> Layer.reconstruct store ~table ~key ~at
+      | [] -> invalid_arg "Deploy.read_as_of: no layered manager yet"
+      | _ ->
+        invalid_arg
+          "Deploy.read_as_of: multiple layered TCs hold overlapping history")
+
 let add_dc t ~name config =
   if Hashtbl.mem t.dcs name then invalid_arg ("Deploy.add_dc: dup " ^ name);
   let dc = Dc.create ~counters:t.counters config in
@@ -146,6 +175,7 @@ let add_dc t ~name config =
   t.next_part <- t.next_part + 1;
   Hashtbl.add t.dcs name dc;
   Hashtbl.add t.dc_configs name config;
+  if t.layers then wire_history_read t ~dc_name:name;
   Hashtbl.iter (fun tc_name _ -> link t ~tc_name ~dc_name:name) t.tcs;
   dc
 
@@ -161,6 +191,7 @@ let manager_for t tc_name =
         ~cfg:{ Repl.Manager.default_config with durability = t.durability }
         (Hashtbl.find t.tcs tc_name)
     in
+    if t.layers then Repl.Manager.enable_layers m;
     Hashtbl.add t.managers tc_name m;
     m
 
@@ -226,6 +257,15 @@ let add_replica t ~dc:primary =
         Dc.create_table (Repl.Standby.dc sb) ~name:tname ~versioned)
       (List.rev !tabs)
   | None -> ());
+  (* With layers on, a fresh standby is born from the store's
+     materialized state and only the post-layer suffix ships — also the
+     only correct start when truncation already passed LSN 1. *)
+  if t.layers then
+    Hashtbl.iter
+      (fun _ m ->
+        if Option.is_some (Repl.Manager.layer_store m) then
+          ignore (Repl.Manager.bootstrap_standby m ~standby:sb ~primary))
+      t.managers;
   Hashtbl.add t.standbys name { sb_standby = sb; sb_primary = primary };
   Hashtbl.iter (fun tc_name _ -> attach_replica t ~tc_name ~sb_name:name) t.tcs;
   name
@@ -247,6 +287,10 @@ let add_tc t ~name config =
   if Hashtbl.mem t.tcs name then invalid_arg ("Deploy.add_tc: dup " ^ name);
   let tc = Tc.create ~counters:t.counters config in
   Hashtbl.add t.tcs name tc;
+  (* With layers on, the manager (and its store + TC hooks) must exist
+     even for a TC that never gains a replica — truncation floors and
+     history replay are layer concerns, not replica concerns. *)
+  if t.layers then ignore (manager_for t name);
   Hashtbl.iter (fun dc_name _ -> link t ~tc_name:name ~dc_name) t.dcs;
   (* A late TC routes every already-partitioned table the same way. *)
   Hashtbl.iter (fun tname pt -> install_ptable_route t tc tname pt) t.ptables;
@@ -487,6 +531,8 @@ let fail_over ?(catch_up = true) t ~dc:dc_name =
     (fun tc_name _ -> Hashtbl.remove t.transports (tc_name, dc_name))
     t.tcs;
   Hashtbl.iter (fun tc_name _ -> link t ~tc_name ~dc_name) t.tcs;
+  (* the promoted DC answers point-in-time reads like the old primary *)
+  if t.layers then wire_history_read t ~dc_name;
   (* each TC re-drives only the gap past the standby's applied LSN *)
   Hashtbl.iter
     (fun _ tc ->
@@ -497,6 +543,73 @@ let fail_over ?(catch_up = true) t ~dc:dc_name =
   Metrics.stop t.counters "repl.promote_ns" t0;
   Trace.record ~tid:0 ~comp:"repl" ~ev:"promote"
     [ ("dc", dc_name); ("standby", chosen) ]
+
+(* Rebuild a replica from layers: a fresh standby is populated with the
+   store's materialized state and rejoins at the post-layer suffix — the
+   recovery path for a [Rebuild_required] replica whose missed history
+   the log no longer retains.  The old replica object is discarded
+   entirely (manager entries, repl links); the rebuilt one keeps its
+   name.  Returns the number of records installed. *)
+let rebuild_replica t name =
+  let e =
+    match Hashtbl.find_opt t.standbys name with
+    | Some e -> e
+    | None -> invalid_arg ("Deploy.rebuild_replica: unknown " ^ name)
+  in
+  if not t.layers then
+    invalid_arg "Deploy.rebuild_replica: deployment has no layer stores";
+  let primary = e.sb_primary in
+  Hashtbl.iter (fun _ m -> Repl.Manager.remove m ~name) t.managers;
+  Hashtbl.iter
+    (fun tc_name _ -> Hashtbl.remove t.repl_transports (tc_name, name))
+    t.tcs;
+  let dc_obj = Hashtbl.find t.dcs primary in
+  let sb =
+    Repl.Standby.create ~counters:t.counters
+      (Hashtbl.find t.dc_configs primary)
+      ~part:(Dc.part dc_obj)
+  in
+  (match Hashtbl.find_opt t.dc_tables primary with
+  | Some tabs ->
+    List.iter
+      (fun (tname, versioned) ->
+        Dc.create_table (Repl.Standby.dc sb) ~name:tname ~versioned)
+      (List.rev !tabs)
+  | None -> ());
+  let installed =
+    Hashtbl.fold
+      (fun _ m acc ->
+        if Option.is_some (Repl.Manager.layer_store m) then
+          acc + Repl.Manager.bootstrap_standby m ~standby:sb ~primary
+        else acc)
+      t.managers 0
+  in
+  Hashtbl.replace t.standbys name { sb_standby = sb; sb_primary = primary };
+  Hashtbl.iter (fun tc_name _ -> attach_replica t ~tc_name ~sb_name:name) t.tcs;
+  Instrument.bump t.counters "deploy.replica_rebuilds";
+  installed
+
+(* The user-visible point-in-time read: route the key to its owning DC
+   (partition map for partitioned tables, the TC's routing otherwise)
+   and answer through the DC's history hook, after freshening every
+   store to end-of-stable-log so any [at <= stable] is answerable. *)
+let read_as_of ?tc:tc_sel t ~table ~key ~at =
+  Hashtbl.iter (fun _ m -> Repl.Manager.sync_layers m) t.managers;
+  let dc_name =
+    if Hashtbl.mem t.ptables table then partition_dc t ~table ~key
+    else begin
+      let tc_name =
+        match tc_sel with
+        | Some n -> n
+        | None -> (
+          match tc_names t with
+          | [ n ] -> n
+          | _ -> invalid_arg "Deploy.read_as_of: several TCs; pass ~tc")
+      in
+      Tc.dc_of_op (tc t tc_name) (Op.Read { table; key; mode = Op.Own })
+    end
+  in
+  Dc.read_as_of (dc t dc_name) ~table ~key ~at
 
 let take_last_faulted t =
   let f = t.last_faulted in

@@ -22,12 +22,21 @@ val create :
   ?counters:Untx_util.Instrument.t ->
   ?policy:Untx_kernel.Transport.policy ->
   ?durability:Untx_repl.Repl.durability ->
+  ?layers:bool ->
   ?seed:int ->
   unit ->
   t
 (** [durability] (default [Primary_only]) governs every replicated
     primary: under [Quorum k] commit acknowledgements wait for [k]
-    standby acks per replicated partition. *)
+    standby acks per replicated partition.
+
+    [layers] (default [false]) runs every TC's shipping manager on an
+    {!Untx_layer} store ({!Untx_repl.Repl.Manager.enable_layers}):
+    checkpoint truncation floors at the store's durable watermark
+    instead of the slowest detached replica's cursor, failover can redo
+    below the retained log head from layers, fresh standbys bootstrap
+    from materialized state, and {!read_as_of} answers point-in-time
+    lookups. *)
 
 val add_dc : t -> name:string -> Untx_dc.Dc.config -> Untx_dc.Dc.t
 (** The DC is assigned the next partition id ({!Untx_dc.Dc.part}) and
@@ -140,6 +149,33 @@ val fail_over : ?catch_up:bool -> t -> dc:string -> unit
     when the suffix is retained.  Raises {!Promotion_refused} when no
     candidate is eligible.  Counted as ["repl.promotions"]; timed as
     ["repl.promote_ns"]. *)
+
+val rebuild_replica : t -> string -> int
+(** Rebuild the named replica from layers: discard the old standby
+    object entirely, mint a fresh one from the primary's config and
+    schema, install the layer store's materialized current state
+    ({!Untx_repl.Repl.Manager.bootstrap_standby}), and reattach so only
+    the post-layer suffix ships — the recovery path for a
+    rebuild-required replica whose missed history the log no longer
+    retains.  Returns the number of records installed.  Raises
+    [Invalid_argument] for unknown replicas or deployments created
+    without [~layers:true]. *)
+
+val read_as_of :
+  ?tc:string ->
+  t ->
+  table:string ->
+  key:string ->
+  at:Untx_util.Lsn.t ->
+  string option
+(** Point-in-time read: the key's visible value after every logged
+    operation at or below [at] — [None] if absent or deleted there.
+    Routed to the owning DC (partition map, or [~tc]'s routing for
+    unpartitioned tables; [~tc] may be omitted with a single TC) and
+    answered through its history hook ({!Untx_dc.Dc.read_as_of}) backed
+    by the layer store's [reconstruct].  Every store is synced to
+    end-of-stable-log first, so any [at <= stable_lsn] is answerable.
+    Requires [~layers:true]. *)
 
 val crash_for_point : t -> point:string -> tc:string -> dc:string -> unit
 (** Kill whichever component owns the fault point (see

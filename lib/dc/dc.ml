@@ -91,6 +91,11 @@ type t = {
          partition are rejected instead of applied *)
   mutable h_apply_part : string;
       (* per-partition apply histogram name, rebuilt on set_identity *)
+  mutable history_read :
+    (table:string -> key:string -> at:Lsn.t -> string option) option;
+      (* versioned-read hook: a layer store answers point-in-time
+         lookups below the current state; the DC itself keeps only the
+         newest record version *)
 }
 
 let config t = t.cfg
@@ -328,6 +333,7 @@ let create ?(counters = Instrument.global) cfg =
       escalated = false;
       part = 0;
       h_apply_part = "dc.apply_ns.p0";
+      history_read = None;
     }
   in
   Cache.set_policy cache
@@ -685,6 +691,30 @@ let seal_table t ~name =
         "Dc.seal_table: table has unflushable dirty pages (quiesce first)";
     tbl.sealed <- true;
     write_master t
+
+(* Bootstrap backdoor: install a fully materialized record straight into
+   the tree, bypassing the wire path.  No LSN is consumed and no
+   abstract-LSN state is touched — the installed page's empty ablsns are
+   exactly right, because the caller follows up with a watermark
+   adoption claiming the whole installed prefix as covered-by-state. *)
+let install_record t ~table ~key record =
+  match find_table t table with
+  | None -> invalid_arg ("Dc.install_record: unknown table " ^ table)
+  | Some tbl ->
+    Btree.set tbl.tree ~key ~data:(Stored_record.encode record);
+    let leaf = Btree.find_leaf tbl.tree key in
+    Cache.mark_dirty t.cache leaf;
+    Instrument.bump t.counters "dc.installed_records"
+
+let set_history_read t f = t.history_read <- Some f
+
+let read_as_of t ~table ~key ~at =
+  match t.history_read with
+  | None ->
+    invalid_arg "Dc.read_as_of: no history-read hook installed (layers off?)"
+  | Some h ->
+    Instrument.bump t.counters "dc.history_reads";
+    h ~table ~key ~at
 
 (* ------------------------------------------------------------------ *)
 (* TC failure: cache reset (Section 5.3.2 / 6.1.2)                     *)

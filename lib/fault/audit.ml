@@ -209,6 +209,64 @@ let check_replicas d errs =
       replicated
   end
 
+(* Layer parity: after syncing the store to end-of-stable-log, every
+   record the store holds, reconstructed at the ingest watermark, must
+   match both the store's own current view and the owning DC's live
+   visible value.  Only with exactly one layered TC — the store holds a
+   single TC's history, so with several layered stores no single one is
+   an oracle for a shared DC. *)
+let check_layers d errs =
+  let module Layer = Untx_layer.Layer in
+  let module Op = Untx_msg.Op in
+  let layered =
+    List.filter_map
+      (fun tcn ->
+        match Untx_repl.Repl.Manager.layer_store (Deploy.manager d ~tc:tcn) with
+        | Some s -> Some (tcn, s)
+        | None -> None)
+      (Deploy.tc_names d)
+  in
+  match layered with
+  | [ (tcn, store) ] ->
+    List.iter (fun n -> Tc.force_log (Deploy.tc d n)) (Deploy.tc_names d);
+    Untx_repl.Repl.Manager.sync_layers (Deploy.manager d ~tc:tcn);
+    let tc = Deploy.tc d tcn in
+    let at = Layer.ingested_lsn store in
+    let dumps = Hashtbl.create 8 in
+    let live dc_name table key =
+      let id = (dc_name, table) in
+      let rows =
+        match Hashtbl.find_opt dumps id with
+        | Some rows -> rows
+        | None ->
+          let rows = Dc.dump_table (Deploy.dc d dc_name) table in
+          Hashtbl.replace dumps id rows;
+          rows
+      in
+      Option.bind (List.assoc_opt key rows) Stored_record.current
+    in
+    Layer.iter_current store (fun ~table ~key record ->
+        let rebuilt = Layer.reconstruct store ~table ~key ~at in
+        if rebuilt <> Stored_record.current record then
+          errs :=
+            Printf.sprintf
+              "layer: reconstruct %s/%s at %s disagrees with the store's \
+               current state"
+              table key
+              (Untx_util.Lsn.to_string at)
+            :: !errs;
+        let dc_name = Tc.dc_of_op tc (Op.Read { table; key; mode = Op.Own }) in
+        if rebuilt <> live dc_name table key then
+          errs :=
+            Printf.sprintf
+              "layer: reconstruct %s/%s at %s disagrees with the live value \
+               on %s"
+              table key
+              (Untx_util.Lsn.to_string at)
+              dc_name
+            :: !errs)
+  | _ -> ()
+
 let run_deploy d ~tc ~table ~expected =
   let errs = ref [] in
   List.iter
@@ -225,4 +283,5 @@ let run_deploy d ~tc ~table ~expected =
     (Deploy.dc_names d);
   check_oracle_deploy d ~table ~expected errs;
   check_replicas d errs;
+  check_layers d errs;
   { violations = List.rev !errs; redelivered }

@@ -23,6 +23,7 @@ type report = {
   r_hops : (string * Metrics.hsnap) list;
   r_parts : (int * Metrics.hsnap) list; (* per-partition round trips *)
   r_repl : (string * int) list; (* replication events by kind (ship/ack/…) *)
+  r_layer : (string * int) list; (* layer-store events by kind (compact/…) *)
 }
 
 (* ---- JSONL parsing ---------------------------------------------------- *)
@@ -238,17 +239,21 @@ let analyze events =
   in
   (* Replication traffic is untraced (tid 0 — no operation owns a ship),
      so it is counted by event kind rather than joined into timelines. *)
-  let r_repl =
+  let count_component comp =
     let counts = Hashtbl.create 4 in
     List.iter
       (fun (e : Trace.event) ->
-        if e.Trace.e_comp = "repl" then
+        if e.Trace.e_comp = comp then
           Hashtbl.replace counts e.Trace.e_ev
             (1 + Option.value ~default:0 (Hashtbl.find_opt counts e.Trace.e_ev)))
       events;
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
+  let r_repl = count_component "repl" in
+  (* Layer-store traffic (compactions, bootstraps) is likewise untraced
+     per-operation; count it by kind. *)
+  let r_layer = count_component "layer" in
   {
     r_timelines = timelines;
     r_orphans =
@@ -260,6 +265,7 @@ let analyze events =
         (Metrics.hist_names hops);
     r_parts;
     r_repl;
+    r_layer;
   }
 
 let pp_summary ppf r =
@@ -283,6 +289,11 @@ let pp_summary ppf r =
   if r.r_repl <> [] then begin
     Format.fprintf ppf "repl:";
     List.iter (fun (ev, n) -> Format.fprintf ppf " %s=%d" ev n) r.r_repl;
+    Format.fprintf ppf "@,"
+  end;
+  if r.r_layer <> [] then begin
+    Format.fprintf ppf "layer:";
+    List.iter (fun (ev, n) -> Format.fprintf ppf " %s=%d" ev n) r.r_layer;
     Format.fprintf ppf "@,"
   end;
   Format.fprintf ppf "@]"

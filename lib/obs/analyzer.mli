@@ -29,6 +29,9 @@ type report = {
       (** replication events counted by kind (["ship"], ["ack"],
           ["promote"]); repl traffic is untraced (tid 0) so it appears
           here rather than in timelines *)
+  r_layer : (string * int) list;
+      (** layer-store events counted by kind (["compact"],
+          ["bootstrap"]), untraced like repl traffic *)
 }
 
 val of_jsonl : string -> Trace.event list

@@ -8,6 +8,8 @@ module Wire = Untx_msg.Wire
 module Session = Untx_msg.Session
 module Dc = Untx_dc.Dc
 module Tc = Untx_tc.Tc
+module Op = Untx_msg.Op
+module Layer = Untx_layer.Layer
 
 (* Log-shipping replication: each partition's primary DC gains K warm
    standbys fed continuously from the TC's *stable* log over the repl
@@ -136,6 +138,16 @@ module Standby = struct
     Hashtbl.reset t.applied
 
   let recover t = Dc.recover t.dc
+
+  (* Bootstrap adoption: the standby's DC was just populated with a
+     layer store's materialized state at [upto], outside the wire path.
+     Claim the whole installed prefix — watermarks at [upto] make the
+     (empty) abstract LSNs of the installed pages read as
+     covered-by-state, and the applied cursor makes the next hello
+     resume shipping at the suffix. *)
+  let adopt t ~tc ~upto =
+    ignore (Dc.control t.dc (Wire.Watermarks { tc; eosl = upto; lwm = upto }));
+    Hashtbl.replace t.applied (Tc_id.to_int tc) upto
 end
 
 module Manager = struct
@@ -204,7 +216,42 @@ module Manager = struct
         (* the primary whose stream was last being shipped — the chaos
            harness reads this to know which primary a kill at the
            ["repl.ship.batch"] point belongs to *)
+    mutable layer : Layer.t option;
+        (* the layered log store absorbing this TC's stable redo; with
+           one installed, truncation is floored at its durable high
+           watermark instead of the slowest detached replica's cursor *)
   }
+
+  (* Absorb the stable suffix the layer store has not ingested yet.
+     Runs at every durability-gate force and floor consult, so the store
+     tracks end-of-stable-log and compaction happens on the way.  The
+     start cursor is clamped at the retained head for the first sync of
+     a store enabled on an already-truncated log — such a store only
+     covers history from that point on. *)
+  let sync_layers t =
+    match t.layer with
+    | None -> ()
+    | Some store ->
+      let stable = Tc.stable_lsn t.tc in
+      if Lsn.(Layer.ingested_lsn store < stable) then
+        let from =
+          Lsn.max
+            (Lsn.next (Layer.ingested_lsn store))
+            (Tc.log_retained_from t.tc)
+        in
+        Layer.absorb store ~upto:stable (fun emit ->
+            Tc.iter_stable_ops_from t.tc ~from emit)
+
+  (* Whether the store's coverage meets the retained log with no gap:
+     every LSN is then reconstructible — below the ingest watermark from
+     layers, above it from the log.  This is what lets a detached
+     laggard's history stop pinning truncation, and what makes it
+     promotable through layer-sourced redo. *)
+  let layer_contiguous t =
+    match t.layer with
+    | None -> false
+    | Some store ->
+      Lsn.(Tc.log_retained_from t.tc <= Lsn.next (Layer.ingested_lsn store))
 
   (* Replication must never let log truncation pass what the slowest
      replica still needs: catch-up reads the stable log from the
@@ -220,11 +267,13 @@ module Manager = struct
      log volume leases pin, recorded as the ["repl.floor_lag"]
      histogram. *)
   let truncate_floor t =
+    sync_layers t;
+    let layered = layer_contiguous t in
     let floor =
       Hashtbl.fold
         (fun _ r acc ->
           (match r.r_state with
-          | Detached { lease } ->
+          | Detached { lease } when not layered ->
             let forced =
               try
                 Fault.hit p_lease_expire;
@@ -239,15 +288,30 @@ module Manager = struct
                   [ ("replica", r.r_name); ("forced", string_of_bool forced) ]
             end
             else r.r_state <- Detached { lease = lease - 1 }
-          | Attached | Rebuild_required -> ());
+          | Attached | Detached _ | Rebuild_required -> ());
           match r.r_state with
           | Rebuild_required -> acc
+          (* With contiguous layer coverage a detached replica's missed
+             history is reconstructible from layers + retained tail: it
+             neither burns a lease nor pins the floor at its frozen
+             cursor — the layer store's durable watermark (below) is the
+             only retention its recovery needs. *)
+          | Detached _ when layered -> acc
           | Attached | Detached _ -> (
             let need = Lsn.next r.r_applied in
             match acc with
             | None -> Some need
             | Some a -> Some (Lsn.min a need)))
         t.replicas None
+    in
+    (* The store itself needs the un-compacted tail retained: a layer
+       crash re-absorbs (durable, stable] from the log. *)
+    let floor =
+      match t.layer with
+      | None -> floor
+      | Some store ->
+        let need = Lsn.next (Layer.durable_lsn store) in
+        Some (match floor with None -> need | Some f -> Lsn.min f need)
     in
     (match floor with
     | Some f ->
@@ -286,10 +350,27 @@ module Manager = struct
      every replica's applied LSN tracks the whole stable log and quorum
      gating needs no per-partition bookkeeping.  Returns the number of
      operations shipped (catch-up accounting). *)
+  let rebuild_required t r ~why =
+    r.r_state <- Rebuild_required;
+    Instrument.bump t.counters "repl.rebuild_required";
+    if Trace.enabled () then
+      Trace.record ~tid:0 ~comp:"repl" ~ev:"rebuild.required"
+        [ ("replica", r.r_name); ("why", why) ]
+
   let ship_replica t r =
     let stable = Tc.stable_lsn t.tc in
     let shipped = ref 0 in
-    if attached r && Lsn.(r.r_cursor <= stable) then begin
+    if
+      attached r
+      && Lsn.(r.r_cursor <= stable)
+      && Lsn.(r.r_cursor < Tc.log_retained_from t.tc)
+    then
+      (* Truncation passed the shipping cursor (a fresh standby attached
+         to an already-truncated log): re-shipping would silently skip
+         the missing prefix.  Demote honestly; a layer bootstrap is the
+         recovery path. *)
+      rebuild_required t r ~why:"ship cursor below retained log"
+    else if attached r && Lsn.(r.r_cursor <= stable) then begin
       let tc_id = Tc.id t.tc in
       let eosl = stable and lwm = stable in
       (* the standby caps the lwm claim at its own applied cursor; see
@@ -389,6 +470,7 @@ module Manager = struct
      every replicated primary (clamped to how many it has) confirm the
      LSN. *)
   let gate t lsn =
+    sync_layers t;
     ship t;
     ignore (pump t);
     match t.cfg.durability with
@@ -415,11 +497,55 @@ module Manager = struct
 
   let create ?(counters = Instrument.global) ?(cfg = default_config) tc =
     let t =
-      { cfg; tc; counters; replicas = Hashtbl.create 4; last_ship = None }
+      {
+        cfg;
+        tc;
+        counters;
+        replicas = Hashtbl.create 4;
+        last_ship = None;
+        layer = None;
+      }
     in
     Tc.set_durability_gate tc (fun lsn -> gate t lsn);
     Tc.set_truncate_floor tc (fun () -> truncate_floor t);
     t
+
+  (* Switch this manager's TC onto the layered log store: absorb its
+     stable redo from here on, and install the TC's history-replay hook
+     so failover can redo below the retained head from layers.  The
+     store is registered before any truncation it would need to survive;
+     enabling on an already-truncated log is legal but only covers
+     history from the current retained head. *)
+  let enable_layers ?l0_seal_ops ?compact_runs t =
+    match t.layer with
+    | Some _ -> ()
+    | None ->
+      let store =
+        Layer.create ?l0_seal_ops ?compact_runs ~counters:t.counters
+          ~writer:(Tc.id t.tc)
+          ~versioned:(fun table -> Tc.table_versioned t.tc table)
+          ()
+      in
+      t.layer <- Some store;
+      Tc.set_history_replay t.tc (fun ~from ~upto ->
+          (* the floor keeps retained <= durable+1 <= ingested+1, so a
+             request for [from, retained) is always coverable once the
+             store has synced at least once past [from] *)
+          if Lsn.(Lsn.zero < from) && Lsn.(upto <= Layer.ingested_lsn store)
+          then Some (fun emit -> Layer.iter_ops store ~from ~upto emit)
+          else None)
+
+  let layer_store t = t.layer
+
+  (* Fold everything absorbed so far into L1 (bench/tests drive this to
+     move the durable watermark without waiting out the auto-compaction
+     thresholds). *)
+  let compact_layers t =
+    match t.layer with
+    | None -> ()
+    | Some store ->
+      sync_layers t;
+      Layer.compact ~all:true store
 
   let durability t = t.cfg.durability
 
@@ -485,18 +611,17 @@ module Manager = struct
 
   (* Whether the stable log still retains everything past the standby's
      exact applied cursor — the condition under which its missed suffix
-     is provably reconstructible by re-shipping (catch-up) or TC redo.
-     A candidate caught up to the rssp is always covered: truncation
-     cuts never pass the checkpoint target, so retained_from <= rssp. *)
-  let covered t r =
+     is provably reconstructible by re-shipping (catch-up) or TC redo
+     alone.  A candidate caught up to the rssp is always covered:
+     truncation cuts never pass the checkpoint target, so
+     retained_from <= rssp. *)
+  let log_covered t r =
     Lsn.(Tc.log_retained_from t.tc <= Lsn.next (exact_applied t r))
 
-  let rebuild_required t r ~why =
-    r.r_state <- Rebuild_required;
-    Instrument.bump t.counters "repl.rebuild_required";
-    if Trace.enabled () then
-      Trace.record ~tid:0 ~comp:"repl" ~ev:"rebuild.required"
-        [ ("replica", r.r_name); ("why", why) ]
+  (* Promotion coverage: the log alone suffices, or a contiguous layer
+     store fills the gap below the retained head (layer-sourced redo via
+     the TC's history-replay hook) and the log covers the rest. *)
+  let covered t r = log_covered t r || layer_contiguous t
 
   let reattach t ~name =
     match Hashtbl.find_opt t.replicas name with
@@ -516,7 +641,15 @@ module Manager = struct
          that crashed while away.  If truncation has passed that cursor
          the missed records are gone and re-shipping would silently
          skip them: demote instead of resuming with a hole. *)
-      if covered t r then ignore (ship_replica t r)
+      if log_covered t r then ignore (ship_replica t r)
+      else if layer_contiguous t then begin
+        (* The missed middle lives only in layers, and shipping cannot
+           resume mid-stream without it.  The replica is still fully
+           recoverable (layer-sourced redo on promotion, or a layer
+           bootstrap), so park it detached instead of demoting. *)
+        r.r_state <- Detached { lease = t.cfg.lease_checkpoints };
+        Instrument.bump t.counters "repl.reattach_deferred"
+      end
       else rebuild_required t r ~why:"reattach cursor below retained log"
     | None -> invalid_arg ("Repl.reattach: unknown replica " ^ name)
 
@@ -545,20 +678,30 @@ module Manager = struct
       (match r.r_state with
       | Rebuild_required ->
         invalid_arg ("Repl.catch_up: " ^ name ^ " requires a rebuild")
-      | Detached _ ->
-        ignore (Session.Sender.new_epoch r.r_session);
-        r.r_state <- Attached;
-        hello t r
-      | Attached -> ());
-      let stable = Tc.stable_lsn t.tc in
-      let shipped = ship_replica t r in
-      if shipped > 0 then begin
-        Instrument.bump_by t.counters "repl.catchup_ops" shipped;
-        if Trace.enabled () then
-          Trace.record ~tid:0 ~comp:"repl" ~ev:"catchup"
-            [ ("replica", r.r_name); ("ops", string_of_int shipped) ]
-      end;
-      await t (fun () -> Lsn.(r.r_applied >= stable))
+      | Detached _ | Attached -> ());
+      if not (log_covered t r) then
+        (* The gap below the retained head lives only in layers;
+           shipping the retained suffix over it would apply the stream
+           out of order.  Leave the cursor frozen — promotion re-drives
+           the whole gap through layer-sourced redo instead. *)
+        Instrument.bump t.counters "repl.catchup_skipped"
+      else begin
+        (match r.r_state with
+        | Detached _ ->
+          ignore (Session.Sender.new_epoch r.r_session);
+          r.r_state <- Attached;
+          hello t r
+        | Attached | Rebuild_required -> ());
+        let stable = Tc.stable_lsn t.tc in
+        let shipped = ship_replica t r in
+        if shipped > 0 then begin
+          Instrument.bump_by t.counters "repl.catchup_ops" shipped;
+          if Trace.enabled () then
+            Trace.record ~tid:0 ~comp:"repl" ~ev:"catchup"
+              [ ("replica", r.r_name); ("ops", string_of_int shipped) ]
+        end;
+        await t (fun () -> Lsn.(r.r_applied >= stable))
+      end
 
   let state_of t ~name =
     match Hashtbl.find_opt t.replicas name with
@@ -592,6 +735,7 @@ module Manager = struct
      confirms it — replication parity, used by quiesce and the
      deployment auditor before comparing replica state. *)
   let settle t =
+    sync_layers t;
     ship t;
     let stable = Tc.stable_lsn t.tc in
     await t (fun () ->
@@ -604,4 +748,36 @@ module Manager = struct
     match Hashtbl.find_opt t.replicas name with
     | Some r -> Lsn.to_int (Tc.stable_lsn t.tc) - Lsn.to_int r.r_applied
     | None -> 0
+
+  (* Layer-fed standby bootstrap: install the store's materialized state
+     (this TC's records routed to [primary] only) straight into the
+     standby's DC, then adopt the store's ingest watermark as the
+     applied cursor.  The subsequent [attach]'s hello resumes shipping
+     at the post-layer suffix — a fresh replica costs the current state
+     size, not a full-redo replay from LSN 1.  Returns the number of
+     records installed. *)
+  let bootstrap_standby t ~standby ~primary =
+    match t.layer with
+    | None -> invalid_arg "Repl.bootstrap_standby: layers not enabled"
+    | Some store ->
+      sync_layers t;
+      let installed = ref 0 in
+      Layer.iter_current store (fun ~table ~key record ->
+          let routed =
+            Tc.dc_of_op t.tc (Op.Read { table; key; mode = Op.Own })
+          in
+          if String.equal routed primary then begin
+            Dc.install_record (Standby.dc standby) ~table ~key record;
+            incr installed
+          end);
+      Standby.adopt standby ~tc:(Tc.id t.tc) ~upto:(Layer.ingested_lsn store);
+      Instrument.bump_by t.counters "repl.bootstrap_installs" !installed;
+      if Trace.enabled () then
+        Trace.record ~tid:0 ~comp:"repl" ~ev:"bootstrap"
+          [
+            ("primary", primary);
+            ("installed", string_of_int !installed);
+            ("upto", Lsn.to_string (Layer.ingested_lsn store));
+          ];
+      !installed
 end

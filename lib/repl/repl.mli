@@ -76,6 +76,13 @@ module Standby : sig
       the idempotence path. *)
 
   val recover : t -> unit
+
+  val adopt : t -> tc:Untx_util.Tc_id.t -> upto:Untx_util.Lsn.t -> unit
+  (** Bootstrap adoption: the standby's DC was just populated with a
+      layer store's materialized state at [upto] (outside the wire
+      path).  Claim the whole installed prefix — watermarks at [upto]
+      and the applied cursor set so the next hello resumes shipping at
+      the suffix.  Only correct right after such an install. *)
 end
 
 (** The TC-side shipping engine: one per TC, managing every replica of
@@ -123,6 +130,42 @@ module Manager : sig
 
   val durability : t -> durability
 
+  val enable_layers : ?l0_seal_ops:int -> ?compact_runs:int -> t -> unit
+  (** Switch this manager's TC onto an {!Untx_layer} store: the stable
+      redo stream is absorbed into L0 at every durability-gate force and
+      floor consult, checkpoint truncation is re-floored at the store's
+      durable high watermark (a detached laggard stops pinning the log
+      once layer coverage meets the retained head — its lease machinery
+      goes dormant), and the TC's history-replay hook is installed so
+      failover can redo below the retained head from layers.  Idempotent
+      after the first call.  Enabling on an already-truncated log only
+      covers history from the current retained head. *)
+
+  val layer_store : t -> Untx_layer.Layer.t option
+
+  val sync_layers : t -> unit
+  (** Absorb the stable suffix the store has not ingested yet (no-op
+      without {!enable_layers}).  Runs implicitly at every
+      durability-gate force, floor consult and {!settle}; explicit for
+      callers about to read the store at end-of-stable-log. *)
+
+  val compact_layers : t -> unit
+  (** Sync the store to end-of-stable-log and fold everything absorbed
+      into L1 ([compact ~all]), advancing the durable watermark — the
+      explicit handle tests and benches use instead of waiting out the
+      auto-compaction thresholds.  No-op without {!enable_layers}. *)
+
+  val bootstrap_standby : t -> standby:Standby.t -> primary:string -> int
+  (** Layer-fed standby creation: install the store's materialized
+      current state (this TC's records routed to [primary]) directly
+      into the standby's DC ({!Untx_dc.Dc.install_record}), then
+      {!Standby.adopt} the store's ingest watermark.  A subsequent
+      {!attach} resumes shipping at the post-layer suffix, so a fresh
+      replica costs the live state size instead of a full-redo replay
+      from LSN 1 — and a {!Rebuild_required} replica becomes recoverable
+      by rebuilding through this path.  Returns the number of records
+      installed.  Raises [Invalid_argument] without {!enable_layers}. *)
+
   val attach :
     t ->
     name:string ->
@@ -152,9 +195,13 @@ module Manager : sig
       missed suffix — provided the log still retains it.  If the
       standby's cursor (zero, for one that crashed while away) fell
       below {!Untx_tc.Tc.log_retained_from}, the replica is demoted to
-      {!Rebuild_required} instead of resuming with a silent hole.
-      Raises [Invalid_argument] for an unknown or already
-      rebuild-required replica. *)
+      {!Rebuild_required} instead of resuming with a silent hole — or,
+      when a contiguous layer store covers the missing middle, parked
+      [Detached] again (counted ["repl.reattach_deferred"]): shipping
+      cannot resume mid-stream, but promotion through layer-sourced
+      redo or a layer bootstrap still can recover it.  Raises
+      [Invalid_argument] for an unknown or already rebuild-required
+      replica. *)
 
   val catch_up : t -> name:string -> unit
   (** Re-ship the retained stable suffix past the replica's cursor and
@@ -162,15 +209,21 @@ module Manager : sig
       detached).  Promotion runs this on the chosen laggard before
       installing it, so the TC's post-promotion redo shrinks to the
       post-catch-up gap.  Shipped records are counted as
-      ["repl.catchup_ops"].  Raises [Invalid_argument] for an unknown
-      or rebuild-required replica. *)
+      ["repl.catchup_ops"].  When the replica's cursor fell below the
+      retained head and only layers cover the gap, no shipping happens
+      (["repl.catchup_skipped"]) — an out-of-order re-ship would corrupt
+      the stream; promotion re-drives the whole gap through
+      layer-sourced redo instead.  Raises [Invalid_argument] for an
+      unknown or rebuild-required replica. *)
 
   val promotion_eligible : t -> name:string -> bool
   (** The fail-over gate's per-manager half: [true] iff the candidate's
       acked history is provably reconstructible — it is not
-      {!Rebuild_required} and this TC's stable log retains everything
-      past its exact applied cursor, so {!catch_up} or post-promotion
-      redo can re-drive the gap in full.  [false] for unknown names. *)
+      {!Rebuild_required} and either this TC's stable log retains
+      everything past its exact applied cursor, or a contiguous layer
+      store covers the gap below the retained head (layer-sourced redo);
+      {!catch_up} or post-promotion redo can then re-drive the gap in
+      full.  [false] for unknown names. *)
 
   val state_of : t -> name:string -> replica_state
 

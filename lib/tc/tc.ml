@@ -152,6 +152,12 @@ type t = {
       (* extra lower bound on checkpoint log truncation: a replication
          manager returns the lowest LSN a lagging standby still needs,
          so catch-up never finds its cursor truncated away *)
+  mutable history_replay :
+    (from:Lsn.t -> upto:Lsn.t -> ((Lsn.t -> Op.t -> unit) -> unit) option)
+      option;
+      (* redo source for history below retained_from: a layer store that
+         absorbed the truncated prefix returns a feed of the original
+         ops in [from, upto], or None when it cannot cover the range *)
 }
 
 let create ?(counters = Instrument.global) cfg =
@@ -177,6 +183,7 @@ let create ?(counters = Instrument.global) cfg =
     unforced_commits = 0;
     durability_gate = None;
     truncate_floor = None;
+    history_replay = None;
   }
 
 let id t = t.cfg.id
@@ -184,6 +191,8 @@ let id t = t.cfg.id
 let set_durability_gate t f = t.durability_gate <- Some f
 
 let set_truncate_floor t f = t.truncate_floor <- Some f
+
+let set_history_replay t f = t.history_replay <- Some f
 
 let attach_dc t link =
   Hashtbl.replace t.links link.dc_name
@@ -235,6 +244,8 @@ let versioned_of_table t table =
   | Some (Single { r_versioned; _ }) -> r_versioned
   | Some (Partitioned { p_versioned; _ }) -> p_versioned
   | None -> false
+
+let table_versioned = versioned_of_table
 
 let xid txn = txn.t_xid
 
@@ -1259,7 +1270,7 @@ let recover t =
   (* Redo: repeat history by resending logged operations in order.  The
      low-water mark is capped at the redo cursor: history not yet resent
      must count as outstanding. *)
-  Wal.iter_from t.log t.rssp (fun lsn record ->
+  Wal.iter_retained t.log t.rssp (fun lsn record ->
       match record with
       | Log_record.Op_log { op; _ } | Log_record.Compensation { op; _ } ->
         resend_logged t lsn op;
@@ -1349,14 +1360,31 @@ let on_dc_restart ?(from = Lsn.zero) t ~dc =
      against truncation is what keeps it there); when it does not, the
      caller must refuse the promotion (Deploy.fail_over's eligibility
      gate) rather than promote a candidate whose history is gone. *)
+  let retained = Wal.retained_from t.log in
+  (* When the cursor sits below even the retained head, the log alone
+     cannot re-drive the gap — but a layer store that absorbed the
+     truncated prefix can.  Ask the hook for the missing range; with a
+     feed in hand the scan starts at the retained head and the layer
+     replays [from, retained) first, inside the same fence. *)
+  let layer_feed =
+    if Lsn.(Lsn.zero < from) && Lsn.(from < retained) then
+      match t.history_replay with
+      | Some h -> h ~from ~upto:(Lsn.prev retained)
+      | None -> None
+    else None
+  in
   let start =
     if
       Lsn.(Lsn.zero < from)
       && Lsn.(from < t.rssp)
-      && Lsn.(Wal.retained_from t.log <= from)
+      && Lsn.(retained <= from)
     then begin
       Instrument.bump t.counters "tc.redo_below_rssp";
       from
+    end
+    else if Option.is_some layer_feed then begin
+      Instrument.bump t.counters "tc.redo_from_layers";
+      retained
     end
     else Lsn.max t.rssp from
   in
@@ -1402,7 +1430,8 @@ let on_dc_restart ?(from = Lsn.zero) t ~dc =
      (For a promoted standby the cap sits at its applied LSN: the ship
      stream put every earlier effect there, so claims below it are
      covered by real state.) *)
-  t.lwm_cap <- Some (Lsn.prev start);
+  t.lwm_cap <-
+    Some (Lsn.prev (if Option.is_some layer_feed then from else start));
   (* Both fences are barriers: the begin must be applied before any redo
      frame, the end before fresh traffic resumes. *)
   ignore
@@ -1429,7 +1458,16 @@ let on_dc_restart ?(from = Lsn.zero) t ~dc =
   List.iter
     (fun p -> resend_logged ?xid:p.p_xid t p.p_req.Wire.lsn p.p_req.Wire.op)
     early;
-  Wal.iter_from t.log start resend;
+  (* Layer-sourced redo below the retained head, oldest first, before
+     the log takes over at [start]: history repeats in LSN order across
+     the source switch. *)
+  (match layer_feed with
+  | Some feed ->
+    feed (fun lsn op ->
+        if String.equal (route_op t op).ls_link.dc_name dc then
+          resend_logged t lsn op)
+  | None -> ());
+  Wal.iter_retained t.log start resend;
   Wal.iter_volatile t.log resend;
   ignore
     (await_control_reply t ls
@@ -1503,7 +1541,7 @@ let iter_stable_ops t f =
    can still be lost by a TC crash, and a standby must never hold
    effects the TC's log cannot account for. *)
 let iter_stable_ops_from t ~from f =
-  Wal.iter_from t.log from (fun lsn record ->
+  Wal.iter_retained t.log from (fun lsn record ->
       match record with
       | Log_record.Op_log { op; _ } | Log_record.Compensation { op; _ } ->
         f lsn op

@@ -194,9 +194,12 @@ val on_dc_failover : t -> dc:string -> from:Untx_util.Lsn.t -> unit
     advancing — provided the log still retains the suffix
     ([{!log_retained_from} <= from]): the scan then starts at [from]
     and re-drives the whole retained gap (counted as
-    ["tc.redo_below_rssp"]).  If the suffix was truncated the scan
-    clamps up to the rssp as before, which would leave a hole — callers
-    must refuse such promotions instead ({!Untx_repl} eligibility). *)
+    ["tc.redo_below_rssp"]).  If the suffix was truncated, a
+    {!set_history_replay} source covering [[from, retained)] replays the
+    missing gap from layers before the log takes over (counted as
+    ["tc.redo_from_layers"]); with no such source the scan clamps up to
+    the rssp as before, which would leave a hole — callers must refuse
+    such promotions instead ({!Untx_repl} eligibility). *)
 
 val set_durability_gate : t -> (Untx_util.Lsn.t -> unit) -> unit
 (** Install a hook invoked after every group-commit force with the new
@@ -208,6 +211,22 @@ val set_truncate_floor : t -> (unit -> Untx_util.Lsn.t option) -> unit
 (** Install an extra lower bound on checkpoint log truncation: return
     the lowest LSN still needed (e.g. by a lagging standby's catch-up
     cursor), or [None] for no constraint. *)
+
+val set_history_replay :
+  t ->
+  (from:Untx_util.Lsn.t ->
+  upto:Untx_util.Lsn.t ->
+  ((Untx_util.Lsn.t -> Untx_msg.Op.t -> unit) -> unit) option) ->
+  unit
+(** Install a redo source for history {e below} {!log_retained_from}: a
+    layer store that absorbed the truncated prefix returns a feed
+    replaying the original operations in [[from, upto]] in LSN order, or
+    [None] when it cannot cover the range.  {!on_dc_failover} consults
+    it when the promotion cursor sits below the retained head — the feed
+    re-drives the missing gap inside the redo fence (counted as
+    ["tc.redo_from_layers"]) and the log takes over at the retained
+    head, so a laggard whose history lives only in layers is still
+    promotable without data loss. *)
 
 val force_log : t -> unit
 (** Force the log and push the resulting end-of-stable-log — makes the
@@ -262,6 +281,11 @@ val dc_of_op : t -> Untx_msg.Op.t -> string
 (** The DC this operation routes to under the current table maps — the
     owning partition for a partitioned table.  The deployment auditor
     uses it to re-deliver each logged operation to the right DC. *)
+
+val table_versioned : t -> string -> bool
+(** Whether the named table was mapped with [~versioned:true] ([false]
+    for unmapped tables).  A layer store replaying this TC's log needs
+    it to materialize records under the right mutation semantics. *)
 
 val part_of_dc : t -> dc:string -> int
 (** The partition id the named DC's link was attached with. *)

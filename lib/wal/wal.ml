@@ -110,6 +110,16 @@ let retained_from t = t.trunc
 let iter_from t lsn f =
   Seq.iter (fun (l, record) -> f l record) (Lsn.Map.to_seq_from lsn t.stable)
 
+exception Truncated of { wanted : Lsn.t; retained : Lsn.t }
+
+let iter_retained t lsn f =
+  (* Only an actual truncation can have discarded records; the initial
+     floor (Lsn.next Lsn.zero) rejects nothing, so legal from-zero scans
+     over an untruncated log stay legal. *)
+  if Lsn.(lsn < t.trunc) && Lsn.(t.trunc > Lsn.next Lsn.zero) then
+    raise (Truncated { wanted = lsn; retained = t.trunc });
+  iter_from t lsn f
+
 let iter_volatile t f =
   List.iter (fun (lsn, record) -> f lsn record) (List.rev t.volatile)
 

@@ -65,7 +65,8 @@ val retained_from : 'a t -> Untx_util.Lsn.t
     thereafter.  Anything that replays a log suffix — replica catch-up,
     redo from below the redo-scan start point after a laggard promotion
     — must check its start cursor against this before trusting
-    {!iter_from}, which silently skips missing records. *)
+    {!iter_from}, which silently skips missing records — or use
+    {!iter_retained}, which enforces the check. *)
 
 val iter_from :
   'a t -> Untx_util.Lsn.t -> (Untx_util.Lsn.t -> 'a -> unit) -> unit
@@ -74,6 +75,22 @@ val iter_from :
     (O(log n + visited)), so continuous log shipping can re-read the
     suffix past a replica's cursor on every pump without copying or
     rescanning the whole log. *)
+
+exception
+  Truncated of { wanted : Untx_util.Lsn.t; retained : Untx_util.Lsn.t }
+(** Raised by {!iter_retained} when the requested start cursor lies below
+    {!retained_from} after a truncation: records in [[wanted, retained)]
+    have been discarded, so a silent skip would replay an incomplete
+    suffix. *)
+
+val iter_retained :
+  'a t -> Untx_util.Lsn.t -> (Untx_util.Lsn.t -> 'a -> unit) -> unit
+(** {!iter_from} with the retention check enforced: raises {!Truncated}
+    instead of silently skipping when the start cursor is below
+    {!retained_from}.  Scans from any cursor (including [Lsn.zero]) are
+    accepted while the log has never been truncated.  Consumers that
+    {e replay} a suffix (redo, catch-up shipping) use this; plain
+    {!iter_from} remains for whole-log analysis scans. *)
 
 val iter_volatile : 'a t -> (Untx_util.Lsn.t -> 'a -> unit) -> unit
 (** Visit unforced records, in LSN order (normal-execution bookkeeping

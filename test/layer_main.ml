@@ -1,0 +1,3 @@
+let () =
+  Alcotest.run "untx-layer"
+    [ ("layer", Suite_layer.suite); ("props_layer", Props_layer.suite) ]

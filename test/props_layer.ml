@@ -1,0 +1,166 @@
+(* The layered store's reconstruction-equivalence property: for any
+   logged operation stream, [reconstruct] at any sampled LSN equals a
+   pure prefix replay of the same stream — with generator-chosen seal
+   and compaction points interleaved, a mid-compaction crash plan, and a
+   full store crash + re-absorb thrown in.  This is the law that makes
+   the store a safe substitute for retained log history. *)
+
+module Layer = Untx_layer.Layer
+module Op = Untx_msg.Op
+module Tc_id = Untx_util.Tc_id
+module Lsn = Untx_util.Lsn
+module Fault = Untx_fault.Fault
+
+let test prop = QCheck_alcotest.to_alcotest prop
+
+(* One generated step: a write against a small key space, plus the
+   maintenance the driver performs after it. *)
+type step = {
+  s_key : int;
+  s_act : int;  (** 0 = insert, 1 = update, 2 = delete *)
+  s_maint : int;  (** 0 = nothing, 1 = seal, 2 = compact, 3 = crash *)
+}
+
+type scenario = { steps : step list; crashed_compaction : int }
+
+let scenario_gen =
+  QCheck.Gen.(
+    let* n = int_range 10 80 in
+    let* steps =
+      list_repeat n
+        (let* s_key = int_bound 6 in
+         let* s_act = int_bound 2 in
+         let* s_maint =
+           frequency [ (10, return 0); (3, return 1); (2, return 2); (1, return 3) ]
+         in
+         return { s_key; s_act; s_maint })
+    in
+    let* crashed_compaction = int_range 0 3 in
+    return { steps; crashed_compaction })
+
+let pp_step s =
+  Printf.sprintf "k%d/%s%s" s.s_key
+    (match s.s_act with 0 -> "ins" | 1 -> "upd" | _ -> "del")
+    (match s.s_maint with
+    | 1 -> "+seal"
+    | 2 -> "+compact"
+    | 3 -> "+crash"
+    | _ -> "")
+
+let scenario_arb =
+  QCheck.make
+    ~print:(fun s ->
+      Printf.sprintf "crash-compaction=%d [%s]" s.crashed_compaction
+        (String.concat ";" (List.map pp_step s.steps)))
+    scenario_gen
+
+(* The pure oracle: DC mutation semantics over an unversioned table.
+   Failed operations (insert-on-present, update/delete-on-absent) are
+   logged but change nothing — exactly what the store must mirror. *)
+let oracle_apply present op =
+  match op with
+  | Op.Insert { key; value; _ } ->
+    if List.mem_assoc key present then (present, None)
+    else ((key, value) :: present, Some (Some value))
+  | Op.Update { key; value; _ } ->
+    if List.mem_assoc key present then
+      ((key, value) :: List.remove_assoc key present, Some (Some value))
+    else (present, None)
+  | Op.Delete { key; _ } ->
+    if List.mem_assoc key present then
+      (List.remove_assoc key present, Some None)
+    else (present, None)
+  | _ -> (present, None)
+
+let prop_reconstruct_equals_prefix_replay =
+  QCheck.Test.make ~count:60
+    ~name:"reconstruct equals oracle prefix replay at every sampled LSN"
+    scenario_arb (fun sc ->
+      let store =
+        Layer.create ~l0_seal_ops:5 ~compact_runs:3 ~writer:(Tc_id.of_int 1)
+          ~versioned:(fun _ -> false) ()
+      in
+      (* the synthetic stable log the store re-reads after any crash *)
+      let log = ref [] (* (lsn, op), newest first *) in
+      let absorb_all () =
+        (* absorb auto-compacts; an injected mid-compaction crash there
+           is atomic-or-absent just like an explicit one *)
+        try
+          Layer.absorb store ~upto:(Lsn.of_int (List.length !log)) (fun emit ->
+              List.iter (fun (l, op) -> emit l op) (List.rev !log))
+        with Fault.Injected_crash _ -> ()
+      in
+      (* timeline.(k) = (lsn, visible) changes for key k, newest first *)
+      let timeline = Hashtbl.create 16 in
+      let present = ref [] in
+      let compactions = ref 0 in
+      Fault.arm [ Fault.crash_at Layer.p_compact_mid sc.crashed_compaction ];
+      List.iteri
+        (fun i step ->
+          let key = Printf.sprintf "k%d" step.s_key in
+          let op =
+            match step.s_act with
+            | 0 -> Op.Insert { table = "t"; key; value = Printf.sprintf "v%d" i }
+            | 1 -> Op.Update { table = "t"; key; value = Printf.sprintf "v%d" i }
+            | _ -> Op.Delete { table = "t"; key }
+          in
+          let lsn = Lsn.of_int (i + 1) in
+          log := (lsn, op) :: !log;
+          let next, change = oracle_apply !present op in
+          present := next;
+          (match change with
+          | Some visible ->
+            Hashtbl.replace timeline key
+              ((lsn, visible)
+              :: Option.value ~default:[] (Hashtbl.find_opt timeline key))
+          | None -> ());
+          absorb_all ();
+          match step.s_maint with
+          | 1 -> Layer.seal store
+          | 2 -> (
+            incr compactions;
+            try Layer.compact ~all:true store
+            with Fault.Injected_crash _ ->
+              (* atomic-or-absent: the merge is lost, the store keeps
+                 serving, and a later compaction covers the runs *)
+              ())
+          | 3 ->
+            Layer.crash store;
+            absorb_all ()
+          | _ -> ())
+        sc.steps;
+      Fault.disarm ();
+      let max_lsn = List.length sc.steps in
+      (* every LSN is "sampled": small streams make it affordable *)
+      List.iter
+        (fun at ->
+          Hashtbl.iter
+            (fun key changes ->
+              let expected =
+                List.fold_left
+                  (fun acc (l, v) ->
+                    match acc with
+                    | Some _ -> acc
+                    | None -> if Lsn.to_int l <= at then Some v else None)
+                  None changes
+                |> Option.value ~default:None
+              in
+              let got =
+                Layer.reconstruct store ~table:"t" ~key ~at:(Lsn.of_int at)
+              in
+              if got <> expected then
+                QCheck.Test.fail_reportf
+                  "k=%s at=%d: reconstruct=%s oracle=%s" key at
+                  (Option.value ~default:"None" got)
+                  (Option.value ~default:"None" expected))
+            timeline)
+        (List.init (max_lsn + 1) Fun.id);
+      (* and the store's current view agrees with the oracle's present *)
+      let current = ref [] in
+      Layer.iter_current store (fun ~table:_ ~key record ->
+          match Untx_dc.Stored_record.current record with
+          | Some v -> current := (key, v) :: !current
+          | None -> ());
+      List.sort compare !current = List.sort compare !present)
+
+let suite = [ test prop_reconstruct_equals_prefix_replay ]

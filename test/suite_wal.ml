@@ -77,6 +77,77 @@ let test_truncate () =
   Alcotest.(check (option string)) "old gone" None (Wal.find w (lsn 2));
   Alcotest.(check (option string)) "kept" (Some "4") (Wal.find w (lsn 4))
 
+(* Truncation boundaries: the checkpoint path truncates exactly at
+   watermarks, so the edge cases (at stable, repeated, across a crash)
+   must hold bit-for-bit. *)
+let test_truncate_at_stable () =
+  let w = mk () in
+  for i = 1 to 5 do
+    ignore (Wal.append w (string_of_int i))
+  done;
+  Wal.force w;
+  Wal.truncate w (Wal.stable_lsn w);
+  Alcotest.(check int) "only the stable head survives" 1 (Wal.stable_count w);
+  Alcotest.(check (option string)) "head kept" (Some "5") (Wal.find w (lsn 5));
+  Alcotest.(check int) "retained_from is the head" 5
+    (Lsn.to_int (Wal.retained_from w))
+
+let test_truncate_repeated () =
+  let w = mk () in
+  for i = 1 to 5 do
+    ignore (Wal.append w (string_of_int i))
+  done;
+  Wal.force w;
+  Wal.truncate w (lsn 3);
+  let count = Wal.stable_count w in
+  Wal.truncate w (lsn 3);
+  Alcotest.(check int) "re-truncating to the same point is a no-op" count
+    (Wal.stable_count w);
+  Alcotest.(check int) "retained_from unchanged" 3
+    (Lsn.to_int (Wal.retained_from w));
+  (* truncating backwards must not resurrect anything either *)
+  Wal.truncate w (lsn 2);
+  Alcotest.(check (option string)) "dropped records stay dropped" None
+    (Wal.find w (lsn 2));
+  Alcotest.(check int) "floor never regresses" 3
+    (Lsn.to_int (Wal.retained_from w))
+
+let test_truncate_then_crash () =
+  let w = mk () in
+  for i = 1 to 4 do
+    ignore (Wal.append w (string_of_int i))
+  done;
+  Wal.force w;
+  Wal.truncate w (lsn 3);
+  ignore (Wal.append w "tail");
+  Wal.crash w;
+  Alcotest.(check int) "retained_from survives the crash" 3
+    (Lsn.to_int (Wal.retained_from w));
+  Alcotest.(check int) "stable suffix intact" 2 (Wal.stable_count w);
+  Alcotest.(check (option string)) "kept" (Some "3") (Wal.find w (lsn 3))
+
+let test_iter_retained () =
+  let w = mk () in
+  for i = 1 to 5 do
+    ignore (Wal.append w (string_of_int i))
+  done;
+  Wal.force w;
+  Wal.truncate w (lsn 4);
+  Alcotest.check_raises "cursor below the retained head raises"
+    (Wal.Truncated { wanted = lsn 2; retained = lsn 4 })
+    (fun () -> Wal.iter_retained w (lsn 2) (fun _ _ -> ()));
+  let seen = ref [] in
+  Wal.iter_retained w (lsn 4) (fun l _ -> seen := Lsn.to_int l :: !seen);
+  Alcotest.(check (list int)) "at the head is fine" [ 4; 5 ] (List.rev !seen);
+  (* an untruncated log accepts any cursor, including the legal
+     from-zero full scan recovery uses *)
+  let fresh = mk () in
+  ignore (Wal.append fresh "a");
+  Wal.force fresh;
+  let n = ref 0 in
+  Wal.iter_retained fresh Lsn.zero (fun _ _ -> incr n);
+  Alcotest.(check int) "fresh log scans from zero" 1 !n
+
 let test_force_through () =
   let w = mk () in
   let a = Wal.append w "a" in
@@ -106,6 +177,11 @@ let suite =
     Alcotest.test_case "reserve" `Quick test_reserve;
     Alcotest.test_case "iter_from" `Quick test_iter_from;
     Alcotest.test_case "truncate" `Quick test_truncate;
+    Alcotest.test_case "truncate at stable_lsn" `Quick test_truncate_at_stable;
+    Alcotest.test_case "repeated truncation" `Quick test_truncate_repeated;
+    Alcotest.test_case "truncate then crash" `Quick test_truncate_then_crash;
+    Alcotest.test_case "iter_retained checks the floor" `Quick
+      test_iter_retained;
     Alcotest.test_case "force_through" `Quick test_force_through;
     Alcotest.test_case "find in volatile tail" `Quick test_find_volatile;
     Alcotest.test_case "byte accounting" `Quick test_bytes_accounting;
