@@ -267,19 +267,67 @@ let run_soak_detach ~seeds_per_plan () =
      0 violations\n"
     s.Chaos.s_cycles promotions catchup_ops refusals
 
+(* The multi-TC soak: two TCs behind the session front end, one
+   hard-killed at the midpoint with queued transactions on its
+   sessions.  The auditor runs per TC and includes the cross-TC
+   watermark check, so the victim's crash leaking into the survivor's
+   watermark slots — or a checkpoint truncating the other TC's redo
+   window — is a reported violation. *)
+let run_soak_mtc ~seeds_per_plan () =
+  let parts = 2 in
+  let cycles, s = Chaos.soak_mtc ~seeds_per_plan ~parts () in
+  let counter name =
+    Option.value ~default:0 (List.assoc_opt name s.Chaos.s_counters)
+  in
+  Bench_util.print_table
+    ~title:
+      (Printf.sprintf "E11: multi-TC front-end soak (2 TCs x %d DCs) summary"
+         parts)
+    ~header:[ "metric"; "value" ]
+    [
+      [ "cycles"; string_of_int s.Chaos.s_cycles ];
+      [ "injected TC kills"; string_of_int s.Chaos.s_crashes ];
+      [ "transactions admitted"; string_of_int (counter "front.admitted") ];
+      [ "admissions shed"; string_of_int (counter "front.shed") ];
+      [ "commits that rode a batch"; string_of_int (counter "front.batched") ];
+      [ "misattributed frames"; string_of_int (counter "dc.misattributed") ];
+      [ "auditor violations"; string_of_int (List.length s.Chaos.s_violating) ];
+    ];
+  print_cycle_failures cycles;
+  let problems =
+    List.filter_map
+      (fun (ok, msg) -> if ok then None else Some msg)
+      [
+        (s.Chaos.s_violating = [], "multi-TC auditor violations");
+        (s.Chaos.s_crashes >= s.Chaos.s_cycles, "a cycle never killed its TC");
+        (counter "front.admitted" > 0, "the front never admitted work");
+        (counter "front.batched" > 0, "group commit never batched");
+      ]
+  in
+  if problems <> [] then begin
+    List.iter (fun m -> Printf.printf "E11 FAILED: %s\n" m) problems;
+    exit 1
+  end;
+  Printf.printf
+    "E11 multi-TC ok: %d cycles, %d TC kills under load, 0 violations\n"
+    s.Chaos.s_cycles s.Chaos.s_crashes
+
 let run () =
   run_soak ~seeds_per_plan:7 ();
   run_soak_partitioned ~seeds_per_plan:7 ();
   run_soak_replicated ~seeds_per_plan:5 ();
-  run_soak_detach ~seeds_per_plan:4 ()
+  run_soak_detach ~seeds_per_plan:4 ();
+  run_soak_mtc ~seeds_per_plan:6 ()
 
 (* Short fixed-seed soak for the @chaos dune alias (which @ci includes):
    single-kernel plans at one seed each, plus the multi-DC soak at four
    seeds per plan — at least 50 partitioned cycles on every CI run —
-   plus primary-kill + promotion cycles over the replicated plans and
-   detach/checkpoint/promote cycles over the lease plans. *)
+   plus primary-kill + promotion cycles over the replicated plans,
+   detach/checkpoint/promote cycles over the lease plans, and
+   TC-kill-under-load cycles over the front-end plans. *)
 let run_short () =
   run_soak ~seeds_per_plan:1 ();
   run_soak_partitioned ~seeds_per_plan:4 ();
   run_soak_replicated ~seeds_per_plan:3 ();
-  run_soak_detach ~seeds_per_plan:2 ()
+  run_soak_detach ~seeds_per_plan:2 ();
+  run_soak_mtc ~seeds_per_plan:2 ()

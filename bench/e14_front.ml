@@ -1,0 +1,258 @@
+(* E14 — The session front end: TC scale-out and overload shedding.
+
+   Two sweeps over the M-TC × N-DC deployment behind
+   {!Untx_front.Front}:
+
+   1. TC count 1/2/4 over the same 2-partition DC tier and the same
+      session workload — the Section 6 scale-out argument measured:
+      each added TC is an independent log and lock space, so throughput
+      should climb while per-transaction latency holds.
+
+   2. Offered load swept well past saturation at a fixed 2-TC tier with
+      deliberately small queues.  The acceptance gate is the PR's
+      "shed, not collapse" contract: past saturation the front refuses
+      admission (typed [`Overloaded], counted ["front.shed"]) and the
+      p99 latency of the transactions it DID admit stays bounded —
+      within [gate_factor]× of the pre-saturation p99 — instead of
+      growing with the offered load.
+
+   The closing digest re-runs a traced slice through
+   {!Untx_obs.Analyzer} so the front.{admitted,shed,batched} counters
+   show up in the span-dump summary alongside the hop timelines. *)
+
+open Bench_util
+module Deploy = Untx_cloud.Deploy
+module Front = Untx_front.Front
+module Transport = Untx_kernel.Transport
+module Trace = Untx_obs.Trace
+module Analyzer = Untx_obs.Analyzer
+
+let sessions_per_tc = 4
+
+let dc_parts = 2
+
+(* One front over [tcs] TCs × [dc_parts] DCs; every TC owns one table
+   partitioned over all DCs (disjoint updaters, Section 6). *)
+let make_front ~counters ~tcs ~cfg =
+  let d = Deploy.create ~counters ~policy:Transport.reliable ~seed:14 () in
+  List.iter
+    (fun i ->
+      ignore
+        (Deploy.add_tc d
+           ~name:(Printf.sprintf "tc%d" i)
+           { (Tc.default_config (Tc_id.of_int i)) with lwm_every = 16 }))
+    (List.init tcs (fun i -> i + 1));
+  let dcs = List.init dc_parts (Printf.sprintf "dc%d") in
+  List.iter
+    (fun n ->
+      ignore
+        (Deploy.add_dc d ~name:n
+           { Dc.default_config with page_capacity = 256; cache_pages = 64 }))
+    dcs;
+  List.iter
+    (fun i ->
+      Deploy.add_partitioned_table d
+        ~name:(Printf.sprintf "t%d" i)
+        ~versioned:false ~dcs ())
+    (List.init tcs (fun i -> i + 1));
+  (d, Front.create ~counters ~cfg d)
+
+(* Drive [total] single-write transactions through [front], submitting
+   up to [offered] per round and pumping [served] per round; submission
+   overlapping execution is what fills group-commit batches.  Records
+   per-transaction submit→done latency (measured at round granularity)
+   and returns (completed, shed, latency histogram name). *)
+let drive ~counters ~front ~sess ~total ~offered ~served =
+  let lat = "front.txn_latency_ns" in
+  let born = Hashtbl.create total in
+  let live = ref [] in
+  let submitted = ref 0 and completed = ref 0 and shed = ref 0 in
+  let session_of = Array.of_list sess in
+  let n_sess = Array.length session_of in
+  while !submitted < total || !live <> [] do
+    (* offer: a refused transaction is gone — the client sheds, it does
+       not retry forever *)
+    let to_offer = min offered (total - !submitted) in
+    List.iter
+      (fun j ->
+        let n = !submitted + j in
+        let s = session_of.(n mod n_sess) in
+        let table =
+          Printf.sprintf "t%d"
+            (Tc_id.to_int (Tc.id (Front.tc_of_session front s)))
+        in
+        let ops =
+          [
+            Front.Insert
+              {
+                table;
+                key = Printf.sprintf "s%d-k%06d" (Front.session_id s) n;
+                value = Printf.sprintf "v%d" n;
+              };
+          ]
+        in
+        match Front.submit front s ops with
+        | `Ticket k ->
+          Hashtbl.replace born k (Unix.gettimeofday ());
+          live := k :: !live
+        | `Overloaded _ -> incr shed)
+      (List.init to_offer Fun.id);
+    submitted := !submitted + to_offer;
+    (* serve *)
+    ignore (Front.pump ~budget:served front);
+    let now = Unix.gettimeofday () in
+    live :=
+      List.filter
+        (fun k ->
+          match Front.poll front k with
+          | `Pending -> true
+          | `Done _ ->
+            incr completed;
+            let ns = int_of_float ((now -. Hashtbl.find born k) *. 1e9) in
+            Metrics.observe counters lat ns;
+            false)
+        !live
+  done;
+  Front.drain front;
+  (!completed, !shed, lat)
+
+(* --- sweep 1: TC count -------------------------------------------------- *)
+
+let run_scaling () =
+  let total = 2_000 in
+  let rows =
+    List.map
+      (fun tcs ->
+        let counters = Instrument.create () in
+        Metrics.set_timed counters true;
+        let cfg =
+          { Front.max_sessions = tcs * sessions_per_tc; session_queue = 8;
+            total_queue = 64 * tcs; batch = 4 }
+        in
+        let _d, front = make_front ~counters ~tcs ~cfg in
+        let sess =
+          List.init (tcs * sessions_per_tc) (fun _ ->
+              Front.open_session front)
+        in
+        let (completed, shed, lat), t =
+          time (fun () ->
+              drive ~counters ~front ~sess ~total ~offered:(8 * tcs)
+                ~served:(8 * tcs))
+        in
+        let snap =
+          Option.value ~default:Metrics.empty_hsnap
+            (Metrics.hist_snapshot counters lat)
+        in
+        [
+          string_of_int tcs;
+          string_of_int completed;
+          string_of_int shed;
+          fmt_f (float_of_int completed /. t);
+          Metrics.fmt_ns (Metrics.percentile snap 50.);
+          Metrics.fmt_ns (Metrics.percentile snap 99.);
+          string_of_int (Instrument.get counters "front.batched");
+        ])
+      [ 1; 2; 4 ]
+  in
+  print_table ~title:"E14  Throughput and latency vs TC count (2 DC partitions)"
+    ~header:[ "TCs"; "committed"; "shed"; "txns/s"; "p50"; "p99"; "batched" ]
+    rows
+
+(* --- sweep 2: offered load past saturation ------------------------------ *)
+
+let gate_factor = 8
+
+let run_overload () =
+  let tcs = 2 in
+  let total = 1_200 in
+  let loads = [ 4; 8; 16; 32; 64 ] in
+  let measured =
+    List.map
+      (fun offered ->
+        let counters = Instrument.create () in
+        Metrics.set_timed counters true;
+        (* small queues: saturation shows up as shed admissions, not as
+           an ever-growing backlog *)
+        let cfg =
+          { Front.max_sessions = tcs * sessions_per_tc; session_queue = 4;
+            total_queue = 16; batch = 4 }
+        in
+        let _d, front = make_front ~counters ~tcs ~cfg in
+        let sess =
+          List.init (tcs * sessions_per_tc) (fun _ ->
+              Front.open_session front)
+        in
+        let (completed, shed, lat), t =
+          time (fun () ->
+              drive ~counters ~front ~sess ~total ~offered ~served:8)
+        in
+        let snap =
+          Option.value ~default:Metrics.empty_hsnap
+            (Metrics.hist_snapshot counters lat)
+        in
+        (offered, completed, shed, t, Metrics.percentile snap 99.))
+      loads
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "E14  Offered load past saturation (%d TCs, queues 4/16, serve 8 per \
+          round)"
+         tcs)
+    ~header:[ "offered/round"; "completed"; "shed"; "txns/s"; "p99" ]
+    (List.map
+       (fun (o, c, s, t, p99) ->
+         [
+           string_of_int o;
+           string_of_int c;
+           string_of_int s;
+           fmt_f (float_of_int c /. t);
+           Metrics.fmt_ns p99;
+         ])
+       measured);
+  (* the gate: p99 of ADMITTED work at the heaviest load stays within
+     gate_factor of the lightest load's p99 — overload was refused at
+     the door, not queued into collapse *)
+  let p99_of (_, _, _, _, p) = p in
+  let base = max 1 (p99_of (List.hd measured)) in
+  let worst =
+    List.fold_left (fun acc m -> max acc (p99_of m)) 0 measured
+  in
+  let heaviest_shed =
+    let _, _, s, _, _ = List.nth measured (List.length measured - 1) in
+    s
+  in
+  Printf.printf
+    "gate: p99 %s at heaviest load vs %s baseline (factor %.1f, bound %dx) — \
+     %s; heaviest load shed %d\n"
+    (Metrics.fmt_ns worst) (Metrics.fmt_ns base)
+    (float_of_int worst /. float_of_int base)
+    gate_factor
+    (if worst <= gate_factor * base && heaviest_shed > 0 then
+       "SHED, NOT COLLAPSE"
+     else "GATE FAILED")
+    heaviest_shed
+
+(* --- traced digest ------------------------------------------------------ *)
+
+let run_digest () =
+  let counters = Instrument.create () in
+  let cfg =
+    { Front.max_sessions = 4; session_queue = 2; total_queue = 6; batch = 2 }
+  in
+  let _d, front = make_front ~counters ~tcs:2 ~cfg in
+  let sess = List.init 4 (fun _ -> Front.open_session front) in
+  Trace.clear ();
+  Trace.set_enabled true;
+  ignore (drive ~counters ~front ~sess ~total:60 ~offered:12 ~served:4);
+  Trace.set_enabled false;
+  let report = Analyzer.analyze (Analyzer.of_jsonl (Trace.to_jsonl ())) in
+  Format.printf
+    "@[<v>E14  Analyzer digest of a traced overloaded slice:@,%a@]@."
+    Analyzer.pp_summary report;
+  Trace.clear ()
+
+let run () =
+  run_scaling ();
+  run_overload ();
+  run_digest ()

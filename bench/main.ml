@@ -28,6 +28,8 @@ let experiments =
      E12_replication.run);
     ("e13", "layered log storage: compaction, read amp, layer bootstrap",
      E13_layers.run);
+    ("e14", "session front end: TC scale-out, overload shedding",
+     E14_front.run);
     ("chaos", "short fixed-seed chaos soak (the @chaos alias)", E11_chaos.run_short);
     ("ablations", "design-choice ablations A1-A5", A_ablations.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);

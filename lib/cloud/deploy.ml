@@ -116,26 +116,30 @@ let install_ptable_route _t tc name pt =
 let link t ~tc_name ~dc_name =
   if not (Hashtbl.mem t.transports (tc_name, dc_name)) then begin
     let dc = Hashtbl.find t.dcs dc_name in
+    let tc = Hashtbl.find t.tcs tc_name in
     (* Each (TC, DC) pair gets its own two-channel byte plane; control
        traffic rides the same adversary as data.  Handlers are wrapped
        so an injected fault escaping the DC is attributed to it — a
        deployment must crash the component that actually died, not
-       whichever DC a plan happened to name. *)
+       whichever DC a plan happened to name.  The link declares its
+       owning TC to the DC: a frame stamped with another TC's id is a
+       wiring bug and is rejected there instead of applied under the
+       wrong idempotence state. *)
     let attribute f frame =
       try f frame
       with e ->
         t.last_faulted <- Some dc_name;
         raise e
     in
+    let expect = Tc.id tc in
     let transport =
       Transport.create ~counters:t.counters ~policy:t.policy
         ~label:(tc_name ^ ":" ^ dc_name) ~seed:(fresh_seed t)
-        ~data:(attribute (Dc.handle_request_frame dc))
-        ~control:(attribute (Dc.handle_control_frame dc))
+        ~data:(attribute (Dc.handle_request_frame ~expect dc))
+        ~control:(attribute (Dc.handle_control_frame ~expect dc))
         ()
     in
     Hashtbl.add t.transports (tc_name, dc_name) transport;
-    let tc = Hashtbl.find t.tcs tc_name in
     Tc.attach_dc tc
       {
         Tc.dc_name;
@@ -146,27 +150,45 @@ let link t ~tc_name ~dc_name =
       }
   end
 
-(* Point-in-time reads are answered by whichever layered manager holds
-   history (looked up at call time — managers may not exist yet when the
-   DC is wired).  One layered TC is the supported shape: stores are
-   per-TC, and merging overlapping histories is not defined here. *)
+(* Point-in-time reads are answered by the layered managers (looked up
+   at call time — managers may not exist yet when the DC is wired).
+   Stores are per-TC, and LSNs are per-TC sequences, so [at] is only
+   meaningful against the store of the key's updating TC.  Deployments
+   keep updaters on disjoint key sets (Section 6): every store is
+   probed, and the one that knows the key answers.  Two stores both
+   holding history for one key means the disjointness rule was broken —
+   refused loudly, because "the" value at [at] is then ill-defined. *)
 let wire_history_read t ~dc_name =
   let dc = Hashtbl.find t.dcs dc_name in
   Dc.set_history_read dc (fun ~table ~key ~at ->
       let stores =
         Hashtbl.fold
-          (fun _ m acc ->
+          (fun tc_name m acc ->
             match Repl.Manager.layer_store m with
-            | Some s -> s :: acc
+            | Some s -> (tc_name, s) :: acc
             | None -> acc)
           t.managers []
       in
-      match stores with
-      | [ store ] -> Layer.reconstruct store ~table ~key ~at
-      | [] -> invalid_arg "Deploy.read_as_of: no layered manager yet"
-      | _ ->
+      if stores = [] then
+        invalid_arg "Deploy.read_as_of: no layered manager yet";
+      let hits =
+        List.filter_map
+          (fun (tc_name, store) ->
+            Option.map
+              (fun v -> (tc_name, v))
+              (Layer.reconstruct store ~table ~key ~at))
+          (List.sort (fun (a, _) (b, _) -> String.compare a b) stores)
+      in
+      match hits with
+      | [] -> None
+      | [ (_, v) ] -> Some v
+      | claimants ->
         invalid_arg
-          "Deploy.read_as_of: multiple layered TCs hold overlapping history")
+          (Printf.sprintf
+             "Deploy.read_as_of: key %S has history under several TCs (%s) — \
+              updaters must stay disjoint"
+             key
+             (String.concat ", " (List.map fst claimants))))
 
 let add_dc t ~name config =
   if Hashtbl.mem t.dcs name then invalid_arg ("Deploy.add_dc: dup " ^ name);
@@ -208,12 +230,14 @@ let attach_replica t ~tc_name ~sb_name =
         t.last_faulted <- Some sb_name;
         raise ex
     in
+    let expect = Tc.id (Hashtbl.find t.tcs tc_name) in
     let tr =
       Transport.create ~counters:t.counters ~policy:t.policy
         ~label:(tc_name ^ ":" ^ sb_name) ~seed:(fresh_seed t)
         ~data:(fun _ -> None)
         ~control:(fun _ -> None)
-        ~repl:(attribute (Repl.Standby.handle_repl_frame e.sb_standby))
+        ~repl:
+          (attribute (Repl.Standby.handle_repl_frame ~expect e.sb_standby))
         ()
     in
     Hashtbl.add t.repl_transports (tc_name, sb_name) tr;
@@ -636,6 +660,38 @@ let crash_for_point t ~point ~tc ~dc =
       go (attempts - 1) p ~dc
   in
   go 8 point ~dc
+
+(* Deployment-wide checkpoint round: every TC advances its own
+   redo-scan start point against every DC, in name order so the round
+   is deterministic.  No cross-TC floor is needed: watermarks, abstract
+   LSNs, the undispatched floor and the DC's grant test are all keyed
+   per TC, so one TC's truncation covers only its own log — the
+   two-TCs-racing-a-checkpoint regression test pins exactly this.
+   Returns whether every TC's checkpoint was granted. *)
+let checkpoint_all t =
+  List.fold_left
+    (fun acc name -> Tc.checkpoint (tc t name) && acc)
+    true (tc_names t)
+
+(* Detach/reattach one standby in every manager at once.  Replica state
+   is per (TC, standby): each manager holds its own retention lease and
+   burns one unit only on its own TC's granted checkpoints, so M TCs do
+   not multiply "one" detachment's burn rate — but a deployment-level
+   detach must still hit every manager, or the standby would keep
+   confirming one TC's stream while silently missing another's. *)
+let detach_replica t name =
+  if not (Hashtbl.mem t.standbys name) then
+    invalid_arg ("Deploy.detach_replica: unknown " ^ name);
+  Hashtbl.iter (fun _ m -> Repl.Manager.detach m ~name) t.managers
+
+let reattach_replica t name =
+  if not (Hashtbl.mem t.standbys name) then
+    invalid_arg ("Deploy.reattach_replica: unknown " ^ name);
+  Hashtbl.iter
+    (fun _ m ->
+      if Repl.Manager.state_of m ~name <> Repl.Manager.Rebuild_required then
+        Repl.Manager.reattach m ~name)
+    t.managers
 
 let quiesce t =
   Hashtbl.iter (fun _ tc -> Tc.quiesce tc) t.tcs;

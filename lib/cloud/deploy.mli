@@ -186,6 +186,25 @@ val crash_for_point : t -> point:string -> tc:string -> dc:string -> unit
     mid-operation, not whichever a plan named.  Plans that fire again
     during recovery crash the restarted component in turn (bounded). *)
 
+val checkpoint_all : t -> bool
+(** One deployment-wide checkpoint round: every TC checkpoints (in name
+    order), each truncating only its own log.  Per-TC keying of
+    watermarks, abstract LSNs and grant tests means no cross-TC floor
+    is required — one TC's granted checkpoint can never cover another
+    TC's unstable operations.  Returns whether every TC was granted. *)
+
+val detach_replica : t -> string -> unit
+(** Detach the named standby in {e every} TC's manager (replica state
+    is per (TC, standby)).  Each manager's retention lease burns only on
+    its own TC's granted checkpoints, so a deployment of M TCs gives a
+    detached standby M independent leases — consults from different TCs
+    never decrement each other's. *)
+
+val reattach_replica : t -> string -> unit
+(** Reattach the named standby in every manager that has not demoted it
+    to rebuild-required (those keep refusing it, as
+    {!Untx_repl.Repl.Manager.reattach} demands). *)
+
 val quiesce : t -> unit
 
 val messages_total : t -> int

@@ -422,7 +422,7 @@ let memoized t (req : Wire.request) =
   | None ->
     (* The memo was truncated by contract termination; only writes whose
        effect is already present can reach here, so a bare ack serves. *)
-    { Wire.lsn = req.lsn; result = Wire.Done; prior = None }
+    { Wire.tc = req.tc; lsn = req.lsn; result = Wire.Done; prior = None }
 
 (* Mutations.  Each returns the operation result; structure
    modifications (splits, consolidations) happen inside the B-tree call
@@ -546,7 +546,8 @@ let write_one t tbl (req : Wire.request) key mutate =
     Untx_storage.Cache.mark_dirty t.cache leaf';
     let reply =
       {
-        Wire.lsn = req.lsn;
+        Wire.tc = req.tc;
+        lsn = req.lsn;
         result;
         prior = Option.bind prior Stored_record.current;
       }
@@ -574,8 +575,8 @@ let write_many t tbl (req : Wire.request) keys mutate_key =
       keys
   in
   if todo <> [] && tbl.sealed then
-    { Wire.lsn = req.lsn; result = Wire.Failed "table is sealed read-only";
-      prior = None }
+    { Wire.tc = req.tc; lsn = req.lsn;
+      result = Wire.Failed "table is sealed read-only"; prior = None }
   else begin
     List.iter mutate_key todo;
     List.iter
@@ -584,7 +585,7 @@ let write_many t tbl (req : Wire.request) keys mutate_key =
         record_applied t leaf req.tc req.lsn;
         Untx_storage.Cache.mark_dirty t.cache leaf)
       todo;
-    { Wire.lsn = req.lsn; result = Wire.Done; prior = None }
+    { Wire.tc = req.tc; lsn = req.lsn; result = Wire.Done; prior = None }
   end
 
 let do_scan tbl ~from_key ~limit ~mode =
@@ -615,7 +616,9 @@ let do_probe tbl ~from_key ~limit =
 
 let perform_unlatched t (req : Wire.request) =
   Instrument.bump t.counters "dc.requests";
-  let fail msg = { Wire.lsn = req.lsn; result = Wire.Failed msg; prior = None } in
+  let fail msg =
+    { Wire.tc = req.tc; lsn = req.lsn; result = Wire.Failed msg; prior = None }
+  in
   let table_name = Op.table req.op in
   if req.part <> t.part then begin
     (* A frame for another partition: the TC's map and the deployment
@@ -634,12 +637,14 @@ let perform_unlatched t (req : Wire.request) =
     match req.op with
     | Op.Read { key; mode; _ } ->
       let value = Option.bind (find_record tbl.tree key) (visible mode) in
-      { Wire.lsn = req.lsn; result = Wire.Value value; prior = None }
+      { Wire.tc = req.tc; lsn = req.lsn; result = Wire.Value value; prior = None }
     | Op.Scan { from_key; limit; mode; _ } ->
-      { Wire.lsn = req.lsn; result = do_scan tbl ~from_key ~limit ~mode;
+      { Wire.tc = req.tc; lsn = req.lsn;
+        result = do_scan tbl ~from_key ~limit ~mode;
         prior = None }
     | Op.Probe { from_key; limit; _ } ->
-      { Wire.lsn = req.lsn; result = do_probe tbl ~from_key ~limit;
+      { Wire.tc = req.tc; lsn = req.lsn;
+        result = do_probe tbl ~from_key ~limit;
         prior = None }
     | Op.Insert { key; value; _ } ->
       write_one t tbl req key (do_insert tbl ~tc:req.tc ~lsn:req.lsn ~key ~value)
@@ -1281,12 +1286,35 @@ let control t (ctl : Wire.control) =
 
 (* An undecodable frame is dropped like a lost message: no reply, and
    the TC's resend carries it.  (The transport's checksum gate already
-   rejects corruption; this guards against version or framing bugs.) *)
-let handle_request_frame t frame =
+   rejects corruption; this guards against version or framing bugs.)
+
+   [expect] is the link's owning TC: a deployment wires one transport
+   per (TC, DC) pair, so a frame stamped with another TC's id on this
+   link is a wiring bug — applying it would charge one TC's operation
+   to another TC's idempotence state.  Like a misrouted partition id,
+   it is refused loudly (Failed reply, counted) instead of applied. *)
+let handle_request_frame ?expect t frame =
   match Wire.decode_request frame with
   | exception Invalid_argument _ ->
     Instrument.bump t.counters "dc.bad_frames";
     None
+  | req
+    when match expect with
+         | Some tc -> not (Tc_id.equal req.Wire.tc tc)
+         | None -> false ->
+    Instrument.bump t.counters "dc.misattributed";
+    let tid = if Trace.enabled () then Wire.frame_tid frame else 0 in
+    Some
+      (Wire.encode_reply ~tid
+         {
+           Wire.tc = req.Wire.tc;
+           lsn = req.Wire.lsn;
+           result =
+             Wire.Failed
+               (Format.asprintf "misattributed: request from %a on %a's link"
+                  Tc_id.pp req.Wire.tc Tc_id.pp (Option.get expect));
+           prior = None;
+         })
   | req ->
     let tid = if Trace.enabled () then Wire.frame_tid frame else 0 in
     let t0 = Metrics.start t.counters in
@@ -1315,17 +1343,30 @@ let session t tc =
     Hashtbl.add t.ctl_sessions key s;
     s
 
-let handle_control_frame t frame =
+let handle_control_frame ?expect t frame =
   match Wire.decode_control frame with
   | exception Invalid_argument _ ->
     Instrument.bump t.counters "dc.bad_frames";
     None
+  | m
+    when match expect with
+         | Some tc -> not (Tc_id.equal (Wire.control_tc m.Wire.c_ctl) tc)
+         | None -> false ->
+    (* A control frame speaking for another TC on this link: touching
+       the named TC's session from here would let a wiring bug advance
+       or stall a session its owner never sees.  Dropped (counted); the
+       real sender's resend budget turns the silence into a loud
+       timeout. *)
+    Instrument.bump t.counters "dc.misattributed";
+    None
   | m ->
-    let s = session t (Wire.control_tc m.Wire.c_ctl) in
+    let tc = Wire.control_tc m.Wire.c_ctl in
+    let s = session t tc in
     let reply seq r =
       Some
         (Wire.encode_control_reply
-           { Wire.r_epoch = Session.Receiver.epoch s; r_seq = seq; r_reply = r })
+           { Wire.r_tc = tc; r_epoch = Session.Receiver.epoch s; r_seq = seq;
+             r_reply = r })
     in
     (* [control] may run a complete restart mid-apply; the session
        record survives it (see [complete_restart]), so the receiver's

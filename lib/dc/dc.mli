@@ -101,13 +101,20 @@ val control : t -> Untx_msg.Wire.control -> Untx_msg.Wire.control_reply
     {!handle_control_frame}, which adds the idempotence/ordering
     layer. *)
 
-val handle_request_frame : t -> string -> string option
+val handle_request_frame :
+  ?expect:Untx_util.Tc_id.t -> t -> string -> string option
 (** Transport endpoint for the data channel: decode a request frame,
     {!perform} it, return the encoded reply frame.  An undecodable frame
     is dropped (counted as ["dc.bad_frames"]) — indistinguishable from
-    loss, so the TC's resend carries it. *)
+    loss, so the TC's resend carries it.
 
-val handle_control_frame : t -> string -> string option
+    [expect] is the link's owning TC (deployments wire one transport per
+    (TC, DC) pair): a frame stamped with a different [tc] is refused
+    with a [Failed] reply and counted as ["dc.misattributed"] — applying
+    it would charge the operation to another TC's idempotence state. *)
+
+val handle_control_frame :
+  ?expect:Untx_util.Tc_id.t -> t -> string -> string option
 (** Transport endpoint for the control channel.  Enforces the control
     contract of Section 4.2 on the per-TC session table: frames from a
     dead epoch are discarded; duplicates are absorbed and re-answered
@@ -115,7 +122,11 @@ val handle_control_frame : t -> string -> string option
     ahead of their sequence turn are buffered (["dc.control_buffered"])
     until the TC's resend fills the gap; in-turn frames are applied via
     {!control} and acknowledged.  [None] means no reply travels back —
-    the TC's backoff resend recovers. *)
+    the TC's backoff resend recovers.
+
+    [expect] as in {!handle_request_frame}: a control frame speaking for
+    another TC is dropped (counted as ["dc.misattributed"]) rather than
+    allowed to touch a session its owner never sees. *)
 
 val crash : t -> unit
 (** Lose all volatile state: page cache, in-memory abstract LSNs, result
@@ -166,6 +177,17 @@ val consolidations : t -> int
 
 val dup_absorbed : t -> int
 (** Requests answered purely by the idempotence test. *)
+
+val eosl_of : t -> Untx_util.Tc_id.t -> Untx_util.Lsn.t
+(** The end-of-stable-log this DC currently believes for one TC
+    ({!Untx_util.Lsn.zero} before any watermark arrived).  Watermark
+    state is keyed per TC — deployment audits check each TC's claims
+    independently. *)
+
+val lwm_of : t -> Untx_util.Tc_id.t -> Untx_util.Lsn.t
+(** The low-water mark this DC currently believes for one TC (zero
+    before any watermark arrived).  Always at or below that TC's
+    {!eosl_of}. *)
 
 val suggested_rssp :
   t -> tc:Untx_util.Tc_id.t -> Untx_util.Lsn.t

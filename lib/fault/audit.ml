@@ -267,6 +267,45 @@ let check_layers d errs =
             :: !errs)
   | _ -> ()
 
+(* Cross-TC watermark audit (quiesced deployments): every DC's per-TC
+   watermark slot must be attributable to that TC alone —
+   lwm <= eosl (each force broadcasts EOSL before any LWM capped at the
+   new stable can follow on the FIFO control session) and eosl never
+   past the TC's actual stable log (a DC believing otherwise could
+   flush a page whose redo is still volatile).  A violation means some
+   other TC's control traffic leaked into this TC's slot — exactly what
+   the (tc, epoch, seq) keying and the misattribution guards exist to
+   prevent. *)
+let check_watermarks d =
+  let module Lsn = Untx_util.Lsn in
+  let errs = ref [] in
+  List.iter
+    (fun tcn ->
+      let tc = Deploy.tc d tcn in
+      let id = Tc.id tc in
+      let stable = Lsn.to_int (Tc.stable_lsn tc) in
+      List.iter
+        (fun dcn ->
+          let dc = Deploy.dc d dcn in
+          let eosl = Lsn.to_int (Dc.eosl_of dc id) in
+          let lwm = Lsn.to_int (Dc.lwm_of dc id) in
+          if lwm > eosl then
+            errs :=
+              Printf.sprintf
+                "watermarks: %s holds lwm %d > eosl %d for TC %s" dcn lwm
+                eosl tcn
+              :: !errs;
+          if eosl > stable then
+            errs :=
+              Printf.sprintf
+                "watermarks: %s believes TC %s's stable log reaches %d but \
+                 it ends at %d"
+                dcn tcn eosl stable
+              :: !errs)
+        (Deploy.dc_names d))
+    (Deploy.tc_names d);
+  List.rev !errs
+
 let run_deploy d ~tc ~table ~expected =
   let errs = ref [] in
   List.iter
@@ -284,4 +323,5 @@ let run_deploy d ~tc ~table ~expected =
   check_oracle_deploy d ~table ~expected errs;
   check_replicas d errs;
   check_layers d errs;
+  errs := List.rev_append (check_watermarks d) !errs;
   { violations = List.rev !errs; redelivered }

@@ -39,4 +39,13 @@ val run_deploy :
     to its owning partition (via the TC's map), and the oracle compared
     against the by-key merge of every partition's fragment — which also
     catches records that landed on a DC the partition map does not own
-    them to. *)
+    them to.  Includes {!check_watermarks}. *)
+
+val check_watermarks : Untx_cloud.Deploy.t -> string list
+(** Cross-TC watermark audit of a quiesced deployment: for every
+    DC × TC pair, the DC's low-water mark must not exceed its
+    end-of-stable-log for that TC, and that EOSL must not exceed the
+    TC's actual stable LSN.  A violation means one TC's control traffic
+    was attributed to another's slot — the leak the [(tc, epoch, seq)]
+    session keying and the wire-header misattribution guards exist to
+    prevent.  Empty iff clean. *)

@@ -1053,3 +1053,226 @@ let soak_detach ?(base_seed = 0xD7AC) ?(seeds_per_plan = 3) ?(txns = 24)
          (plans_detach ()))
   in
   (cycles, summarize cycles)
+
+(* --- multi-TC front-end cycles ---------------------------------------- *)
+
+module Front = Untx_front.Front
+
+(* TC-kill-under-load: two TCs share [parts] partitioned DCs behind the
+   session front end; at the midpoint one TC is hard-killed while its
+   sessions still have queued transactions.  Each TC's sessions update
+   their own table with session-scoped keys (the Section 6 disjoint-
+   updaters rule), so the surviving TC must sail through untouched and
+   the victim's recovery must reset exactly its own lost suffix.
+
+   Group-commit batching makes the kill genuinely ambiguous: commits the
+   front already reported rode unforced batches, so the crash may disown
+   a suffix of them.  The oracle is settled the honest way — after the
+   final drain every committed transaction's unique marker is probed,
+   and only survivors' effects enter the expected rows.  Per-TC log
+   order makes the lost set a suffix, so the surviving fold is exact.
+
+   The audit runs {!Audit.run_deploy} once per TC (structure, hygiene,
+   per-TC idempotent redelivery, oracle, and the cross-TC watermark
+   check), so one TC's crash leaking into the other's watermark slots —
+   the bug the (tc, epoch, seq) keying prevents — is caught here. *)
+let run_cycle_mtc ?(keep_trace = false) ~label ~plan ~seed ~txns ~parts () =
+  Fault.disarm ();
+  let was_tracing = Trace.enabled () in
+  Trace.clear ();
+  Trace.set_enabled true;
+  let counters = Instrument.create () in
+  let rng = Rng.create ~seed in
+  let policy = if seed mod 3 = 0 then lossy else Transport.reliable in
+  let d = Deploy.create ~counters ~policy ~seed () in
+  let tc_names = [ "tc1"; "tc2" ] in
+  List.iteri
+    (fun i name ->
+      ignore
+        (Deploy.add_tc d ~name
+           {
+             (Tc.default_config (Tc_id.of_int (i + 1))) with
+             lwm_every = 8;
+             debug_checks = true;
+           }))
+    tc_names;
+  let dc_names = List.init parts (Printf.sprintf "dc%d") in
+  List.iter
+    (fun name ->
+      ignore
+        (Deploy.add_dc d ~name
+           {
+             Dc.page_capacity = 160;
+             cache_pages = 6;
+             sync_policy = Dc.Full_ablsn;
+             tc_reset_mode = (if seed mod 5 = 0 then Dc.Complete else Dc.Selective);
+             debug_checks = true;
+           }))
+    dc_names;
+  (* Disjoint updaters: tc1 owns kv1, tc2 owns kv2 — both spread over
+     every DC, so the kill exercises per-TC reset on shared partitions. *)
+  let table_of_tc = function "tc1" -> "kv1" | _ -> "kv2" in
+  List.iter
+    (fun tcn ->
+      Deploy.add_partitioned_table d ~name:(table_of_tc tcn)
+        ~versioned:(seed land 1 = 0) ~dcs:dc_names ())
+    tc_names;
+  let front =
+    Front.create ~counters
+      ~cfg:
+        {
+          Front.max_sessions = 8;
+          session_queue = 3;
+          total_queue = 8;
+          batch = 2 + (seed mod 3);
+        }
+      d
+  in
+  let sessions = Array.init 4 (fun _ -> Front.open_session front) in
+  let victim = if seed land 1 = 0 then "tc1" else "tc2" in
+  let crashes = ref 0 in
+  (* Projected per-session view for choosing sensible ops; divergence
+     after a lost suffix only skews op choices (harmless rejections),
+     never the oracle, which is rebuilt from surviving markers. *)
+  let projected : (string, string option) Hashtbl.t = Hashtbl.create 128 in
+  (* ticket -> (table, marker, staged), in submission order *)
+  let submitted = ref [] in
+  Fault.arm ~seed plan;
+  let submit_with_backpressure s ops =
+    (* Shed is a refusal, not a stall: pump to free queue space and
+       retry a bounded number of times, then give the transaction up. *)
+    let rec offer tries =
+      match Front.submit front s ops with
+      | `Ticket k -> Some k
+      | `Overloaded _ ->
+        if tries = 0 then None
+        else begin
+          ignore (Front.pump ~budget:2 front);
+          offer (tries - 1)
+        end
+    in
+    offer 6
+  in
+  for i = 0 to txns - 1 do
+    if i = txns / 2 then begin
+      incr crashes;
+      Deploy.crash_tc d victim
+    end;
+    let s = sessions.(i mod Array.length sessions) in
+    let sid = Front.session_id s in
+    let table = table_of_tc (Front.session_tc s) in
+    let marker = Printf.sprintf "s%d-m%03d" sid i in
+    let staged : (string, string option) Hashtbl.t = Hashtbl.create 8 in
+    let ops = ref [ Front.Insert { table; key = marker; value = "1" } ] in
+    Hashtbl.replace staged marker (Some "1");
+    for _ = 1 to 1 + Rng.int rng 3 do
+      let key = Printf.sprintf "s%d-k%02d" sid (Rng.int rng 30) in
+      let current =
+        if Hashtbl.mem staged key then Hashtbl.find staged key
+        else Option.join (Hashtbl.find_opt projected key)
+      in
+      let value = Printf.sprintf "v%06d" (Rng.int rng 1_000_000) in
+      match current with
+      | None ->
+        ops := Front.Insert { table; key; value } :: !ops;
+        Hashtbl.replace staged key (Some value)
+      | Some _ ->
+        if Rng.chance rng 0.3 then begin
+          ops := Front.Delete { table; key } :: !ops;
+          Hashtbl.replace staged key None
+        end
+        else begin
+          ops := Front.Update { table; key; value } :: !ops;
+          Hashtbl.replace staged key (Some value)
+        end
+    done;
+    (match submit_with_backpressure s (List.rev !ops) with
+    | Some ticket ->
+      Hashtbl.iter (Hashtbl.replace projected) staged;
+      submitted := (ticket, table, marker, staged) :: !submitted
+    | None -> ());
+    (* keep execution overlapped with submission — the kill must land
+       on non-empty queues *)
+    if i mod 3 = 2 then ignore (Front.pump ~budget:1 front)
+  done;
+  Front.drain front;
+  Deploy.quiesce d;
+  let fired = Fault.fired_points () in
+  Fault.disarm ();
+  Trace.set_enabled was_tracing;
+  let counters_at_quiesce = Instrument.snapshot counters in
+  (* Fate settlement: a commit the front acknowledged may have ridden an
+     unforced batch into the kill.  Its unique marker decides. *)
+  let probe table marker =
+    let tcn = if table = "kv1" then "tc1" else "tc2" in
+    let tc = Deploy.tc d tcn in
+    let txn = Tc.begin_txn tc in
+    let v =
+      match Tc.read tc txn ~table ~key:marker with
+      | `Ok v -> v
+      | `Blocked | `Fail _ -> None
+    in
+    (match Tc.commit tc txn with
+    | `Ok () -> ()
+    | `Blocked | `Fail _ ->
+      if Tc.is_active txn then Tc.abort tc txn ~reason:"mtc probe");
+    v <> None
+  in
+  let oracles = Hashtbl.create 2 in
+  List.iter
+    (fun tcn -> Hashtbl.replace oracles (table_of_tc tcn) (Hashtbl.create 64))
+    tc_names;
+  let committed = ref 0 in
+  List.iter
+    (fun (ticket, table, marker, staged) ->
+      match Front.poll front ticket with
+      | `Done (Front.Committed _) when probe table marker ->
+        incr committed;
+        commit_staged (Hashtbl.find oracles table) staged
+      | `Done _ -> ()
+      | `Pending -> ())
+    (List.rev !submitted);
+  let reports =
+    List.map
+      (fun tcn ->
+        let table = table_of_tc tcn in
+        Audit.run_deploy d ~tc:tcn ~table
+          ~expected:(oracle_rows (Hashtbl.find oracles table)))
+      tc_names
+  in
+  let violations = List.concat_map (fun r -> r.Audit.violations) reports in
+  {
+    c_label = label;
+    c_seed = seed;
+    c_fired = fired;
+    c_crashes = !crashes;
+    c_committed = !committed;
+    c_redelivered =
+      List.fold_left (fun a r -> a + r.Audit.redelivered) 0 reports;
+    c_violations = violations;
+    c_counters = counters_at_quiesce;
+    c_trace =
+      (if keep_trace || violations <> [] then Trace.to_jsonl () else "");
+  }
+
+(* The scripted kill is the plan's backbone; the optional rules layer
+   transport adversity on top of it. *)
+let plans_mtc () =
+  [
+    ("tc-kill@mid", []);
+    ( "tc-kill@mid+corrupt~5%",
+      [ Fault.crash_with_prob "transport.frame.corrupt" 0.05 ] );
+  ]
+
+let soak_mtc ?(base_seed = 0xF207) ?(seeds_per_plan = 4) ?(txns = 24)
+    ?(parts = 2) () =
+  let cycles =
+    List.concat
+      (List.mapi
+         (fun pi (label, plan) ->
+           List.init seeds_per_plan (fun si ->
+               let seed = base_seed + (131 * pi) + (17 * si) in
+               run_cycle_mtc ~label ~plan ~seed ~txns ~parts ()))
+         (plans_mtc ()))
+  in
+  (cycles, summarize cycles)

@@ -132,6 +132,33 @@ val plans_detach : unit -> (string * Untx_fault.Fault.rule list) list
     (drives the refusal path), and combos landing primary-kill and
     TC-kill plans around the same interleaving. *)
 
+val run_cycle_mtc :
+  ?keep_trace:bool ->
+  label:string ->
+  plan:Untx_fault.Fault.rule list ->
+  seed:int ->
+  txns:int ->
+  parts:int ->
+  unit ->
+  cycle
+(** TC-kill-under-load over the session front end: two TCs share
+    [parts] partitioned DCs behind {!Untx_front.Front}; each TC's
+    sessions update their own table (the Section 6 disjoint-updaters
+    rule) with bounded queues, so submission overlapping execution
+    exercises admission control and group-commit batching.  At the
+    midpoint one TC (picked by seed) is hard-killed while queues are
+    non-empty; the survivor must sail through and the victim's recovery
+    reset exactly its own lost suffix.  Because acknowledged commits may
+    have ridden unforced batches into the kill, the oracle is settled by
+    probing every committed transaction's unique marker after the final
+    drain.  The audit runs {!Audit.run_deploy} once per TC — including
+    the cross-TC watermark check, so one TC's crash leaking into the
+    other's watermark slots is a reported violation. *)
+
+val plans_mtc : unit -> (string * Untx_fault.Fault.rule list) list
+(** The scripted midpoint kill alone, and with 5% frame corruption
+    layered on top. *)
+
 type summary = {
   s_cycles : int;
   s_fired : int;  (** cycles in which at least one rule fired *)
@@ -179,3 +206,12 @@ val soak_detach :
     (default 3, [parts] 2, [replicas] 1 — a sole standby, so the lease
     decides promotability — [txns] 24 per cycle), alternating
     durability by seed as {!soak_replicated} does. *)
+
+val soak_mtc :
+  ?base_seed:int -> ?seeds_per_plan:int -> ?txns:int -> ?parts:int ->
+  unit ->
+  cycle list * summary
+(** Sweep every plan from {!plans_mtc} across [seeds_per_plan] seeds
+    (default 4, [parts] 2, [txns] 24 per cycle): the TC-kill-under-load
+    front-end cycles, alternating the killed TC and the group-commit
+    batch size by seed. *)

@@ -1,0 +1,122 @@
+(** The session front end: M client sessions over an M-TC × N-DC
+    deployment.
+
+    The paper's TC is "wrapped by the application" — one TC per
+    application process.  Scaling the transactional tier out means many
+    TCs sharing the partitioned DCs (Section 6), and someone has to
+    decide which TC serves which client.  That someone is this module:
+    a deployment-level dispatcher that
+
+    - assigns each client {e session} a home TC (deterministic
+      round-robin over the deployment's TCs — a session's transactions
+      all commit through one TC's log, because nothing here is a
+      distributed transaction);
+    - lets sessions {e pipeline}: a session may queue up to
+      [session_queue] transactions without waiting for results
+      (per-session FIFO order is preserved end to end);
+    - {e admission-controls} the whole tier: both queues are bounded,
+      and past saturation {!submit} refuses with a typed [`Overloaded]
+      (counted ["front.shed"]) instead of stalling silently — shed, not
+      collapse;
+    - {e group-commits across sessions}: every TC's live batch size is
+      raised to [batch] ({!Untx_tc.Tc.set_group_commit}), so commits
+      from different sessions landing on the same TC share one log
+      force.  A commit that rode an open batch (its force deferred) is
+      counted ["front.batched"]; {!flush} closes partial batches.
+
+    Execution is deterministic: {!pump} serves sessions round-robin from
+    a persistent cursor, one transaction at a time, to completion.  The
+    same open/submit sequence always yields the same TC assignment, the
+    same execution order and the same results — chaos cycles and the
+    dispatch-determinism property lean on this. *)
+
+type op =
+  | Insert of { table : string; key : string; value : string }
+  | Update of { table : string; key : string; value : string }
+  | Delete of { table : string; key : string }
+  | Read of { table : string; key : string }
+
+(** A finished transaction's outcome. *)
+type result =
+  | Committed of string option list
+      (** the [Read] ops' answers, in submission order *)
+  | Rejected of string  (** aborted and rolled back; the reason *)
+
+type config = {
+  max_sessions : int;  (** {!open_session} refuses past this *)
+  session_queue : int;
+      (** per-session pipeline depth: queued, not-yet-executed
+          transactions a session may have outstanding *)
+  total_queue : int;  (** bound on queued transactions across sessions *)
+  batch : int;
+      (** group-commit batch size installed on every TC at {!create} *)
+}
+
+val default_config : config
+(** 64 sessions, pipeline depth 8, 256 queued total, 4-commit batches. *)
+
+exception Overloaded of string
+(** {!open_session} past [max_sessions].  The refusal is typed and loud
+    — an operator adds a TC or a front, never waits on a silent stall. *)
+
+type t
+
+type session
+
+val create :
+  ?counters:Untx_util.Instrument.t ->
+  ?cfg:config ->
+  Untx_cloud.Deploy.t ->
+  t
+(** Build a front over the deployment's current TCs (name order) and
+    install [cfg.batch] as every TC's group-commit size.  TCs added to
+    the deployment afterwards are not served — create the front after
+    the topology.  Raises [Invalid_argument] if the deployment has no
+    TC. *)
+
+val open_session : t -> session
+(** Admit a client session and pin its home TC (round-robin by open
+    order).  Raises {!Overloaded} past [max_sessions] (counted
+    ["front.shed"]). *)
+
+val session_tc : session -> string
+(** The session's home TC — tests assert the dispatch spread. *)
+
+val session_id : session -> int
+
+val submit :
+  t -> session -> op list -> [ `Ticket of int | `Overloaded of string ]
+(** Queue one transaction on the session's FIFO.  Admission control:
+    a full session queue or full total queue refuses with
+    [`Overloaded reason] (counted ["front.shed"], traced
+    [comp:"front" ev:"shed"]); otherwise the ticket is returned
+    (counted ["front.admitted"]).  Raises [Invalid_argument] on an
+    empty transaction. *)
+
+val poll : t -> int -> [ `Pending | `Done of result ]
+(** A ticket's state.  Results are retained until polled: [`Done]
+    consumes the result.  Raises [Invalid_argument] for a ticket never
+    issued or already consumed. *)
+
+val pump : ?budget:int -> t -> int
+(** Execute up to [budget] queued transactions (default: until every
+    queue is empty), serving sessions round-robin from the persistent
+    cursor, each transaction run to completion on its session's home
+    TC.  Returns how many transactions finished.  Commits that rode an
+    open group-commit batch are counted ["front.batched"]. *)
+
+val flush : t -> unit
+(** Force every TC's log, closing partial group-commit batches — the
+    batched commits' durability point. *)
+
+val drain : t -> unit
+(** {!pump} everything, then {!flush}. *)
+
+val pending : t -> int
+(** Queued, not-yet-executed transactions across all sessions. *)
+
+val sessions : t -> int
+(** Sessions opened so far. *)
+
+val tc_of_session : t -> session -> Untx_tc.Tc.t
+(** The live TC object serving the session (benches read its LSNs). *)

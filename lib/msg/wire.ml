@@ -11,7 +11,13 @@ type result =
   | Next_keys of Op.key list
   | Failed of string
 
-type reply = { lsn : Lsn.t; result : result; prior : Op.value option }
+(* Replies are stamped with the TC id of the request they answer, for
+   the same reason requests carry a partition id: with M TCs every
+   sender numbers its session from (epoch 1, seq 1), so an ack that
+   strays onto another TC's link is otherwise indistinguishable from
+   that TC's own.  The receiver guards drop misattributed acks loudly
+   instead of absorbing them. *)
+type reply = { tc : Tc_id.t; lsn : Lsn.t; result : result; prior : Op.value option }
 
 type control =
   | End_of_stable_log of { tc : Tc_id.t; eosl : Lsn.t }
@@ -28,6 +34,7 @@ type control_reply = Ack | Checkpoint_done of { granted : bool }
 type control_msg = { c_epoch : int; c_seq : int; c_ctl : control }
 
 type control_reply_msg = {
+  r_tc : Tc_id.t;  (* the TC whose session this ack belongs to *)
   r_epoch : int;
   r_seq : int;
   r_reply : control_reply;
@@ -54,7 +61,12 @@ type repl_reply = Repl_ack of { applied : Lsn.t }
 
 type repl_msg = { p_epoch : int; p_seq : int; p_repl : repl }
 
-type repl_reply_msg = { q_epoch : int; q_seq : int; q_reply : repl_reply }
+type repl_reply_msg = {
+  q_tc : Tc_id.t;  (* the shipping TC whose session this ack belongs to *)
+  q_epoch : int;
+  q_seq : int;
+  q_reply : repl_reply;
+}
 
 let repl_tc = function Repl_hello { tc } | Repl_ship { tc; _ } -> tc
 
@@ -209,15 +221,18 @@ let result_of_fields = function
   | [ "F"; m ] -> Failed m
   | _ -> invalid_arg "Wire: bad result"
 
-let encode_reply ?tid { lsn; result; prior } =
+let encode_reply ?tid { tc; lsn; result; prior } =
   frame ?tid 'R'
     (Codec.encode
-       (int_field (Lsn.to_int lsn) :: opt_field prior :: result_fields result))
+       (int_field (Tc_id.to_int tc)
+       :: int_field (Lsn.to_int lsn)
+       :: opt_field prior :: result_fields result))
 
 let decode_reply s =
   match Codec.decode (unframe `Reply s) with
-  | lsn :: prior :: rest ->
+  | tc :: lsn :: prior :: rest ->
     {
+      tc = tc_of_field tc;
       lsn = lsn_of_field lsn;
       prior = opt_of_field prior;
       result = result_of_fields rest;
@@ -281,15 +296,18 @@ let control_reply_of_fields = function
   | [ "G"; "0" ] -> Checkpoint_done { granted = false }
   | _ -> invalid_arg "Wire: bad control reply"
 
-let encode_control_reply ?tid { r_epoch; r_seq; r_reply } =
+let encode_control_reply ?tid { r_tc; r_epoch; r_seq; r_reply } =
   frame ?tid 'K'
     (Codec.encode
-       (int_field r_epoch :: int_field r_seq :: control_reply_fields r_reply))
+       (int_field (Tc_id.to_int r_tc)
+       :: int_field r_epoch :: int_field r_seq
+       :: control_reply_fields r_reply))
 
 let decode_control_reply s =
   match Codec.decode (unframe `Control_reply s) with
-  | epoch :: seq :: rest ->
+  | tc :: epoch :: seq :: rest ->
     {
+      r_tc = tc_of_field tc;
       r_epoch = int_of_field epoch;
       r_seq = int_of_field seq;
       r_reply = control_reply_of_fields rest;
@@ -352,15 +370,18 @@ let repl_reply_of_fields = function
   | [ "A"; applied ] -> Repl_ack { applied = lsn_of_field applied }
   | _ -> invalid_arg "Wire: bad repl reply"
 
-let encode_repl_reply ?tid { q_epoch; q_seq; q_reply } =
+let encode_repl_reply ?tid { q_tc; q_epoch; q_seq; q_reply } =
   frame ?tid 'T'
     (Codec.encode
-       (int_field q_epoch :: int_field q_seq :: repl_reply_fields q_reply))
+       (int_field (Tc_id.to_int q_tc)
+       :: int_field q_epoch :: int_field q_seq
+       :: repl_reply_fields q_reply))
 
 let decode_repl_reply s =
   match Codec.decode (unframe `Repl_reply s) with
-  | epoch :: seq :: rest ->
+  | tc :: epoch :: seq :: rest ->
     {
+      q_tc = tc_of_field tc;
       q_epoch = int_of_field epoch;
       q_seq = int_of_field seq;
       q_reply = repl_reply_of_fields rest;

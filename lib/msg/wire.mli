@@ -32,6 +32,12 @@ type result =
   | Failed of string  (** semantic error (e.g. duplicate insert) *)
 
 type reply = {
+  tc : Untx_util.Tc_id.t;
+      (** the requesting TC, echoed back.  With M TCs every sender
+          numbers its LSNs independently, so a reply that strays onto
+          another TC's link would otherwise match that TC's own
+          in-flight request; the receiver drops misattributed replies
+          instead of absorbing them. *)
   lsn : Untx_util.Lsn.t;
   result : result;
   prior : Op.value option;
@@ -81,6 +87,10 @@ type control_msg = { c_epoch : int; c_seq : int; c_ctl : control }
     freshly-reset state). *)
 
 type control_reply_msg = {
+  r_tc : Untx_util.Tc_id.t;
+      (** the TC whose session this ack belongs to — acks are keyed
+          [(tc, epoch, seq)], not bare [(epoch, seq)], because every
+          TC's sender starts at (epoch 1, seq 1) *)
   r_epoch : int;
   r_seq : int;  (** echo of the request's envelope, for TC-side matching *)
   r_reply : control_reply;
@@ -121,7 +131,14 @@ type repl_reply = Repl_ack of { applied : Untx_util.Lsn.t }
 
 type repl_msg = { p_epoch : int; p_seq : int; p_repl : repl }
 
-type repl_reply_msg = { q_epoch : int; q_seq : int; q_reply : repl_reply }
+type repl_reply_msg = {
+  q_tc : Untx_util.Tc_id.t;
+      (** the shipping TC whose session this ack belongs to (same
+          [(tc, epoch, seq)] keying as control acks) *)
+  q_epoch : int;
+  q_seq : int;
+  q_reply : repl_reply;
+}
 
 val repl_tc : repl -> Untx_util.Tc_id.t
 

@@ -24,6 +24,8 @@ type report = {
   r_parts : (int * Metrics.hsnap) list; (* per-partition round trips *)
   r_repl : (string * int) list; (* replication events by kind (ship/ack/…) *)
   r_layer : (string * int) list; (* layer-store events by kind (compact/…) *)
+  r_front : (string * int) list;
+      (* session front-end events by kind (admitted/shed/batched) *)
 }
 
 (* ---- JSONL parsing ---------------------------------------------------- *)
@@ -254,6 +256,9 @@ let analyze events =
   (* Layer-store traffic (compactions, bootstraps) is likewise untraced
      per-operation; count it by kind. *)
   let r_layer = count_component "layer" in
+  (* Front-end admission traffic has no per-operation span either — a
+     shed transaction never reaches a TC; count it by kind. *)
+  let r_front = count_component "front" in
   {
     r_timelines = timelines;
     r_orphans =
@@ -266,6 +271,7 @@ let analyze events =
     r_parts;
     r_repl;
     r_layer;
+    r_front;
   }
 
 let pp_summary ppf r =
@@ -294,6 +300,11 @@ let pp_summary ppf r =
   if r.r_layer <> [] then begin
     Format.fprintf ppf "layer:";
     List.iter (fun (ev, n) -> Format.fprintf ppf " %s=%d" ev n) r.r_layer;
+    Format.fprintf ppf "@,"
+  end;
+  if r.r_front <> [] then begin
+    Format.fprintf ppf "front:";
+    List.iter (fun (ev, n) -> Format.fprintf ppf " %s=%d" ev n) r.r_front;
     Format.fprintf ppf "@,"
   end;
   Format.fprintf ppf "@]"

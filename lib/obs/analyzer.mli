@@ -32,6 +32,10 @@ type report = {
   r_layer : (string * int) list;
       (** layer-store events counted by kind (["compact"],
           ["bootstrap"]), untraced like repl traffic *)
+  r_front : (string * int) list;
+      (** session front-end events counted by kind (["admitted"],
+          ["shed"], ["batched"]); a shed transaction never reaches a
+          TC, so admission traffic has no per-operation span *)
 }
 
 val of_jsonl : string -> Trace.event list

@@ -93,10 +93,19 @@ module Standby = struct
       Hashtbl.replace t.applied (Tc_id.to_int tc) upto;
     Instrument.bump t.counters "repl.standby_batches"
 
-  let handle_repl_frame t frame =
+  let handle_repl_frame ?expect t frame =
     match Wire.decode_repl frame with
     | exception Invalid_argument _ ->
       Instrument.bump t.counters "repl.bad_frames";
+      None
+    | m
+      when match expect with
+           | Some tc -> not (Tc_id.equal (Wire.repl_tc m.Wire.p_repl) tc)
+           | None -> false ->
+      (* A ship speaking for another TC on this link: applying it would
+         advance that TC's cursor from a stream its manager never sent.
+         Dropped (counted); the real sender's resend stays alive. *)
+      Instrument.bump t.counters "repl.misattributed";
       None
     | m ->
       let tc = Wire.repl_tc m.Wire.p_repl in
@@ -111,7 +120,8 @@ module Standby = struct
       let reply seq r =
         Some
           (Wire.encode_repl_reply
-             { Wire.q_epoch = Session.Receiver.epoch s; q_seq = seq; q_reply = r })
+             { Wire.q_tc = tc; q_epoch = Session.Receiver.epoch s;
+               q_seq = seq; q_reply = r })
       in
       (match
          Session.Receiver.handle s ~epoch:m.Wire.p_epoch ~seq:m.Wire.p_seq
@@ -414,6 +424,12 @@ module Manager = struct
               match Wire.decode_repl_reply frame with
               | exception Invalid_argument _ ->
                 Instrument.bump t.counters "repl.bad_frames"
+              | m when not (Tc_id.equal m.Wire.q_tc (Tc.id t.tc)) ->
+                (* Another TC's repl ack: its (epoch, seq) may collide
+                   with this manager's own session numbering, and its
+                   [applied] cursor is measured against a different
+                   LSN sequence entirely. *)
+                Instrument.bump t.counters "repl.misattributed"
               | m ->
                 if
                   Session.Sender.ack r.r_session ~epoch:m.Wire.q_epoch

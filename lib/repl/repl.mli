@@ -65,10 +65,15 @@ module Standby : sig
       partitions' records).  Promotion picks the standby maximizing
       this, and redo after promotion starts just past it. *)
 
-  val handle_repl_frame : t -> string -> string option
+  val handle_repl_frame :
+    ?expect:Untx_util.Tc_id.t -> t -> string -> string option
   (** Decode one repl frame, run it through the session contract, apply
       in-turn ships, and return the encoded [Repl_ack] if one is owed.
-      Wired as the transport's repl handler. *)
+      Wired as the transport's repl handler.
+
+      [expect] is the link's shipping TC: a ship stamped with another
+      TC's id is dropped (counted as ["repl.misattributed"]) instead of
+      advancing a cursor its manager never sent for. *)
 
   val crash : t -> unit
   (** Lose all volatile state — DC cache, session state, applied

@@ -143,6 +143,10 @@ type t = {
   mutable msgs : int;
   mutable resend_count : int;
   mutable unforced_commits : int; (* group commit: commits awaiting a force *)
+  mutable group_commit : int;
+      (* live group-commit batch size, initially [cfg.group_commit].  A
+         session front end retunes it at run time to batch commits from
+         many client sessions under one force. *)
   mutable durability_gate : (Lsn.t -> unit) option;
       (* invoked after every group-commit force with the new stable LSN;
          a replication manager blocks here until its durability policy
@@ -181,12 +185,19 @@ let create ?(counters = Instrument.global) cfg =
     msgs = 0;
     resend_count = 0;
     unforced_commits = 0;
+    group_commit = cfg.group_commit;
     durability_gate = None;
     truncate_floor = None;
     history_replay = None;
   }
 
 let id t = t.cfg.id
+
+let set_group_commit t n =
+  if n < 1 then invalid_arg "Tc.set_group_commit: size must be >= 1";
+  t.group_commit <- n
+
+let group_commit t = t.group_commit
 
 let set_durability_gate t f = t.durability_gate <- Some f
 
@@ -386,6 +397,14 @@ let retire_pending t (p : pending) =
     Lsn.Set.remove p.p_req.Wire.lsn p.p_link.ls_outstanding
 
 let handle_reply t (r : Wire.reply) =
+  if not (Tc_id.equal r.tc t.cfg.id) then
+    (* Another TC's reply on this TC's link: every TC numbers its LSNs
+       from 1, so [r.lsn] may well match one of OUR in-flight requests —
+       absorbing it would retire a pending with a result its operation
+       never produced.  Dropped loudly (counted); the real requester's
+       resend path recovers its own ack. *)
+    Instrument.bump t.counters "tc.misattributed_acks"
+  else
   match Hashtbl.find_opt t.pendings (Lsn.to_int r.lsn) with
   | None -> () (* stale duplicate reply *)
   | Some p ->
@@ -417,7 +436,16 @@ let handle_reply t (r : Wire.reply) =
    pending and, when a caller awaits it, parks the reply for
    [await_control_reply]. *)
 let handle_control_reply t ls (m : Wire.control_reply_msg) =
-  if
+  if not (Tc_id.equal m.Wire.r_tc t.cfg.id) then begin
+    (* Acks are keyed (tc, epoch, seq), not bare (epoch, seq): every
+       sender starts at (1, 1), so another TC's ack would otherwise be
+       absorbed as ours and retire a pending whose real answer is still
+       in flight (or worse, park a Checkpoint_done grant computed for a
+       different TC's redo-scan point). *)
+    Instrument.bump t.counters "tc.misattributed_acks";
+    false
+  end
+  else if
     Session.Sender.ack ls.ls_ctl ~epoch:m.Wire.r_epoch ~seq:m.Wire.r_seq
       m.Wire.r_reply
   then begin
@@ -1057,7 +1085,7 @@ let rec commit t txn =
          in between are not yet durable — the classic latency/IO trade;
          default group size 1 forces every commit. *)
       t.unforced_commits <- t.unforced_commits + 1;
-      if t.unforced_commits >= Stdlib.max 1 t.cfg.group_commit then begin
+      if t.unforced_commits >= Stdlib.max 1 t.group_commit then begin
         t.unforced_commits <- 0;
         Fault.hit p_commit_before_force;
         Wal.force t.log;

@@ -88,6 +88,16 @@ val create : ?counters:Untx_util.Instrument.t -> config -> t
 
 val id : t -> Untx_util.Tc_id.t
 
+val set_group_commit : t -> int -> unit
+(** Retune the live group-commit batch size (initially
+    [config.group_commit]).  A session front end raises it so commits
+    from many client sessions share one force; commits already waiting
+    ride the next force ({!force_log} closes a partial batch).  Raises
+    [Invalid_argument] for sizes below 1. *)
+
+val group_commit : t -> int
+(** The live group-commit batch size. *)
+
 val attach_dc : t -> dc_link -> unit
 
 val map_table : t -> table:string -> dc:string -> versioned:bool -> unit

@@ -1,0 +1,6 @@
+let () =
+  Alcotest.run "untx-front"
+    [
+      ("front", Suite_front.suite);
+      ("props-front", Props_front.suite);
+    ]

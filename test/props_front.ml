@@ -1,0 +1,212 @@
+(* Front-end properties.
+
+   (1) The DC's control-idempotence sessions are keyed (tc, epoch, seq),
+   not bare (epoch, seq): two TCs' control streams — both starting at
+   (epoch 1, seq 1) — may be interleaved arbitrarily and sprinkled with
+   duplicate deliveries, and every reply must still belong to its own
+   sender with each TC's final watermarks equal to the last it sent.
+   Under the old bare-(epoch, seq) keying the second sender's seq 1
+   would replay the FIRST sender's memoized ack and its watermarks would
+   never apply.
+
+   (2) Session dispatch is deterministic: the same deployment seed, the
+   same open/submit sequence — twice, from scratch — lands on identical
+   TC assignments and identical transaction results. *)
+
+module Deploy = Untx_cloud.Deploy
+module Front = Untx_front.Front
+module Tc = Untx_tc.Tc
+module Dc = Untx_dc.Dc
+module Wire = Untx_msg.Wire
+module Tc_id = Untx_util.Tc_id
+module Lsn = Untx_util.Lsn
+
+let test prop = QCheck_alcotest.to_alcotest prop
+
+(* --- (tc, epoch, seq) control-session keying --------------------------- *)
+
+type weave = {
+  n1 : int;  (** control messages TC 1 sends (seq 1..n1, epoch 1) *)
+  n2 : int;  (** control messages TC 2 sends (seq 1..n2, epoch 1) *)
+  picks : bool list;  (** interleaving: true = next from TC 1 *)
+  dups : int list;  (** delivery positions re-delivered immediately *)
+}
+
+let weave_gen =
+  QCheck.Gen.(
+    let* n1 = int_range 1 8 in
+    let* n2 = int_range 1 8 in
+    let* picks = list_repeat (n1 + n2) bool in
+    let* dups = list_size (int_bound 4) (int_bound (n1 + n2 - 1)) in
+    return { n1; n2; picks; dups })
+
+let weave_arb =
+  QCheck.make
+    ~print:(fun w ->
+      Printf.sprintf "n1=%d n2=%d picks=[%s] dups=[%s]" w.n1 w.n2
+        (String.concat ""
+           (List.map (fun b -> if b then "1" else "2") w.picks))
+        (String.concat ";" (List.map string_of_int w.dups)))
+    weave_gen
+
+(* Interleave the two senders' frame lists under [picks], preserving
+   each sender's own order; exhausted picks fall through to whichever
+   sender still has frames. *)
+let interleave picks xs ys =
+  let rec go picks xs ys acc =
+    match (xs, ys) with
+    | [], [] -> List.rev acc
+    | x :: xs', [] -> go picks xs' [] (x :: acc)
+    | [], y :: ys' -> go picks [] ys' (y :: acc)
+    | x :: xs', y :: ys' -> (
+      match picks with
+      | true :: picks' -> go picks' xs' ys (x :: acc)
+      | false :: picks' -> go picks' xs ys' (y :: acc)
+      | [] -> go [] xs' ys (x :: acc))
+  in
+  go picks xs ys []
+
+let prop_control_sessions_keyed_per_tc =
+  QCheck.Test.make ~count:120
+    ~name:"control sessions are keyed (tc, epoch, seq)" weave_arb (fun w ->
+      let dc = Dc.create Dc.default_config in
+      let tc1 = Tc_id.of_int 1 and tc2 = Tc_id.of_int 2 in
+      let frames tc n =
+        List.init n (fun i ->
+            let seq = i + 1 in
+            ( tc,
+              seq,
+              Wire.encode_control
+                {
+                  Wire.c_epoch = 1;
+                  c_seq = seq;
+                  c_ctl =
+                    Wire.Watermarks
+                      {
+                        tc;
+                        eosl = Lsn.of_int (2 * seq);
+                        lwm = Lsn.of_int seq;
+                      };
+                } ))
+      in
+      let stream = interleave w.picks (frames tc1 w.n1) (frames tc2 w.n2) in
+      (* expand duplicate deliveries: position p's frame arrives twice *)
+      let deliveries =
+        List.concat
+          (List.mapi
+             (fun p f -> if List.mem p w.dups then [ f; f ] else [ f ])
+             stream)
+      in
+      List.for_all
+        (fun (tc, seq, frame) ->
+          match Dc.handle_control_frame dc frame with
+          | None -> false (* in-order per sender: every delivery answers *)
+          | Some reply_frame ->
+            let r = Wire.decode_control_reply reply_frame in
+            (* the ack belongs to ITS sender's session, at its seq *)
+            Tc_id.equal r.Wire.r_tc tc && r.Wire.r_epoch = 1
+            && r.Wire.r_seq = seq)
+        deliveries
+      && (* each TC's watermark slots hold the LAST it sent — neither
+            absorbed the other's stream *)
+      Lsn.to_int (Dc.eosl_of dc tc1) = 2 * w.n1
+      && Lsn.to_int (Dc.lwm_of dc tc1) = w.n1
+      && Lsn.to_int (Dc.eosl_of dc tc2) = 2 * w.n2
+      && Lsn.to_int (Dc.lwm_of dc tc2) = w.n2)
+
+(* --- dispatch determinism ---------------------------------------------- *)
+
+type script = {
+  sessions : int;  (** sessions opened up front *)
+  writes : (int * int * int) list;
+      (** (session index, key index, value tag) — one txn each *)
+}
+
+let script_gen =
+  QCheck.Gen.(
+    let* sessions = int_range 1 6 in
+    let* n = int_range 1 24 in
+    let* writes =
+      list_repeat n
+        (triple (int_bound (sessions - 1)) (int_bound 7) (int_bound 99))
+    in
+    return { sessions; writes })
+
+let script_arb =
+  QCheck.make
+    ~print:(fun s ->
+      Printf.sprintf "sessions=%d writes=[%s]" s.sessions
+        (String.concat ";"
+           (List.map
+              (fun (si, ki, v) -> Printf.sprintf "%d:k%d=%d" si ki v)
+              s.writes)))
+    script_gen
+
+(* One full run from scratch; returns (per-session TC assignment,
+   per-ticket results in submission order). *)
+let run_script s =
+  let d = Deploy.create ~seed:77 () in
+  ignore (Deploy.add_tc d ~name:"tc1" (Tc.default_config (Tc_id.of_int 1)));
+  ignore (Deploy.add_tc d ~name:"tc2" (Tc.default_config (Tc_id.of_int 2)));
+  ignore (Deploy.add_dc d ~name:"dc0" Dc.default_config);
+  ignore (Deploy.add_dc d ~name:"dc1" Dc.default_config);
+  Deploy.add_partitioned_table d ~name:"t" ~versioned:false
+    ~dcs:[ "dc0"; "dc1" ] ();
+  let front =
+    Front.create
+      ~cfg:{ Front.max_sessions = 8; session_queue = 64; total_queue = 256;
+             batch = 2 }
+      d
+  in
+  let sess = Array.init s.sessions (fun _ -> Front.open_session front) in
+  (* per-session key namespaces keep the updaters disjoint across TCs,
+     as Section 6 requires; each txn inserts a fresh key and reads the
+     session's previous one, so results carry real pipelined reads *)
+  let last_key = Array.make s.sessions None in
+  let seq_no = Array.make s.sessions 0 in
+  let tickets =
+    List.map
+      (fun (si, ki, v) ->
+        let session = sess.(si) in
+        let key = Printf.sprintf "s%d-j%d-k%d" si seq_no.(si) ki in
+        seq_no.(si) <- seq_no.(si) + 1;
+        let ops =
+          Front.Insert { table = "t"; key; value = Printf.sprintf "v%d" v }
+          ::
+          (match last_key.(si) with
+          | Some prev -> [ Front.Read { table = "t"; key = prev } ]
+          | None -> [])
+        in
+        last_key.(si) <- Some key;
+        match Front.submit front session ops with
+        | `Ticket k -> k
+        | `Overloaded r -> failwith ("unexpected shed: " ^ r))
+      s.writes
+  in
+  Front.drain front;
+  let results =
+    List.map
+      (fun k ->
+        match Front.poll front k with
+        | `Done (Front.Committed reads) ->
+          "C:"
+          ^ String.concat ","
+              (List.map (function Some v -> v | None -> "-") reads)
+        | `Done (Front.Rejected reason) -> "R:" ^ reason
+        | `Pending -> "pending")
+      tickets
+  in
+  (Array.to_list (Array.map Front.session_tc sess), results)
+
+let prop_dispatch_deterministic =
+  QCheck.Test.make ~count:30 ~name:"session dispatch is deterministic"
+    script_arb (fun s ->
+      let a_tcs, a_results = run_script s in
+      let b_tcs, b_results = run_script s in
+      a_tcs = b_tcs && a_results = b_results)
+
+let suite =
+  [
+    test prop_control_sessions_keyed_per_tc;
+    test prop_dispatch_deterministic;
+  ]

@@ -370,6 +370,60 @@ let test_add_replica_later_catches_up () =
   Deploy.settle_replicas d;
   check_parity d ~dc:"dc0"
 
+(* Retention-lease isolation across TCs: replica state is per
+   (manager, standby), and each manager's lease burns only on its OWN
+   TC's granted checkpoints.  Two TCs share the primary; the standby is
+   detached in both managers; then one TC checkpoints past its lease
+   budget.  Its manager must demote the replica — while the other TC's
+   manager, which never checkpointed, must still hold the full lease.
+   If consults from different TCs each decremented the same lease, the
+   second manager would be at zero too. *)
+let test_lease_isolated_per_tc () =
+  let counters = Instrument.create () in
+  let d = Deploy.create ~counters () in
+  let tc1 = Deploy.add_tc d ~name:"tc1" (Tc.default_config (Tc_id.of_int 1)) in
+  let tc2 = Deploy.add_tc d ~name:"tc2" (Tc.default_config (Tc_id.of_int 2)) in
+  ignore (Deploy.add_dc d ~name:"dc0" Dc.default_config);
+  Deploy.add_partitioned_table d ~replicas:1 ~name:"t" ~versioned:false
+    ~dcs:[ "dc0" ] ();
+  (* disjoint updaters on the shared primary *)
+  fill tc1 ~prefix:"a" 8;
+  fill tc2 ~prefix:"b" 8;
+  Deploy.quiesce d;
+  Deploy.settle_replicas d;
+  let m1 = Deploy.manager d ~tc:"tc1" in
+  let m2 = Deploy.manager d ~tc:"tc2" in
+  let sbn = List.hd (Deploy.replicas d ~dc:"dc0") in
+  Deploy.detach_replica d sbn;
+  let lease_of m =
+    match Repl.Manager.state_of m ~name:sbn with
+    | Repl.Manager.Detached { lease } -> lease
+    | _ -> -1
+  in
+  let full_lease = lease_of m2 in
+  Alcotest.(check bool) "both managers detached with a full lease" true
+    (full_lease > 0 && lease_of m1 = full_lease);
+  (* burn tc1's lease: full_lease granted checkpoints hold the floor,
+     one more consult expires it *)
+  List.iter
+    (fun round ->
+      fill tc1 ~prefix:(Printf.sprintf "a%d." round) 8;
+      Deploy.quiesce d;
+      grant_checkpoint d tc1 ~dc:"dc0")
+    (List.init (full_lease + 1) Fun.id);
+  Alcotest.(check bool) "tc1's manager demoted its replica" true
+    (Repl.Manager.state_of m1 ~name:sbn = Repl.Manager.Rebuild_required);
+  Alcotest.(check int) "exactly one lease expired" 1
+    (Instrument.get counters "repl.lease_expirations");
+  Alcotest.(check int) "tc2's lease untouched by tc1's checkpoints"
+    full_lease (lease_of m2);
+  (* tc2's own granted checkpoint burns exactly one unit of its lease *)
+  fill tc2 ~prefix:"b9." 8;
+  Deploy.quiesce d;
+  grant_checkpoint d tc2 ~dc:"dc0";
+  Alcotest.(check int) "one unit burned by tc2's own checkpoint"
+    (full_lease - 1) (lease_of m2)
+
 let suite =
   [
     Alcotest.test_case "shipping reaches parity" `Quick test_shipping_parity;
@@ -398,4 +452,6 @@ let suite =
       test_lease_expiry_demotes_and_refuses;
     Alcotest.test_case "crashed standby past truncation needs rebuild" `Quick
       test_crashed_standby_past_truncation_needs_rebuild;
+    Alcotest.test_case "retention leases are per TC" `Quick
+      test_lease_isolated_per_tc;
   ]

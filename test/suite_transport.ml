@@ -26,13 +26,16 @@ let req i =
    carrying the request's LSN, and acks every control frame. *)
 let echo_data frame =
   let r = Wire.decode_request frame in
-  Some (Wire.encode_reply { Wire.lsn = r.Wire.lsn; result = Wire.Done; prior = None })
+  Some
+    (Wire.encode_reply
+       { Wire.tc = r.Wire.tc; lsn = r.Wire.lsn; result = Wire.Done; prior = None })
 
 let echo_control frame =
   let m = Wire.decode_control frame in
   Some
     (Wire.encode_control_reply
-       { Wire.r_epoch = m.Wire.c_epoch; r_seq = m.Wire.c_seq; r_reply = Wire.Ack })
+       { Wire.r_tc = Wire.control_tc m.Wire.c_ctl; r_epoch = m.Wire.c_epoch;
+         r_seq = m.Wire.c_seq; r_reply = Wire.Ack })
 
 let make ?counters ?policy ?control_policy ~seed () =
   Transport.create ?counters ?policy ?control_policy ~seed ~data:echo_data

@@ -70,9 +70,10 @@ let gen_result =
 
 let gen_reply =
   Gen.(
+    gen_tc >>= fun tc ->
     gen_lsn >>= fun lsn ->
     gen_result >>= fun result ->
-    opt gen_str >>= fun prior -> return { Wire.lsn; result; prior })
+    opt gen_str >>= fun prior -> return { Wire.tc; lsn; result; prior })
 
 let gen_control =
   Gen.(
@@ -100,12 +101,13 @@ let gen_control_msg =
 
 let gen_control_reply_msg =
   Gen.(
+    gen_tc >>= fun r_tc ->
     small_nat >>= fun epoch ->
     small_nat >>= fun seq ->
     oneofl [ Wire.Ack; Wire.Checkpoint_done { granted = true };
              Wire.Checkpoint_done { granted = false } ]
     >>= fun r ->
-    return { Wire.r_epoch = 1 + epoch; r_seq = 1 + seq; r_reply = r })
+    return { Wire.r_tc; r_epoch = 1 + epoch; r_seq = 1 + seq; r_reply = r })
 
 (* One arbitrary covering all four frame kinds, as (name, bytes) with
    the decoded-re-encoded check done against the right decoder. *)
