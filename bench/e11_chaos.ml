@@ -312,22 +312,108 @@ let run_soak_mtc ~seeds_per_plan () =
     "E11 multi-TC ok: %d cycles, %d TC kills under load, 0 violations\n"
     s.Chaos.s_cycles s.Chaos.s_crashes
 
+(* The indexed soak: every cycle routes all mutations through the
+   Index wrappers on a table carrying two secondary indexes, under a
+   seed-picked Section 3.1 lock protocol.  Fault plans kill
+   mid-entry-table-SMO, mid-flush, mid-WAL-force and at both
+   commit-force edges; the audit holds every merged entry table to
+   exact parity with the image of the surviving primary rows. *)
+let run_soak_indexed ~seeds_per_plan () =
+  let parts = 2 in
+  let cycles, s = Chaos.soak_indexed ~seeds_per_plan ~parts () in
+  Bench_util.print_table
+    ~title:
+      (Printf.sprintf
+         "E11: indexed soak (1 TC x %d DCs, 2 secondary indexes), fires per \
+          point"
+         parts)
+    ~header:[ "fault point"; "fires" ]
+    (List.map
+       (fun (p, n) -> [ p; string_of_int n ])
+       s.Chaos.s_fires_by_point);
+  Bench_util.print_table ~title:"E11: indexed soak summary"
+    ~header:[ "metric"; "value" ]
+    [
+      [ "cycles"; string_of_int s.Chaos.s_cycles ];
+      [ "cycles with a fire"; string_of_int s.Chaos.s_fired ];
+      [ "injected hard kills"; string_of_int s.Chaos.s_crashes ];
+      [ "auditor violations"; string_of_int (List.length s.Chaos.s_violating) ];
+    ];
+  print_cycle_failures cycles;
+  let fired p = List.mem_assoc p s.Chaos.s_fires_by_point in
+  let problems =
+    List.filter_map
+      (fun (ok, msg) -> if ok then None else Some msg)
+      [
+        (s.Chaos.s_violating = [], "indexed auditor violations");
+        (fired "dc.smo.split.mid", "no mid-SMO kill fired on an entry table");
+        (s.Chaos.s_crashes >= 1, "no cycle ever killed a component");
+      ]
+  in
+  if problems <> [] then begin
+    List.iter (fun m -> Printf.printf "E11 FAILED: %s\n" m) problems;
+    exit 1
+  end;
+  Printf.printf
+    "E11 indexed ok: %d cycles, %d kills, index parity clean, 0 violations\n"
+    s.Chaos.s_cycles s.Chaos.s_crashes
+
+(* The workload-bank soak: every bank spec runs differentially against
+   its sequential oracle (scripted DC/TC kills included) across several
+   seeds, then takes the full deployment audit — per-table oracle
+   parity plus index parity for the index-maintaining specs. *)
+let run_soak_workloads ~seeds_per_spec () =
+  let cycles, s = Chaos.soak_workloads ~seeds_per_spec () in
+  Bench_util.print_table ~title:"E11: workload-bank soak summary"
+    ~header:[ "metric"; "value" ]
+    [
+      [ "bank specs"; string_of_int (List.length (Untx_workload.Workload.bank ())) ];
+      [ "cycles"; string_of_int s.Chaos.s_cycles ];
+      [ "injected DC/TC kills"; string_of_int s.Chaos.s_crashes ];
+      [ "auditor violations"; string_of_int (List.length s.Chaos.s_violating) ];
+    ];
+  print_cycle_failures cycles;
+  let problems =
+    List.filter_map
+      (fun (ok, msg) -> if ok then None else Some msg)
+      [
+        (s.Chaos.s_violating = [], "workload-bank violations");
+        (s.Chaos.s_crashes >= s.Chaos.s_cycles,
+         "a workload cycle never killed a component");
+      ]
+  in
+  if problems <> [] then begin
+    List.iter (fun m -> Printf.printf "E11 FAILED: %s\n" m) problems;
+    exit 1
+  end;
+  Printf.printf
+    "E11 workload bank ok: %d cycles over %d specs, %d kills, 0 violations\n"
+    s.Chaos.s_cycles
+    (List.length (Untx_workload.Workload.bank ()))
+    s.Chaos.s_crashes
+
 let run () =
   run_soak ~seeds_per_plan:7 ();
   run_soak_partitioned ~seeds_per_plan:7 ();
   run_soak_replicated ~seeds_per_plan:5 ();
   run_soak_detach ~seeds_per_plan:4 ();
-  run_soak_mtc ~seeds_per_plan:6 ()
+  run_soak_mtc ~seeds_per_plan:6 ();
+  run_soak_indexed ~seeds_per_plan:6 ();
+  run_soak_workloads ~seeds_per_spec:4 ()
 
 (* Short fixed-seed soak for the @chaos dune alias (which @ci includes):
    single-kernel plans at one seed each, plus the multi-DC soak at four
    seeds per plan — at least 50 partitioned cycles on every CI run —
    plus primary-kill + promotion cycles over the replicated plans,
-   detach/checkpoint/promote cycles over the lease plans, and
-   TC-kill-under-load cycles over the front-end plans. *)
+   detach/checkpoint/promote cycles over the lease plans,
+   TC-kill-under-load cycles over the front-end plans,
+   kill-mid-index-maintenance cycles over the indexed plans, and one
+   seed of every differential workload-bank spec. *)
 let run_short () =
   run_soak ~seeds_per_plan:1 ();
   run_soak_partitioned ~seeds_per_plan:4 ();
   run_soak_replicated ~seeds_per_plan:3 ();
   run_soak_detach ~seeds_per_plan:2 ();
-  run_soak_mtc ~seeds_per_plan:2 ()
+  run_soak_mtc ~seeds_per_plan:2 ();
+  run_soak_indexed ~seeds_per_plan:2 ();
+  run_soak_workloads ~seeds_per_spec:1 ()

@@ -30,6 +30,8 @@ let experiments =
      E13_layers.run);
     ("e14", "session front end: TC scale-out, overload shedding",
      E14_front.run);
+    ("e15", "secondary indexes: maintenance cost, Zipfian skew sweep",
+     E15_index.run);
     ("chaos", "short fixed-seed chaos soak (the @chaos alias)", E11_chaos.run_short);
     ("ablations", "design-choice ablations A1-A5", A_ablations.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);

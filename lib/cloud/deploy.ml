@@ -8,13 +8,20 @@ module Dc = Untx_dc.Dc
 module Repl = Untx_repl.Repl
 module Op = Untx_msg.Op
 module Layer = Untx_layer.Layer
+module Index = Untx_index.Index
 
 type scheme = Hash | Range of string list
+
+(* The internal placement algebra: user-visible schemes, plus the
+   secondary-hash placement index-entry tables need — hash the decoded
+   secondary-key component, so every entry for one secondary key lands
+   on one partition and a lookup's prefix scan never crosses DCs. *)
+type pscheme = User of scheme | Hash_sec
 
 type ptable = {
   pt_versioned : bool;
   pt_dcs : string array; (* partition id -> DC name *)
-  pt_scheme : scheme;
+  pt_scheme : pscheme;
 }
 
 type standby_entry = { sb_standby : Repl.Standby.t; sb_primary : string }
@@ -87,14 +94,15 @@ let hash_key key =
 let partition_index pt key =
   let n = Array.length pt.pt_dcs in
   match pt.pt_scheme with
-  | Hash -> hash_key key mod n
-  | Range splits ->
+  | User Hash -> hash_key key mod n
+  | User (Range splits) ->
     (* splits.(i) is the first key of partition i+1 *)
     let rec go i = function
       | [] -> i
       | s :: rest -> if String.compare key s < 0 then i else go (i + 1) rest
     in
     go 0 splits
+  | Hash_sec -> hash_key (Index.sec_of_entry key) mod n
 
 let partition_dc t ~table ~key =
   match Hashtbl.find_opt t.ptables table with
@@ -352,15 +360,10 @@ let create_table t ~dc:dc_name ~name ~versioned =
         ~name ~versioned)
     (replicas t ~dc:dc_name)
 
-let add_partitioned_table t ?(scheme = Hash) ?(replicas = 0) ~name ~versioned
-    ~dcs:dc_list () =
+let register_ptable t ~replicas ~name ~versioned ~dcs:dc_list pscheme =
   if dc_list = [] then invalid_arg "Deploy.add_partitioned_table: no DCs";
   if Hashtbl.mem t.ptables name then
     invalid_arg ("Deploy.add_partitioned_table: dup " ^ name);
-  (match scheme with
-  | Range splits when List.length splits <> List.length dc_list - 1 ->
-    invalid_arg "Deploy.add_partitioned_table: need N-1 range splits"
-  | _ -> ());
   List.iter
     (fun d ->
       if not (Hashtbl.mem t.dcs d) then
@@ -368,7 +371,7 @@ let add_partitioned_table t ?(scheme = Hash) ?(replicas = 0) ~name ~versioned
     dc_list;
   let pt =
     { pt_versioned = versioned; pt_dcs = Array.of_list dc_list;
-      pt_scheme = scheme }
+      pt_scheme = pscheme }
   in
   Hashtbl.add t.ptables name pt;
   (* The physical table exists at every owning DC (and its standbys);
@@ -378,6 +381,38 @@ let add_partitioned_table t ?(scheme = Hash) ?(replicas = 0) ~name ~versioned
   (* [~replicas:k] gives every owning partition k warm standbys. *)
   if replicas > 0 then
     List.iter (fun d -> ignore (add_replicas t ~dc:d ~n:replicas)) dc_list
+
+let add_partitioned_table t ?(scheme = Hash) ?(replicas = 0) ~name ~versioned
+    ~dcs:dc_list () =
+  (match scheme with
+  | Range splits when List.length splits <> List.length dc_list - 1 ->
+    invalid_arg "Deploy.add_partitioned_table: need N-1 range splits"
+  | _ -> ());
+  register_ptable t ~replicas ~name ~versioned ~dcs:dc_list (User scheme)
+
+(* An indexed table is the primary table under the user's scheme plus
+   one entry table per index under secondary-hash placement, all
+   sharing the replica count and versioned-ness.  Entry tables are
+   ordinary partitioned tables end to end: redo, checkpoints,
+   replication and failover treat them exactly like the primary. *)
+let add_indexed_table t ?(scheme = Hash) ?(replicas = 0) ~idx ~name ~versioned
+    ~dcs:dc_list ~indexes () =
+  (match scheme with
+  | Range splits when List.length splits <> List.length dc_list - 1 ->
+    invalid_arg "Deploy.add_indexed_table: need N-1 range splits"
+  | _ -> ());
+  if indexes = [] then invalid_arg "Deploy.add_indexed_table: no indexes";
+  List.iter
+    (fun (iname, extract) ->
+      Index.define idx ~table:name ~name:iname ~extract)
+    indexes;
+  register_ptable t ~replicas ~name ~versioned ~dcs:dc_list (User scheme);
+  List.iter
+    (fun (iname, _) ->
+      register_ptable t ~replicas
+        ~name:(Index.index_table ~table:name ~name:iname)
+        ~versioned ~dcs:dc_list Hash_sec)
+    indexes
 
 let drop_in_flight_for t ~dc_name =
   Hashtbl.iter

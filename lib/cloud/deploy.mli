@@ -75,6 +75,31 @@ val add_partitioned_table :
     [replicas] (default 0) gives every owning partition that many warm
     standbys fed by continuous redo shipping ({!Untx_repl.Repl}). *)
 
+val add_indexed_table :
+  t ->
+  ?scheme:scheme ->
+  ?replicas:int ->
+  idx:Untx_index.Index.t ->
+  name:string ->
+  versioned:bool ->
+  dcs:string list ->
+  indexes:(string * Untx_index.Index.extract) list ->
+  unit ->
+  unit
+(** {!add_partitioned_table} for a table carrying secondary indexes:
+    registers each [(index name, extract)] in [idx], the primary table
+    under [scheme], and one entry table per index
+    ({!Untx_index.Index.index_table}) under {e secondary-hash}
+    placement — entry keys are partitioned by the hash of their decoded
+    secondary-key component, so every entry for one secondary key lives
+    on one partition and an {!Untx_index.Index.lookup} prefix scan
+    never crosses DCs.  Entry tables share the primary's versioned-ness
+    and [replicas]; being ordinary partitioned tables, redo,
+    checkpoints, replication, failover and multi-TC sharing treat them
+    exactly like the primary.  Index maintenance itself is the caller's
+    contract: mutate the table through {!Untx_index.Index.insert}/
+    [update]/[delete] with [idx]. *)
+
 val partition_dc : t -> table:string -> key:string -> string
 (** The DC owning [key] under the table's partition map. *)
 

@@ -132,6 +132,85 @@ let check_oracle_deploy d ~table ~expected errs =
         table (List.length merged) (List.length expected)
       :: !errs
 
+(* Index parity: the entry tables must be exactly the image of the live
+   primary rows under the registered extractors — computed fresh from
+   the merged primary fragments, so the check is independent of any
+   oracle the caller may also hold.  Extra entries are dangling (their
+   primary died) or stale (the row no longer yields that secondary
+   key); missing ones mean maintenance was lost in recovery. *)
+module Index = Untx_index.Index
+
+let merged_current d ~table errs =
+  List.concat_map
+    (fun dc_name ->
+      let dc = Deploy.dc d dc_name in
+      List.filter_map
+        (fun (key, r) ->
+          if not (String.equal (Deploy.partition_dc d ~table ~key) dc_name)
+          then begin
+            errs :=
+              Printf.sprintf "placement: %s/%s found on %s, owned by %s" table
+                key dc_name
+                (Deploy.partition_dc d ~table ~key)
+              :: !errs;
+            None
+          end
+          else Stored_record.current r |> Option.map (fun v -> (key, v)))
+        (Dc.dump_table dc table))
+    (Deploy.partitions d ~table)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let check_index d ~idx ~table =
+  let errs = ref [] in
+  let primary = merged_current d ~table errs in
+  List.iter
+    (fun iname ->
+      let itab = Index.index_table ~table ~name:iname in
+      let expected = Index.expected_entries idx ~table ~index:iname ~rows:primary in
+      let actual = merged_current d ~table:itab errs in
+      let describe ekey =
+        Printf.sprintf "%s=%S of %s/%s" iname
+          (Index.sec_of_entry ekey)
+          table (Index.pk_of_entry ekey)
+      in
+      let rec diff = function
+        | [], [] -> ()
+        | (ek, pk) :: rest, [] ->
+          errs :=
+            Printf.sprintf "index: dangling or stale entry %s (value %S)"
+              (describe ek) pk
+            :: !errs;
+          diff (rest, [])
+        | [], (ek, _) :: rest ->
+          errs :=
+            Printf.sprintf "index: missing entry %s" (describe ek) :: !errs;
+          diff ([], rest)
+        | (ka, va) :: ra, (kb, vb) :: rb ->
+          if ka = kb && va = vb then diff (ra, rb)
+          else if ka = kb then begin
+            errs :=
+              Printf.sprintf "index: entry %s holds %S, expected pk %S"
+                (describe ka) va vb
+              :: !errs;
+            diff (ra, rb)
+          end
+          else if ka < kb then begin
+            errs :=
+              Printf.sprintf "index: dangling or stale entry %s (value %S)"
+                (describe ka) va
+              :: !errs;
+            diff (ra, (kb, vb) :: rb)
+          end
+          else begin
+            errs :=
+              Printf.sprintf "index: missing entry %s" (describe kb) :: !errs;
+            diff ((ka, va) :: ra, rb)
+          end
+      in
+      diff (actual, expected))
+    (Index.indexes idx ~table);
+  List.rev !errs
+
 (* Deployment-wide idempotence: one more recovery would resend the
    stable suffix, each record to its owning partition.  Route through
    the TC's map — the same map redo uses. *)

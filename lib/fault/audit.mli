@@ -41,6 +41,18 @@ val run_deploy :
     catches records that landed on a DC the partition map does not own
     them to.  Includes {!check_watermarks}. *)
 
+val check_index :
+  Untx_cloud.Deploy.t -> idx:Untx_index.Index.t -> table:string -> string list
+(** Index-parity audit of a quiesced deployment: for every index
+    registered on [table], merge the entry-table fragments (verifying
+    secondary-hash placement) and hold them to exact equality with the
+    entries the live primary rows imply under the registered extractors
+    ({!Untx_index.Index.expected_entries}) — every entry points at
+    exactly one live primary record that still yields its secondary
+    key, and every live record has exactly one entry per secondary key.
+    Dangling, stale, missing and wrong-pk entries are each called out.
+    Empty iff clean. *)
+
 val check_watermarks : Untx_cloud.Deploy.t -> string list
 (** Cross-TC watermark audit of a quiesced deployment: for every
     DC × TC pair, the DC's low-water mark must not exceed its

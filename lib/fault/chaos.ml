@@ -1276,3 +1276,337 @@ let soak_mtc ?(base_seed = 0xF207) ?(seeds_per_plan = 4) ?(txns = 24)
          (plans_mtc ()))
   in
   (cycles, summarize cycles)
+
+(* --- indexed workloads ------------------------------------------------- *)
+
+module Index = Untx_index.Index
+
+(* The same extract shapes the workload bank uses: categories are the
+   value's prefix up to the first ':' (absent on marker rows, which
+   therefore carry no [by_cat] entry), lengths bucket everything. *)
+let extract_cat ~key:_ ~value =
+  match String.index_opt value ':' with
+  | Some i -> [ String.sub value 0 i ]
+  | None -> []
+
+let extract_len ~key:_ ~value = [ Printf.sprintf "L%d" (String.length value / 16) ]
+
+let make_deploy_indexed ~counters ~seed ~parts ~idx =
+  let policy = if seed mod 3 = 0 then lossy else Transport.reliable in
+  let sync_policy =
+    match seed / 4 mod 3 with
+    | 0 -> Dc.Stall_until_lwm
+    | 1 -> Dc.Bounded 4
+    | _ -> Dc.Full_ablsn
+  in
+  let tc_reset_mode = if seed mod 5 = 0 then Dc.Complete else Dc.Selective in
+  (* both Section 3.1 lock protocols; never Optimistic — index
+     maintenance re-reads its own writes *)
+  let cc_protocol = if seed land 2 = 0 then Tc.Key_locks else Tc.Range_locks 8 in
+  let d = Deploy.create ~counters ~policy ~seed () in
+  ignore
+    (Deploy.add_tc d ~name:"tc1"
+       {
+         (Tc.default_config (Tc_id.of_int 1)) with
+         cc_protocol;
+         lwm_every = 8;
+         debug_checks = true;
+       });
+  let dc_names = List.init parts (Printf.sprintf "dc%d") in
+  List.iter
+    (fun name ->
+      ignore
+        (Deploy.add_dc d ~name
+           {
+             Dc.page_capacity = 160;
+             cache_pages = 6;
+             sync_policy;
+             tc_reset_mode;
+             debug_checks = true;
+           }))
+    dc_names;
+  Deploy.add_indexed_table d ~idx ~name:table ~versioned:(seed land 1 = 0)
+    ~dcs:dc_names
+    ~indexes:[ ("by_cat", extract_cat); ("by_len", extract_len) ]
+    ();
+  d
+
+(* Aborts the transaction the moment any index-maintaining op returns a
+   non-[`Ok] — the Fail-means-caller-aborts contract: a refused entry op
+   would otherwise leave the primary write without its maintenance. *)
+exception Dead_txn
+
+(* The partitioned cycle with every mutation routed through
+   {!Untx_index.Index}, so a kill can land *between* a primary write and
+   its entry maintenance — transactionality (rollback on abort, redo on
+   recovery) must keep them atomic anyway.  The audit adds
+   {!Audit.check_index}: merged entry tables must exactly match the
+   image of the live primary rows. *)
+let run_cycle_indexed ?(keep_trace = false) ~label ~plan ~seed ~txns ~parts ()
+    =
+  Fault.disarm ();
+  let was_tracing = Trace.enabled () in
+  Trace.clear ();
+  Trace.set_enabled true;
+  let counters = Instrument.create () in
+  let rng = Rng.create ~seed in
+  let idx = Index.create ~counters () in
+  let d = make_deploy_indexed ~counters ~seed ~parts ~idx in
+  let tc = Deploy.tc d "tc1" in
+  let default_dc = List.hd (Deploy.partitions d ~table) in
+  let oracle : (string, string option) Hashtbl.t = Hashtbl.create 128 in
+  let crashes = ref 0 and committed = ref 0 in
+  let handle = function
+    | Fault.Injected_crash p ->
+      incr crashes;
+      Deploy.crash_for_point d ~point:p ~tc:"tc1" ~dc:default_dc
+    | Fault.Io_error p ->
+      incr crashes;
+      Fault.disarm ();
+      Deploy.crash_for_point d ~point:p ~tc:"tc1" ~dc:default_dc
+    | e -> raise e
+  in
+  let probe marker =
+    let attempt () =
+      let txn = Tc.begin_txn tc in
+      let v =
+        match Tc.read tc txn ~table ~key:marker with
+        | `Ok v -> v
+        | `Blocked | `Fail _ -> None
+      in
+      (match Tc.commit tc txn with
+      | `Ok () -> ()
+      | `Blocked | `Fail _ ->
+        if Tc.is_active txn then Tc.abort tc txn ~reason:"chaos probe");
+      v
+    in
+    try attempt ()
+    with (Fault.Injected_crash _ | Fault.Io_error _) as e ->
+      handle e;
+      (try attempt () with Fault.Injected_crash _ | Fault.Io_error _ -> None)
+  in
+  let gen_value () =
+    let cat =
+      (if Rng.chance rng 0.15 then "c\x00" else "c")
+      ^ string_of_int (Rng.int rng 4)
+    in
+    Printf.sprintf "%s:v%06d" cat (Rng.int rng 1_000_000)
+  in
+  Fault.arm ~seed plan;
+  for i = 0 to txns - 1 do
+    if i = txns / 2 then begin
+      try
+        Deploy.quiesce d;
+        ignore (Tc.checkpoint tc)
+      with (Fault.Injected_crash _ | Fault.Io_error _) as e -> handle e
+    end;
+    let marker = Printf.sprintf "m%03d" i in
+    let staged : (string, string option) Hashtbl.t = Hashtbl.create 8 in
+    let cur = ref None in
+    let phase = ref `Body in
+    let resolve_by_marker () =
+      if probe marker <> None then begin
+        incr committed;
+        commit_staged oracle staged
+      end
+    in
+    try
+      let txn = Tc.begin_txn tc in
+      cur := Some txn;
+      let apply key v outcome =
+        match outcome with
+        | `Ok () -> Hashtbl.replace staged key v
+        | `Blocked | `Fail _ -> raise Dead_txn
+      in
+      apply marker (Some "1") (Index.insert idx tc txn ~table ~key:marker ~value:"1");
+      let delete_bias = if 3 * i > 2 * txns then 0.7 else 0.25 in
+      for _ = 1 to 1 + Rng.int rng 4 do
+        let key = Printf.sprintf "k%02d" (Rng.int rng 50) in
+        let current =
+          if Hashtbl.mem staged key then Hashtbl.find staged key
+          else Option.join (Hashtbl.find_opt oracle key)
+        in
+        match current with
+        | None ->
+          let value = gen_value () in
+          apply key (Some value) (Index.insert idx tc txn ~table ~key ~value)
+        | Some _ ->
+          if Rng.chance rng delete_bias then
+            apply key None (Index.delete idx tc txn ~table ~key)
+          else
+            let value = gen_value () in
+            apply key (Some value) (Index.update idx tc txn ~table ~key ~value)
+      done;
+      phase := `Commit;
+      match Tc.commit tc txn with
+      | `Ok () ->
+        incr committed;
+        commit_staged oracle staged
+      | `Blocked | `Fail _ -> ()
+    with
+    | Dead_txn -> (
+      match !cur with
+      | Some txn when Tc.is_active txn ->
+        Tc.abort tc txn ~reason:"chaos: index op refused"
+      | _ -> ())
+    | (Fault.Injected_crash p | Fault.Io_error p) as e -> (
+      handle e;
+      let component = Kernel.component_of_point p in
+      match (!phase, component, !cur) with
+      | `Body, `Tc, _ -> ()
+      | `Body, `Dc, Some txn ->
+        if Tc.is_active txn then
+          Tc.abort tc txn ~reason:"chaos: rollback after DC crash"
+      | `Body, `Dc, None -> ()
+      | `Commit, `Tc, _ -> resolve_by_marker ()
+      | `Commit, `Dc, Some txn ->
+        let rec settle attempts =
+          if not (Tc.is_active txn) then resolve_by_marker ()
+          else if attempts = 0 then (
+            Tc.abort tc txn ~reason:"chaos: commit retries exhausted";
+            resolve_by_marker ())
+          else
+            try
+              match Tc.commit tc txn with
+              | `Ok () ->
+                incr committed;
+                commit_staged oracle staged
+              | `Blocked | `Fail _ -> ()
+            with (Fault.Injected_crash _ | Fault.Io_error _) as e ->
+              handle e;
+              settle (attempts - 1)
+        in
+        settle 4
+      | `Commit, `Dc, None -> ())
+  done;
+  let rec quiesce_settle attempts =
+    try Deploy.quiesce d
+    with (Fault.Injected_crash _ | Fault.Io_error _) as e when attempts > 0 ->
+      handle e;
+      quiesce_settle (attempts - 1)
+  in
+  quiesce_settle 4;
+  let fired = Fault.fired_points () in
+  Fault.disarm ();
+  Trace.set_enabled was_tracing;
+  let counters_at_quiesce = Instrument.snapshot counters in
+  let report =
+    Audit.run_deploy d ~tc:"tc1" ~table ~expected:(oracle_rows oracle)
+  in
+  let violations =
+    report.Audit.violations @ Audit.check_index d ~idx ~table
+  in
+  {
+    c_label = label;
+    c_seed = seed;
+    c_fired = fired;
+    c_crashes = !crashes;
+    c_committed = !committed;
+    c_redelivered = report.Audit.redelivered;
+    c_violations = violations;
+    c_counters = counters_at_quiesce;
+    c_trace = (if keep_trace || violations <> [] then Trace.to_jsonl () else "");
+  }
+
+(* Entry tables take real SMO traffic (tiny pages, long escaped keys),
+   so the split point rides every plan family; TC commit kills exercise
+   redo of interleaved primary+entry ops. *)
+let plans_indexed () =
+  let singles =
+    List.concat_map
+      (fun (point, nths) ->
+        List.map
+          (fun n ->
+            (Printf.sprintf "%s@%d" point n, [ Fault.crash_at point n ]))
+          nths)
+      [
+        ("dc.smo.split.mid", [ 1; 2 ]);
+        ("dc.flush.before_page_write", [ 1 ]);
+        ("wal.dc.force.mid", [ 2 ]);
+        ("tc.commit.before_force", [ 2 ]);
+        ("tc.commit.after_force", [ 2 ]);
+      ]
+  in
+  let doubles =
+    [
+      ( "dc.smo.split.mid@1+tc.commit.after_force@2",
+        [
+          Fault.crash_at "dc.smo.split.mid" 1;
+          Fault.crash_at "tc.commit.after_force" 2;
+        ] );
+    ]
+  in
+  let corruption =
+    [
+      ( "transport.frame.corrupt~5%+dc.smo.split.mid@1",
+        [
+          Fault.crash_with_prob "transport.frame.corrupt" 0.05;
+          Fault.crash_at "dc.smo.split.mid" 1;
+        ] );
+    ]
+  in
+  singles @ doubles @ corruption
+
+let soak_indexed ?(base_seed = 0x1D8) ?(seeds_per_plan = 3) ?(txns = 24)
+    ?(parts = 2) () =
+  let cycles =
+    List.concat
+      (List.mapi
+         (fun pi (label, plan) ->
+           List.init seeds_per_plan (fun si ->
+               run_cycle_indexed ~label ~plan
+                 ~seed:(base_seed + (131 * pi) + (17 * si))
+                 ~txns ~parts ()))
+         (plans_indexed ()))
+  in
+  (cycles, summarize cycles)
+
+(* --- workload-bank chaos ----------------------------------------------- *)
+
+module Workload = Untx_workload.Workload
+
+(* The scripted-crash half of the bank is the workload's own
+   ([Workload.run] kills a DC or the TC between transactions); this
+   wrapper turns each bank spec into a chaos cycle by following the run
+   with the full deployment audit — oracle parity from [e_expected],
+   index parity from {!Audit.check_index} when the spec maintains
+   indexes. *)
+let run_cycle_workload ~spec ~seed () =
+  let r, env = Workload.run ~seed spec in
+  let d = env.Workload.e_deploy in
+  let audit_violations =
+    List.concat_map
+      (fun (tbl, expected) ->
+        let report = Audit.run_deploy d ~tc:"tc1" ~table:tbl ~expected in
+        report.Audit.violations)
+      env.Workload.e_expected
+    @
+    if spec.Workload.w_indexed then
+      List.concat_map
+        (fun (tbl, _) ->
+          Audit.check_index d ~idx:env.Workload.e_idx ~table:tbl)
+        spec.Workload.w_tables
+    else []
+  in
+  {
+    c_label = "bank:" ^ spec.Workload.w_name;
+    c_seed = seed;
+    c_fired = [];
+    c_crashes = r.Workload.r_crashes;
+    c_committed = r.Workload.r_committed;
+    c_redelivered = 0;
+    c_violations = r.Workload.r_violations @ audit_violations;
+    c_counters = [];
+    c_trace = "";
+  }
+
+let soak_workloads ?(base_seed = 0xB0B) ?(seeds_per_spec = 2) () =
+  let cycles =
+    List.concat
+      (List.mapi
+         (fun pi spec ->
+           List.init seeds_per_spec (fun si ->
+               run_cycle_workload ~spec ~seed:(base_seed + (131 * pi) + (17 * si)) ()))
+         (Workload.bank ()))
+  in
+  (cycles, summarize cycles)

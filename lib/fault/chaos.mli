@@ -159,6 +159,42 @@ val plans_mtc : unit -> (string * Untx_fault.Fault.rule list) list
 (** The scripted midpoint kill alone, and with 5% frame corruption
     layered on top. *)
 
+val run_cycle_indexed :
+  ?keep_trace:bool ->
+  label:string ->
+  plan:Untx_fault.Fault.rule list ->
+  seed:int ->
+  txns:int ->
+  parts:int ->
+  unit ->
+  cycle
+(** The partitioned cycle with every mutation routed through
+    {!Untx_index.Index} on a table carrying two secondary indexes
+    (categories extracted from the value, occasionally NUL-embedded;
+    length buckets), under one of the two Section 3.1 lock protocols
+    (seed-picked — never Optimistic, which cannot re-read its own
+    buffered writes).  A kill can land between a primary write and its
+    entry maintenance; transactional rollback and redo must keep them
+    atomic anyway.  Any index op answering non-[`Ok] aborts the whole
+    transaction (the Fail-means-caller-aborts contract).  The audit is
+    {!Audit.run_deploy} plus {!Audit.check_index}: merged entry tables
+    must exactly match the image of the surviving primary rows. *)
+
+val plans_indexed : unit -> (string * Untx_fault.Fault.rule list) list
+(** Kills mid-entry-table-SMO (tiny pages and long escaped entry keys
+    make index splits frequent), mid-flush, mid-WAL-force, and at both
+    commit-force edges; a double landing an SMO kill and a commit kill
+    in one cycle; 5% frame corruption under the SMO kill. *)
+
+val run_cycle_workload :
+  spec:Untx_workload.Workload.spec -> seed:int -> unit -> cycle
+(** One workload-bank spec as a chaos cycle: {!Untx_workload.Workload.run}
+    executes the spec differentially against its oracle (scripted
+    DC/TC kills included), then the surviving deployment takes the full
+    {!Audit.run_deploy} per table against the oracle's rows and — for
+    index-maintaining specs — {!Audit.check_index}.  [c_violations]
+    merges the run's differential violations with the audit's. *)
+
 type summary = {
   s_cycles : int;
   s_fired : int;  (** cycles in which at least one rule fired *)
@@ -215,3 +251,17 @@ val soak_mtc :
     (default 4, [parts] 2, [txns] 24 per cycle): the TC-kill-under-load
     front-end cycles, alternating the killed TC and the group-commit
     batch size by seed. *)
+
+val soak_indexed :
+  ?base_seed:int -> ?seeds_per_plan:int -> ?txns:int -> ?parts:int ->
+  unit ->
+  cycle list * summary
+(** Sweep every plan from {!plans_indexed} across [seeds_per_plan]
+    seeds (default 3, [parts] 2, [txns] 24 per cycle), alternating the
+    lock protocol, versioned-ness, transport and sync policy by seed. *)
+
+val soak_workloads :
+  ?base_seed:int -> ?seeds_per_spec:int -> unit -> cycle list * summary
+(** Run every workload-bank spec ({!Untx_workload.Workload.bank}) as a
+    {!run_cycle_workload} across [seeds_per_spec] seeds (default 2,
+    [base_seed] 0xB0B — the bank's canonical seed). *)

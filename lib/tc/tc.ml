@@ -1501,6 +1501,12 @@ let on_dc_restart ?(from = Lsn.zero) t ~dc =
     (await_control_reply t ls
        (post_control ~awaited:true t ls (Wire.Redo_fence_end { tc = t.cfg.id })));
   t.lwm_cap <- None;
+  (* The rebuilt DC's end-of-stable-log slot died with it, and the next
+     force may be arbitrarily far away (every later transaction could
+     abort, which still acks ops and so still pushes low-water marks).
+     Re-announce the stable horizon now, as TC recovery does, so no LWM
+     can reach the DC ahead of an EOSL that covers it. *)
+  send_eosl t;
   (* Any pending still fenced was never logged: a synchronous read whose
      awaiting caller unwound with the crash.  Nothing will ever consume
      its reply; retire it. *)

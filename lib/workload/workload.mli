@@ -1,0 +1,88 @@
+(** Seeded deterministic workload bank, run differentially against a
+    sequential in-memory oracle.
+
+    Each {!spec} describes one adversarial workload shape over a
+    partitioned deployment — Zipfian hot keys, range scans under either
+    Section 3.1 lock protocol, read-modify-write, large values, mixed
+    versioned/unversioned tables, index-maintaining transactions — and
+    {!run} executes it transaction by transaction while a shadow oracle
+    predicts every outcome:
+
+    - every read and range scan is compared against the oracle's view
+      the moment it returns (scans against the owning partition's
+      expected fragment, index lookups against a recomputation over the
+      oracle's rows);
+    - deliberately invalid operations ({e poison probes}: duplicate
+      inserts, updates of absent keys) must fail exactly where the
+      TC contract says they fail — immediately on unversioned tables,
+      at commit on versioned ones;
+    - scripted crash cycles kill a DC or the TC between transactions
+      ({!Untx_cloud.Deploy.crash_dc}/[crash_tc]); recovery must land on
+      the oracle's exact state;
+    - after the final quiesce, every partition fragment is merged and
+      held to byte equality with the oracle, and every index-entry
+      table to {!Untx_index.Index.expected_entries} parity.
+
+    Everything is a pure function of [(spec, seed)], so any violation
+    replays exactly.  The bank is the scenario-diversity half of
+    ROADMAP item 5: each spec is also a chaos and experiment target. *)
+
+module Tc := Untx_tc.Tc
+
+type crash = Crash_dc | Crash_tc
+
+type spec = {
+  w_name : string;
+  w_desc : string;
+  w_protocol : Tc.cc_protocol;
+  w_tables : (string * bool) list;  (** (table, versioned); ≥ 1 *)
+  w_indexed : bool;
+      (** maintain secondary indexes (["by_cat"], ["by_len"]) on the
+          single table through {!Untx_index.Index}; values are
+          structured ["<cat>:<payload>"] and categories occasionally
+          embed NUL bytes to exercise the entry-key escaping *)
+  w_parts : int;
+  w_replicas : int;
+  w_txns : int;
+  w_keyspace : int;
+  w_theta : float;  (** Zipfian skew; [0.] = uniform *)
+  w_value_len : int * int;  (** value length range *)
+  w_scan_prob : float;  (** chance of a differential range scan per txn *)
+  w_lookup_prob : float;  (** chance of a differential index lookup *)
+  w_rmw_prob : float;  (** chance an update is read-modify-write *)
+  w_abort_prob : float;  (** chance a transaction deliberately aborts *)
+  w_poison_prob : float;  (** chance of a poison probe per txn *)
+  w_crashes : crash list;
+      (** scripted kills, spread evenly across the run — every bank
+          spec schedules at least one *)
+}
+
+type result = {
+  r_name : string;
+  r_committed : int;
+  r_aborted : int;  (** deliberate aborts + expected poison failures *)
+  r_crashes : int;
+  r_checks : int;  (** differential comparisons performed *)
+  r_violations : string list;  (** empty iff the oracle always agreed *)
+}
+
+type env = {
+  e_deploy : Untx_cloud.Deploy.t;
+  e_idx : Untx_index.Index.t;
+  e_expected : (string * (string * string) list) list;
+      (** per table, the oracle's committed rows in key order — feed to
+          {!Untx_audit.Audit.run_deploy} for the full post-run audit *)
+}
+
+val bank : unit -> spec list
+(** The standard bank: [zipfian_rmw], [range_scan_keylocks],
+    [range_scan_rangelocks], [occ_uniform], [large_values],
+    [mixed_tables], [indexed_zipf], [indexed_unversioned]. *)
+
+val find : string -> spec
+(** Look a bank spec up by name.  Raises [Not_found]. *)
+
+val run : ?seed:int -> spec -> result * env
+(** Execute the spec (default seed [0xB0B]).  The returned deployment
+    is quiesced; callers typically chain the auditor over
+    [e_expected]. *)

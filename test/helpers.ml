@@ -84,3 +84,39 @@ let check_wellformed k =
   match Dc.check (Kernel.dc k) with
   | Ok () -> ()
   | Error msg -> Alcotest.fail ("ill-formed index: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Reproducible qcheck runs.
+
+   [QCheck_alcotest.to_alcotest] without [~rand] self-initializes its
+   random state, so a failing property's counterexample could not be
+   replayed.  Every suite instead registers through [qcheck_test]: the
+   generator state derives from a fixed seed (overridable via the
+   QCHECK_SEED environment variable), and a failing test says which
+   seed to export to replay it. *)
+
+let qcheck_seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> invalid_arg ("QCHECK_SEED not an integer: " ^ s))
+  | None -> 0xC1D9
+
+let qcheck_test prop =
+  let name, speed, fn =
+    QCheck_alcotest.to_alcotest
+      ~rand:(Random.State.make [| qcheck_seed |])
+      prop
+  in
+  ( name,
+    speed,
+    fun () ->
+      try fn ()
+      with e ->
+        Printf.eprintf
+          "\n[qcheck] property %S failed under seed %d — replay with \
+           QCHECK_SEED=%d\n\
+           %!"
+          name qcheck_seed qcheck_seed;
+        raise e )

@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "untx-index"
+    [
+      ("index", Suite_index.suite);
+      ("index-props", Props_index.suite);
+      ("workload", Suite_workload.suite);
+    ]

@@ -15,7 +15,7 @@ module Btree = Untx_btree.Btree
 module Lock_mgr = Untx_tc.Lock_mgr
 module Wal = Untx_wal.Wal
 
-let test prop = QCheck_alcotest.to_alcotest prop
+let test prop = Helpers.qcheck_test prop
 
 (* --- abstract LSNs ---------------------------------------------------- *)
 

@@ -8,7 +8,7 @@
 module Ablsn = Untx_dc.Ablsn
 module Lsn = Untx_util.Lsn
 
-let test prop = QCheck_alcotest.to_alcotest prop
+let test prop = Helpers.qcheck_test prop
 
 let max_lsn_int = 100
 

@@ -21,7 +21,7 @@ module Wire = Untx_msg.Wire
 module Tc_id = Untx_util.Tc_id
 module Lsn = Untx_util.Lsn
 
-let test prop = QCheck_alcotest.to_alcotest prop
+let test prop = Helpers.qcheck_test prop
 
 (* --- (tc, epoch, seq) control-session keying --------------------------- *)
 

@@ -11,7 +11,7 @@ module Tc_id = Untx_util.Tc_id
 module Lsn = Untx_util.Lsn
 module Fault = Untx_fault.Fault
 
-let test prop = QCheck_alcotest.to_alcotest prop
+let test prop = Helpers.qcheck_test prop
 
 (* One generated step: a write against a small key space, plus the
    maintenance the driver performs after it. *)

@@ -7,7 +7,7 @@
 
 module Lock_mgr = Untx_tc.Lock_mgr
 
-let test prop = QCheck_alcotest.to_alcotest prop
+let test prop = Helpers.qcheck_test prop
 
 let owners = [ 1; 2; 3; 4 ]
 

@@ -10,7 +10,7 @@ module Dc = Untx_dc.Dc
 module Tc_id = Untx_util.Tc_id
 module Fault = Untx_fault.Fault
 
-let test prop = QCheck_alcotest.to_alcotest prop
+let test prop = Helpers.qcheck_test prop
 
 (* --- log-prefix determinism ------------------------------------------- *)
 

@@ -9,7 +9,7 @@ module Trace = Untx_obs.Trace
 module Analyzer = Untx_obs.Analyzer
 module Instrument = Untx_util.Instrument
 
-let qtest prop = QCheck_alcotest.to_alcotest prop
+let qtest prop = Helpers.qcheck_test prop
 
 (* --- histograms ------------------------------------------------------- *)
 

@@ -302,5 +302,5 @@ let suite =
     Alcotest.test_case "drop in flight" `Quick test_drop_in_flight;
     Alcotest.test_case "drop in flight preserves counters" `Quick
       test_drop_in_flight_preserves_counters;
-    QCheck_alcotest.to_alcotest prop_exactly_once;
+    Helpers.qcheck_test prop_exactly_once;
   ]

@@ -314,7 +314,7 @@ let prop_kind_separation =
         && rejects Wire.decode_control)
 
 let suite =
-  List.map QCheck_alcotest.to_alcotest
+  List.map Helpers.qcheck_test
     [
       prop_request_roundtrip;
       prop_reply_roundtrip;
