@@ -358,6 +358,50 @@ let run_soak_indexed ~seeds_per_plan () =
     "E11 indexed ok: %d cycles, %d kills, index parity clean, 0 violations\n"
     s.Chaos.s_cycles s.Chaos.s_crashes
 
+(* The branch soak: every cycle forks a copy-on-write branch at the
+   stable LSN a third into the workload, drives parent and branch over
+   the same key space, compacts + truncates the parent (the cut must
+   clamp at the live fork pin) and kills the branch DC at the two-thirds
+   mark.  The audit adds branch-parity to the full deployment audit:
+   the branch tracks its own shadow map and the shared prefix at the
+   fork point stays bit-identical. *)
+let run_soak_branch ~seeds_per_plan () =
+  let parts = 2 in
+  let cycles, s = Chaos.soak_branch ~seeds_per_plan ~parts () in
+  Bench_util.print_table
+    ~title:
+      (Printf.sprintf
+         "E11: branch soak (1 TC x %d DCs + CoW branch), fires per point"
+         parts)
+    ~header:[ "fault point"; "fires" ]
+    (List.map
+       (fun (p, n) -> [ p; string_of_int n ])
+       s.Chaos.s_fires_by_point);
+  Bench_util.print_table ~title:"E11: branch soak summary"
+    ~header:[ "metric"; "value" ]
+    [
+      [ "cycles"; string_of_int s.Chaos.s_cycles ];
+      [ "cycles with a fire"; string_of_int s.Chaos.s_fired ];
+      [ "injected hard kills"; string_of_int s.Chaos.s_crashes ];
+      [ "auditor violations"; string_of_int (List.length s.Chaos.s_violating) ];
+    ];
+  print_cycle_failures cycles;
+  let problems =
+    List.filter_map
+      (fun (ok, msg) -> if ok then None else Some msg)
+      [
+        (s.Chaos.s_violating = [], "branch auditor violations");
+        (s.Chaos.s_crashes >= 1, "no cycle ever killed a component");
+      ]
+  in
+  if problems <> [] then begin
+    List.iter (fun m -> Printf.printf "E11 FAILED: %s\n" m) problems;
+    exit 1
+  end;
+  Printf.printf
+    "E11 branch ok: %d cycles, %d kills, branch parity clean, 0 violations\n"
+    s.Chaos.s_cycles s.Chaos.s_crashes
+
 (* The workload-bank soak: every bank spec runs differentially against
    its sequential oracle (scripted DC/TC kills included) across several
    seeds, then takes the full deployment audit — per-table oracle
@@ -399,6 +443,7 @@ let run () =
   run_soak_detach ~seeds_per_plan:4 ();
   run_soak_mtc ~seeds_per_plan:6 ();
   run_soak_indexed ~seeds_per_plan:6 ();
+  run_soak_branch ~seeds_per_plan:4 ();
   run_soak_workloads ~seeds_per_spec:4 ()
 
 (* Short fixed-seed soak for the @chaos dune alias (which @ci includes):
@@ -416,4 +461,5 @@ let run_short () =
   run_soak_detach ~seeds_per_plan:2 ();
   run_soak_mtc ~seeds_per_plan:2 ();
   run_soak_indexed ~seeds_per_plan:2 ();
+  run_soak_branch ~seeds_per_plan:1 ();
   run_soak_workloads ~seeds_per_spec:1 ()

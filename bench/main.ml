@@ -32,6 +32,8 @@ let experiments =
      E14_front.run);
     ("e15", "secondary indexes: maintenance cost, Zipfian skew sweep",
      E15_index.run);
+    ("e16", "copy-on-write branches: fork cost, overhead, live-branch soak",
+     E16_branch.run);
     ("chaos", "short fixed-seed chaos soak (the @chaos alias)", E11_chaos.run_short);
     ("ablations", "design-choice ablations A1-A5", A_ablations.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);

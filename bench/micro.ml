@@ -15,6 +15,9 @@ module Page_id = Untx_storage.Page_id
 module Disk = Untx_storage.Disk
 module Cache = Untx_storage.Cache
 module Mono = Untx_baseline.Mono
+module Layer = Untx_layer.Layer
+module Op = Untx_msg.Op
+module Tc_id = Untx_util.Tc_id
 
 let ok = function
   | `Ok v -> v
@@ -105,12 +108,76 @@ let page_test =
          Page.set page ~key ~data:"payload";
          ignore (Page.find page key)))
 
+(* A compacted layer store shared by the Bechamel test and the ns/op
+   gate below: 20k ops over 200 keys, split into a handful of L1
+   layers so lookups pay a realistic newest-first probe. *)
+let layer_store =
+  lazy
+    (let s =
+       Layer.create ~compact_runs:max_int ~writer:(Tc_id.of_int 1)
+         ~versioned:(fun _ -> false)
+         ()
+     in
+     let n = 20_000 in
+     let op i =
+       let key = Printf.sprintf "k%03d" (i mod 200) in
+       if i < 200 then Op.Insert { table = "kv"; key; value = "v" }
+       else Op.Update { table = "kv"; key; value = Printf.sprintf "v%d" i }
+     in
+     List.iter
+       (fun chunk ->
+         Layer.absorb s
+           ~upto:(Lsn.of_int (chunk * (n / 4)))
+           (fun emit ->
+             for i = 1 to n do
+               emit (Lsn.of_int i) (op (i - 1))
+             done);
+         Layer.compact ~all:true s)
+       [ 1; 2; 3; 4 ];
+     s)
+
+let layer_reconstruct_test =
+  let s = Lazy.force layer_store in
+  let i = ref 0 in
+  Test.make ~name:"layer: reconstruct (point@LSN)"
+    (Staged.stage (fun () ->
+         incr i;
+         let key = Printf.sprintf "k%03d" (!i * 7 mod 200) in
+         let at = Lsn.of_int (1 + (!i * 2654435761 land 0x3FFF)) in
+         ignore (Layer.reconstruct s ~table:"kv" ~key ~at)))
+
+(* ns/op gate: reconstruct is the read path every branch fork-point
+   lookup and point-in-time read rides, so hold it to a generous
+   ceiling — a regression to scanning history linearly fails loudly
+   here long before the experiment tables notice. *)
+let reconstruct_gate_ns = 50_000.
+
+let gate_reconstruct () =
+  let s = Lazy.force layer_store in
+  let n = 50_000 in
+  let (), sec =
+    Bench_util.time (fun () ->
+        for i = 1 to n do
+          let key = Printf.sprintf "k%03d" (i * 7 mod 200) in
+          let at = Lsn.of_int (1 + (i * 2654435761 land 0x3FFF)) in
+          ignore (Layer.reconstruct s ~table:"kv" ~key ~at)
+        done)
+  in
+  let ns = sec *. 1e9 /. float_of_int n in
+  Printf.printf "%-45s %12.0f  (gate <= %.0f)\n" "layer: reconstruct, direct"
+    ns reconstruct_gate_ns;
+  if ns > reconstruct_gate_ns then begin
+    Printf.printf "MICRO FAILED: Layer.reconstruct %.0f ns/op over the gate\n"
+      ns;
+    exit 1
+  end
+
 let benchmark () =
   let tests =
     Test.make_grouped ~name:"untx"
       [
         kernel_txn_test; kernel_read_test; mono_txn_test; ablsn_test;
-        btree_test; page_test;
+        btree_test; page_test; layer_reconstruct_test;
       ]
   in
   let instances = Instance.[ monotonic_clock ] in
@@ -131,4 +198,6 @@ let benchmark () =
       | _ -> Printf.printf "%-45s %12s\n" name "-")
     results
 
-let run () = benchmark ()
+let run () =
+  benchmark ();
+  gate_reconstruct ()

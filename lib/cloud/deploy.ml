@@ -9,6 +9,8 @@ module Repl = Untx_repl.Repl
 module Op = Untx_msg.Op
 module Layer = Untx_layer.Layer
 module Index = Untx_index.Index
+module Branch = Untx_branch.Branch
+module Tc_id = Untx_util.Tc_id
 
 type scheme = Hash | Range of string list
 
@@ -25,6 +27,14 @@ type ptable = {
 }
 
 type standby_entry = { sb_standby : Repl.Standby.t; sb_primary : string }
+
+type branch_entry = {
+  be_branch : Branch.t;
+  be_parent : string option;
+      (* the parent branch's name; [None] for a branch forked straight
+         off a root TC's layer store *)
+  be_tc : string; (* the root TC whose (combined) LSN space it addresses *)
+}
 
 type t = {
   counters : Instrument.t;
@@ -47,6 +57,7 @@ type t = {
   managers : (string, Repl.Manager.t) Hashtbl.t; (* keyed by TC name *)
   repl_transports : (string * string, Transport.t) Hashtbl.t;
       (* (tc, standby): repl-only links *)
+  branches : (string, branch_entry) Hashtbl.t; (* keyed by branch name *)
   mutable next_part : int; (* partition ids handed out by add_dc *)
   mutable last_faulted : string option;
       (* the DC whose handler last raised — the component a mid-traffic
@@ -70,6 +81,7 @@ let create ?(counters = Instrument.global) ?(policy = Transport.reliable)
     standbys = Hashtbl.create 4;
     managers = Hashtbl.create 4;
     repl_transports = Hashtbl.create 8;
+    branches = Hashtbl.create 4;
     next_part = 0;
     last_faulted = None;
   }
@@ -158,6 +170,16 @@ let link t ~tc_name ~dc_name =
       }
   end
 
+exception Out_of_range of { wanted : Lsn.t; durable : Lsn.t }
+
+let () =
+  Printexc.register_printer (function
+    | Out_of_range { wanted; durable } ->
+      Some
+        (Printf.sprintf "Deploy.Out_of_range { wanted = %s; durable = %s }"
+           (Lsn.to_string wanted) (Lsn.to_string durable))
+    | _ -> None)
+
 (* Point-in-time reads are answered by the layered managers (looked up
    at call time — managers may not exist yet when the DC is wired).
    Stores are per-TC, and LSNs are per-TC sequences, so [at] is only
@@ -165,7 +187,10 @@ let link t ~tc_name ~dc_name =
    keep updaters on disjoint key sets (Section 6): every store is
    probed, and the one that knows the key answers.  Two stores both
    holding history for one key means the disjointness rule was broken —
-   refused loudly, because "the" value at [at] is then ill-defined. *)
+   refused loudly, because "the" value at [at] is then ill-defined.
+   An [at] no store has absorbed is a typed {!Out_of_range}, never a
+   silent [None]: absent-at-[at] and unanswerable-at-[at] must not be
+   confusable. *)
 let wire_history_read t ~dc_name =
   let dc = Hashtbl.find t.dcs dc_name in
   Dc.set_history_read dc (fun ~table ~key ~at ->
@@ -179,13 +204,26 @@ let wire_history_read t ~dc_name =
       in
       if stores = [] then
         invalid_arg "Deploy.read_as_of: no layered manager yet";
+      let answerable =
+        List.filter (fun (_, s) -> Lsn.(at <= Layer.ingested_lsn s)) stores
+      in
+      if answerable = [] then
+        raise
+          (Out_of_range
+             {
+               wanted = at;
+               durable =
+                 List.fold_left
+                   (fun acc (_, s) -> Lsn.max acc (Layer.ingested_lsn s))
+                   Lsn.zero stores;
+             });
       let hits =
         List.filter_map
           (fun (tc_name, store) ->
             Option.map
               (fun v -> (tc_name, v))
               (Layer.reconstruct store ~table ~key ~at))
-          (List.sort (fun (a, _) (b, _) -> String.compare a b) stores)
+          (List.sort (fun (a, _) (b, _) -> String.compare a b) answerable)
       in
       match hits with
       | [] -> None
@@ -670,6 +708,164 @@ let read_as_of ?tc:tc_sel t ~table ~key ~at =
   in
   Dc.read_as_of (dc t dc_name) ~table ~key ~at
 
+(* ------------------------------------------------------------------ *)
+(* Copy-on-write branches                                              *)
+
+exception Branch_has_children of { parent : string; children : string list }
+
+let () =
+  Printexc.register_printer (function
+    | Branch_has_children { parent; children } ->
+      Some
+        (Printf.sprintf "Deploy.Branch_has_children { parent = %s; children = %s }"
+           parent
+           (String.concat ", " children))
+    | _ -> None)
+
+(* Branch TCs speak on the same identity plane as root TCs: their ids
+   must be fresh, or the ~expect plumbing would let a branch frame land
+   under a root TC's idempotence state. *)
+let fresh_tc_id t =
+  let m =
+    Hashtbl.fold (fun _ tc acc -> max acc (Tc_id.to_int (Tc.id tc))) t.tcs 0
+  in
+  let m =
+    Hashtbl.fold
+      (fun _ e acc -> max acc (Tc_id.to_int (Tc.id (Branch.tc e.be_branch))))
+      t.branches m
+  in
+  Tc_id.of_int (m + 1)
+
+(* Every table created anywhere in the deployment, deduplicated — the
+   schema a root-forked branch serves. *)
+let all_tables t =
+  let seen = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ tabs ->
+      List.iter
+        (fun (n, v) ->
+          if not (Hashtbl.mem seen n) then Hashtbl.add seen n v)
+        !tabs)
+    t.dc_tables;
+  Hashtbl.fold (fun n v acc -> (n, v) :: acc) seen [] |> List.sort compare
+
+let branch t name =
+  match Hashtbl.find_opt t.branches name with
+  | Some e -> e.be_branch
+  | None -> invalid_arg ("Deploy.branch: unknown branch " ^ name)
+
+let branch_names t =
+  Hashtbl.fold (fun n _ acc -> n :: acc) t.branches []
+  |> List.sort String.compare
+
+let branch_children t name =
+  Hashtbl.fold
+    (fun n e acc -> if e.be_parent = Some name then n :: acc else acc)
+    t.branches []
+  |> List.sort String.compare
+
+let branch_root_tc t name =
+  match Hashtbl.find_opt t.branches name with
+  | Some e -> e.be_tc
+  | None -> invalid_arg ("Deploy.branch_root_tc: unknown branch " ^ name)
+
+let create_branch ?tc:tc_sel ?from t ~from_lsn ~name =
+  if not t.layers then
+    invalid_arg "Deploy.create_branch: deployment has no layer stores";
+  if Hashtbl.mem t.branches name then
+    invalid_arg ("Deploy.create_branch: dup branch " ^ name);
+  let parent, be_parent, be_tc, tables =
+    match from with
+    | Some pname ->
+      let e =
+        match Hashtbl.find_opt t.branches pname with
+        | Some e -> e
+        | None ->
+          invalid_arg ("Deploy.create_branch: unknown parent branch " ^ pname)
+      in
+      ( Branch.as_parent e.be_branch,
+        Some pname,
+        e.be_tc,
+        Branch.tables e.be_branch )
+    | None ->
+      let tc_name =
+        match tc_sel with
+        | Some n -> n
+        | None -> (
+          match tc_names t with
+          | [ n ] -> n
+          | _ -> invalid_arg "Deploy.create_branch: several TCs; pass ~tc")
+      in
+      if not (Hashtbl.mem t.tcs tc_name) then
+        invalid_arg ("Deploy.create_branch: unknown TC " ^ tc_name);
+      ( Branch.of_manager ~label:tc_name (manager_for t tc_name),
+        None,
+        tc_name,
+        all_tables t )
+  in
+  (* the branch DC mirrors a primary's tuning; a fresh partition id
+     keeps cross-wiring loud (misrouted frames are rejected) *)
+  let dc_config =
+    match
+      Hashtbl.fold (fun n _ a -> n :: a) t.dc_configs []
+      |> List.sort String.compare
+    with
+    | n :: _ -> Hashtbl.find t.dc_configs n
+    | [] -> Dc.default_config
+  in
+  let part = t.next_part in
+  t.next_part <- t.next_part + 1;
+  let wrap f frame =
+    try f frame
+    with e ->
+      t.last_faulted <- Some name;
+      raise e
+  in
+  let br =
+    try
+      Branch.create ~counters:t.counters ~policy:t.policy ~seed:(fresh_seed t)
+        ~wrap ~name ~fork_lsn:from_lsn ~parent ~tc_id:(fresh_tc_id t)
+        ~dc_config ~part ~tables ()
+    with Branch.Out_of_range { wanted; durable } ->
+      (* the deployment's typed boundary error, same shape everywhere *)
+      raise (Out_of_range { wanted; durable })
+  in
+  Hashtbl.add t.branches name { be_branch = br; be_parent; be_tc };
+  br
+
+let delete_branch t name =
+  let e =
+    match Hashtbl.find_opt t.branches name with
+    | Some e -> e
+    | None -> invalid_arg ("Deploy.delete_branch: unknown branch " ^ name)
+  in
+  (match branch_children t name with
+  | [] -> ()
+  | children -> raise (Branch_has_children { parent = name; children }));
+  Branch.close e.be_branch;
+  Hashtbl.remove t.branches name
+
+let crash_branch_dc t name = Branch.crash_dc (branch t name)
+
+(* Rebase one root store's history: fold everything below [below] (as
+   clamped by live branch pins and the durable watermark) into a
+   snapshot layer.  Branch retention is exactly why the pin floor is in
+   the clamp — a fork point stays answerable while its branch lives. *)
+let truncate_history ?tc:tc_sel t ~below =
+  let tc_name =
+    match tc_sel with
+    | Some n -> n
+    | None -> (
+      match tc_names t with
+      | [ n ] -> n
+      | _ -> invalid_arg "Deploy.truncate_history: several TCs; pass ~tc")
+  in
+  let m = manager_for t tc_name in
+  Repl.Manager.sync_layers m;
+  match Repl.Manager.layer_store m with
+  | Some s -> Layer.truncate_history s ~below
+  | None -> invalid_arg "Deploy.truncate_history: no layer store"
+
 let take_last_faulted t =
   let f = t.last_faulted in
   t.last_faulted <- None;
@@ -689,7 +885,8 @@ let crash_for_point t ~point ~tc ~dc =
            cache.  A fault that escaped a standby's apply kills the
            standby, not any primary. *)
         let target = Option.value (take_last_faulted t) ~default:dc in
-        if Hashtbl.mem t.standbys target then crash_standby t target
+        if Hashtbl.mem t.branches target then crash_branch_dc t target
+        else if Hashtbl.mem t.standbys target then crash_standby t target
         else crash_dc t target
     with Untx_fault.Fault.Injected_crash p when attempts > 0 ->
       go (attempts - 1) p ~dc
@@ -736,7 +933,8 @@ let quiesce t =
   if Hashtbl.length t.managers > 0 then begin
     Hashtbl.iter (fun _ tc -> Tc.force_log tc) t.tcs;
     Hashtbl.iter (fun _ m -> Repl.Manager.settle m) t.managers
-  end
+  end;
+  Hashtbl.iter (fun _ e -> Branch.quiesce e.be_branch) t.branches
 
 let messages_total t =
   Hashtbl.fold

@@ -186,6 +186,12 @@ val rebuild_replica : t -> string -> int
     [Invalid_argument] for unknown replicas or deployments created
     without [~layers:true]. *)
 
+exception Out_of_range of { wanted : Untx_util.Lsn.t; durable : Untx_util.Lsn.t }
+(** A point-in-time read or fork point beyond every store's ingest
+    watermark: [wanted] exceeds [durable], the highest answerable LSN.
+    Typed (mirroring [Wal.Truncated {wanted; retained}]) so callers can
+    tell unanswerable-at-[at] from a legitimate absent-at-[at] [None]. *)
+
 val read_as_of :
   ?tc:string ->
   t ->
@@ -200,7 +206,63 @@ val read_as_of :
     answered through its history hook ({!Untx_dc.Dc.read_as_of}) backed
     by the layer store's [reconstruct].  Every store is synced to
     end-of-stable-log first, so any [at <= stable_lsn] is answerable.
-    Requires [~layers:true]. *)
+    Raises {!Out_of_range} when [at] is beyond every store's ingest
+    watermark — never a silent [None] — and
+    [Untx_layer.Layer.History_truncated] when [at] sits below a rebased
+    store's {!truncate_history} cut.  Requires [~layers:true]. *)
+
+(** {2 Copy-on-write branches (layered deployments)} *)
+
+exception Branch_has_children of { parent : string; children : string list }
+(** {!delete_branch} refused: the named branch is still the parent of
+    live branches — deleting it would unpin history its children
+    resolve through.  Delete the children first. *)
+
+val create_branch :
+  ?tc:string ->
+  ?from:string ->
+  t ->
+  from_lsn:Untx_util.Lsn.t ->
+  name:string ->
+  Untx_branch.Branch.t
+(** Fork the deployment at [from_lsn]: the branch gets its own TC
+    (fresh identity on the deployment's ~expect plane), DC (fresh
+    partition id), transport and layer store, while everything at or
+    below [from_lsn] stays shared with the parent under a retention pin
+    ({!Untx_branch.Branch}).  No data is copied — fork cost is
+    O(metadata), timed as ["branch.fork_ns"].  The parent is [~from]'s
+    branch when given (nesting; [from_lsn] is then in that branch's
+    combined LSN space), else [~tc]'s root layer store ([~tc] may be
+    omitted with a single TC; the branch serves every table created in
+    the deployment).  Raises {!Out_of_range} when [from_lsn] exceeds
+    the parent's ingest watermark, [Invalid_argument] for duplicate
+    names or deployments without [~layers:true]. *)
+
+val branch : t -> string -> Untx_branch.Branch.t
+
+val branch_names : t -> string list
+
+val branch_children : t -> string -> string list
+(** The live branches forked directly off the named branch. *)
+
+val branch_root_tc : t -> string -> string
+(** The root TC whose (combined) LSN space the named branch addresses. *)
+
+val delete_branch : t -> string -> unit
+(** Close the branch and release its fork-point pin, letting parent
+    truncation pass it.  Raises {!Branch_has_children} while the branch
+    still has live children — never silently unpins history someone
+    resolves through — and [Invalid_argument] for unknown names. *)
+
+val crash_branch_dc : t -> string -> unit
+(** Crash + recover the named branch's DC and redo from its TC — the
+    single-DC restart scoped to the branch; the parent is untouched. *)
+
+val truncate_history : ?tc:string -> t -> below:Untx_util.Lsn.t -> int
+(** Rebase [~tc]'s layer store ({!Untx_layer.Layer.truncate_history}):
+    fold history below [below] — as clamped by live branch fork-point
+    pins and the durable watermark — into a snapshot layer.  Returns
+    entries reclaimed. *)
 
 val crash_for_point : t -> point:string -> tc:string -> dc:string -> unit
 (** Kill whichever component owns the fault point (see

@@ -385,6 +385,73 @@ let check_watermarks d =
     (Deploy.tc_names d);
   List.rev !errs
 
+(* Branch parity: a live branch must have a well-formed DC, agree with
+   its parent bit-for-bit on the shared prefix at the fork point — via
+   its own combined-LSN read path and, for branches forked directly off
+   a root TC, via the deployment's read_as_of — and answer its durable
+   point-in-time view consistently with the per-key lookup. *)
+module Branch = Untx_branch.Branch
+
+let check_branch d ~name ~table =
+  let module Lsn = Untx_util.Lsn in
+  let errs = ref [] in
+  let br = Deploy.branch d name in
+  (match Dc.check (Branch.dc br) with
+  | Ok () -> ()
+  | Error e ->
+    errs := Printf.sprintf "branch %s: ill-formed DC: %s" name e :: !errs);
+  let fork = Branch.fork_lsn br in
+  if Lsn.(Branch.durable br < fork) then
+    errs :=
+      Printf.sprintf "branch %s: durable %d below its fork %d" name
+        (Lsn.to_int (Branch.durable br))
+        (Lsn.to_int fork)
+      :: !errs;
+  let rooted =
+    not
+      (List.exists
+         (fun b -> List.mem name (Deploy.branch_children d b))
+         (Deploy.branch_names d))
+  in
+  let show = function Some v -> Printf.sprintf "%S" v | None -> "None" in
+  List.iter
+    (fun (key, v) ->
+      let via_branch = Branch.read_as_of br ~table ~key ~at:fork in
+      if via_branch <> Some v then
+        errs :=
+          Printf.sprintf
+            "branch %s: fork prefix of %s/%s reads %s through the branch, \
+             parent holds %S"
+            name table key (show via_branch) v
+          :: !errs;
+      if rooted then begin
+        let via_root =
+          Deploy.read_as_of d
+            ~tc:(Deploy.branch_root_tc d name)
+            ~table ~key ~at:fork
+        in
+        if via_root <> Some v then
+          errs :=
+            Printf.sprintf
+              "branch %s: fork prefix of %s/%s reads %s through the root, \
+               parent iteration holds %S"
+              name table key (show via_root) v
+            :: !errs
+      end)
+    (Branch.fork_rows br ~table);
+  let durable = Branch.durable br in
+  List.iter
+    (fun (key, v) ->
+      let got = Branch.read_as_of br ~table ~key ~at:durable in
+      if got <> Some v then
+        errs :=
+          Printf.sprintf
+            "branch %s: durable view of %s/%s iterates %S but looks up %s"
+            name table key v (show got)
+          :: !errs)
+    (Branch.rows_at br ~table ~at:durable);
+  List.rev !errs
+
 let run_deploy d ~tc ~table ~expected =
   let errs = ref [] in
   List.iter

@@ -53,6 +53,17 @@ val check_index :
     Dangling, stale, missing and wrong-pk entries are each called out.
     Empty iff clean. *)
 
+val check_branch :
+  Untx_cloud.Deploy.t -> name:string -> table:string -> string list
+(** Branch-parity audit of a quiesced deployment: the named branch's DC
+    satisfies the structural invariants, the shared prefix at the fork
+    point is bit-identical whether read through the branch's combined
+    LSN space or (for branches forked directly off a root TC) through
+    {!Untx_cloud.Deploy.read_as_of} on the parent, and the branch's
+    durable point-in-time view agrees with its own per-key lookups.
+    Run it on the parent deployment after branch traffic, compaction,
+    or pin-clamped truncation.  Empty iff clean. *)
+
 val check_watermarks : Untx_cloud.Deploy.t -> string list
 (** Cross-TC watermark audit of a quiesced deployment: for every
     DC × TC pair, the DC's low-water mark must not exceed its

@@ -1610,3 +1610,351 @@ let soak_workloads ?(base_seed = 0xB0B) ?(seeds_per_spec = 2) () =
          (Workload.bank ()))
   in
   (cycles, summarize cycles)
+
+(* --- copy-on-write branch chaos ---------------------------------------- *)
+
+module Branch = Untx_branch.Branch
+module Layer = Untx_layer.Layer
+
+(* Layered deployment for the branch cycles: fork targets must resolve
+   through the parent's layer store, so [~layers:true], no standbys, and
+   an unversioned table (the store's reconstruction space). *)
+let make_deploy_branched ~counters ~seed ~parts =
+  let policy = if seed mod 3 = 0 then lossy else Transport.reliable in
+  let sync_policy =
+    match seed / 4 mod 3 with
+    | 0 -> Dc.Stall_until_lwm
+    | 1 -> Dc.Bounded 4
+    | _ -> Dc.Full_ablsn
+  in
+  let tc_reset_mode = if seed mod 5 = 0 then Dc.Complete else Dc.Selective in
+  let d = Deploy.create ~counters ~policy ~layers:true ~seed () in
+  ignore
+    (Deploy.add_tc d ~name:"tc1"
+       {
+         (Tc.default_config (Tc_id.of_int 1)) with
+         lwm_every = 8;
+         debug_checks = true;
+       });
+  let dc_names = List.init parts (Printf.sprintf "dc%d") in
+  List.iter
+    (fun name ->
+      ignore
+        (Deploy.add_dc d ~name
+           {
+             Dc.page_capacity = 160;
+             cache_pages = 6;
+             sync_policy;
+             tc_reset_mode;
+             debug_checks = true;
+           }))
+    dc_names;
+  Deploy.add_partitioned_table d ~name:table ~versioned:false ~replicas:0
+    ~dcs:dc_names ();
+  d
+
+(* Fork-under-load: a third into the workload the deployment forks at
+   its stable LSN; from then on every iteration drives one parent and
+   one branch transaction over the same key space (so copy-on-write
+   materialization races real parent traffic), and at the two-thirds
+   mark the parent compacts, truncates history at its stable LSN (the
+   cut must clamp at the live branch's fork pin), and the branch DC is
+   killed and recovered.  Faults route by attribution: a DC-side point
+   that escaped the branch's stack crashes the branch DC
+   ([Deploy.crash_for_point] consults the fault wrapper), a TC-side
+   point that escaped a branch operation crash-recovers the branch's
+   own TC.  The audit is the full parent [Audit.run_deploy] plus
+   {!Audit.check_branch} plus two oracle laws: the branch tracks its
+   own shadow map, and the shared prefix at the fork point still reads
+   back exactly as the parent's oracle stood when the fork was cut. *)
+let run_cycle_branch ?(keep_trace = false) ~label ~plan ~seed ~txns ~parts ()
+    =
+  Fault.disarm ();
+  let was_tracing = Trace.enabled () in
+  Trace.clear ();
+  Trace.set_enabled true;
+  let counters = Instrument.create () in
+  let rng = Rng.create ~seed in
+  let d = make_deploy_branched ~counters ~seed ~parts in
+  let tc = Deploy.tc d "tc1" in
+  let default_dc = List.hd (Deploy.partitions d ~table) in
+  let oracle : (string, string option) Hashtbl.t = Hashtbl.create 128 in
+  let br_oracle : (string, string option) Hashtbl.t = Hashtbl.create 128 in
+  let fork_state = ref None (* (fork lsn, oracle snapshot at the fork) *) in
+  let br = ref None in
+  let in_branch = ref false in
+  let crashes = ref 0 and committed = ref 0 and br_committed = ref 0 in
+  let recover_for p =
+    match (Kernel.component_of_point p, !br) with
+    | `Tc, Some b when !in_branch ->
+      (* the point escaped the branch's own TC: recover it, not tc1 *)
+      Tc.crash (Branch.tc b);
+      Tc.recover (Branch.tc b)
+    | _ -> Deploy.crash_for_point d ~point:p ~tc:"tc1" ~dc:default_dc
+  in
+  let handle = function
+    | Fault.Injected_crash p ->
+      incr crashes;
+      recover_for p
+    | Fault.Io_error p ->
+      incr crashes;
+      Fault.disarm ();
+      recover_for p
+    | e -> raise e
+  in
+  let guard f =
+    try f ()
+    with (Fault.Injected_crash _ | Fault.Io_error _) as e -> handle e
+  in
+  let probe_with read marker =
+    let attempt () = read marker in
+    try attempt ()
+    with (Fault.Injected_crash _ | Fault.Io_error _) as e ->
+      handle e;
+      (try attempt () with Fault.Injected_crash _ | Fault.Io_error _ -> None)
+  in
+  let parent_probe =
+    probe_with (fun marker ->
+        let txn = Tc.begin_txn tc in
+        let v =
+          match Tc.read tc txn ~table ~key:marker with
+          | `Ok v -> v
+          | `Blocked | `Fail _ -> None
+        in
+        (match Tc.commit tc txn with
+        | `Ok () -> ()
+        | `Blocked | `Fail _ ->
+          if Tc.is_active txn then Tc.abort tc txn ~reason:"chaos probe");
+        v)
+  in
+  let branch_probe b =
+    probe_with (fun marker ->
+        let txn = Branch.begin_txn b in
+        let v =
+          match Branch.read b txn ~table ~key:marker with
+          | `Ok v -> v
+          | `Blocked | `Fail _ -> None
+        in
+        (match Branch.commit b txn with
+        | `Ok () -> ()
+        | `Blocked | `Fail _ ->
+          if Tc.is_active txn then Branch.abort b txn ~reason:"chaos probe");
+        v)
+  in
+  (* One generated transaction against [ops]'s surface, with the stock
+     marker-probe fate protocol.  [shadow] is the side's own oracle. *)
+  let run_txn ~marker ~shadow ~probe ~counter
+      ~(begin_txn : unit -> Tc.txn) ~ins ~upd ~del ~commit ~abort ~is_active =
+    let staged : (string, string option) Hashtbl.t = Hashtbl.create 8 in
+    let cur = ref None in
+    let phase = ref `Body in
+    let resolve_by_marker () =
+      if probe marker <> None then begin
+        incr counter;
+        commit_staged shadow staged
+      end
+    in
+    try
+      let txn = begin_txn () in
+      cur := Some txn;
+      (match ins txn ~key:marker ~value:"1" with
+      | `Ok () -> Hashtbl.replace staged marker (Some "1")
+      | `Blocked | `Fail _ -> ());
+      for _ = 1 to 1 + Rng.int rng 4 do
+        let key = Printf.sprintf "k%02d" (Rng.int rng 50) in
+        let current =
+          if Hashtbl.mem staged key then Hashtbl.find staged key
+          else Option.join (Hashtbl.find_opt shadow key)
+        in
+        match current with
+        | None -> (
+          let value = Printf.sprintf "v%06d" (Rng.int rng 1_000_000) in
+          match ins txn ~key ~value with
+          | `Ok () -> Hashtbl.replace staged key (Some value)
+          | `Blocked | `Fail _ -> ())
+        | Some _ ->
+          if Rng.chance rng 0.3 then (
+            match del txn ~key with
+            | `Ok () -> Hashtbl.replace staged key None
+            | `Blocked | `Fail _ -> ())
+          else
+            let value = Printf.sprintf "v%06d" (Rng.int rng 1_000_000) in
+            (match upd txn ~key ~value with
+            | `Ok () -> Hashtbl.replace staged key (Some value)
+            | `Blocked | `Fail _ -> ())
+      done;
+      phase := `Commit;
+      match commit txn with
+      | `Ok () ->
+        incr counter;
+        commit_staged shadow staged
+      | `Blocked | `Fail _ -> ()
+    with (Fault.Injected_crash p | Fault.Io_error p) as e -> (
+      handle e;
+      match (!phase, Kernel.component_of_point p, !cur) with
+      | `Body, `Tc, _ -> ()
+      | `Body, `Dc, Some txn ->
+        if is_active txn then abort txn ~reason:"chaos: rollback after crash"
+      | `Body, `Dc, None -> ()
+      | `Commit, `Tc, _ -> resolve_by_marker ()
+      | `Commit, `Dc, Some txn ->
+        let rec settle attempts =
+          if not (is_active txn) then resolve_by_marker ()
+          else if attempts = 0 then (
+            abort txn ~reason:"chaos: commit retries exhausted";
+            resolve_by_marker ())
+          else
+            try
+              match commit txn with
+              | `Ok () ->
+                incr counter;
+                commit_staged shadow staged
+              | `Blocked | `Fail _ -> ()
+            with (Fault.Injected_crash _ | Fault.Io_error _) as e ->
+              handle e;
+              settle (attempts - 1)
+        in
+        settle 4
+      | `Commit, `Dc, None -> ())
+  in
+  Fault.arm ~seed plan;
+  for i = 0 to txns - 1 do
+    (* fork at the first stable point past a third of the workload *)
+    if i >= txns / 3 && !br = None then
+      guard (fun () ->
+          Deploy.quiesce d;
+          Tc.force_log tc;
+          let fork = Tc.stable_lsn tc in
+          let b = Deploy.create_branch d ~from_lsn:fork ~name:"b" in
+          fork_state := Some (fork, Hashtbl.copy oracle);
+          Hashtbl.iter (Hashtbl.replace br_oracle) oracle;
+          br := Some b);
+    if i = 2 * txns / 3 && !br <> None then
+      guard (fun () ->
+          Deploy.quiesce d;
+          Repl.Manager.compact_layers (Deploy.manager d ~tc:"tc1");
+          ignore (Deploy.truncate_history d ~below:(Tc.stable_lsn tc));
+          Deploy.crash_branch_dc d "b");
+    run_txn
+      ~marker:(Printf.sprintf "m%03d" i)
+      ~shadow:oracle ~probe:parent_probe ~counter:committed
+      ~begin_txn:(fun () -> Tc.begin_txn tc)
+      ~ins:(fun txn ~key ~value -> Tc.insert tc txn ~table ~key ~value)
+      ~upd:(fun txn ~key ~value -> Tc.update tc txn ~table ~key ~value)
+      ~del:(fun txn ~key -> Tc.delete tc txn ~table ~key)
+      ~commit:(fun txn -> Tc.commit tc txn)
+      ~abort:(fun txn ~reason -> Tc.abort tc txn ~reason)
+      ~is_active:Tc.is_active;
+    match !br with
+    | None -> ()
+    | Some b ->
+      in_branch := true;
+      Fun.protect
+        ~finally:(fun () -> in_branch := false)
+        (fun () ->
+          run_txn
+            ~marker:(Printf.sprintf "bm%03d" i)
+            ~shadow:br_oracle ~probe:(branch_probe b) ~counter:br_committed
+            ~begin_txn:(fun () -> Branch.begin_txn b)
+            ~ins:(fun txn ~key ~value -> Branch.insert b txn ~table ~key ~value)
+            ~upd:(fun txn ~key ~value -> Branch.update b txn ~table ~key ~value)
+            ~del:(fun txn ~key -> Branch.delete b txn ~table ~key)
+            ~commit:(fun txn -> Branch.commit b txn)
+            ~abort:(fun txn ~reason -> Branch.abort b txn ~reason)
+            ~is_active:Tc.is_active)
+  done;
+  let rec quiesce_settle attempts =
+    try Deploy.quiesce d
+    with (Fault.Injected_crash _ | Fault.Io_error _) as e when attempts > 0 ->
+      handle e;
+      quiesce_settle (attempts - 1)
+  in
+  quiesce_settle 4;
+  let fired = Fault.fired_points () in
+  Fault.disarm ();
+  Trace.set_enabled was_tracing;
+  let counters_at_quiesce = Instrument.snapshot counters in
+  let report =
+    Audit.run_deploy d ~tc:"tc1" ~table ~expected:(oracle_rows oracle)
+  in
+  let branch_violations =
+    match !br with
+    | None -> [ "branch: fork never succeeded" ]
+    | Some b ->
+      let errs = ref (Audit.check_branch d ~name:"b" ~table) in
+      let durable = Branch.durable b in
+      let show = function Some v -> Printf.sprintf "%S" v | None -> "None" in
+      (* the branch tracks its own shadow map *)
+      Hashtbl.iter
+        (fun key expected ->
+          let got = Branch.read_as_of b ~table ~key ~at:durable in
+          if got <> expected then
+            errs :=
+              Printf.sprintf "branch oracle: %s reads %s, shadow holds %s" key
+                (show got) (show expected)
+              :: !errs)
+        br_oracle;
+      (* the shared prefix at the fork point never moved *)
+      (match !fork_state with
+      | None -> ()
+      | Some (fork, at_fork) ->
+        Hashtbl.iter
+          (fun key expected ->
+            let got = Branch.read_as_of b ~table ~key ~at:fork in
+            if got <> expected then
+              errs :=
+                Printf.sprintf
+                  "branch fork prefix: %s reads %s, fork snapshot holds %s"
+                  key (show got) (show expected)
+                :: !errs)
+          at_fork);
+      !errs
+  in
+  let violations = report.Audit.violations @ branch_violations in
+  {
+    c_label = label;
+    c_seed = seed;
+    c_fired = fired;
+    c_crashes = !crashes;
+    c_committed = !committed + !br_committed;
+    c_redelivered = report.Audit.redelivered;
+    c_violations = violations;
+    c_counters = counters_at_quiesce;
+    c_trace = (if keep_trace || violations <> [] then Trace.to_jsonl () else "");
+  }
+
+(* Branch plans: DC and TC kills land on whichever side's stack the
+   point escapes (attribution decides), the layer point dies inside the
+   parent's compaction while a branch pins its history, and the
+   corruption plan stresses both transports at once. *)
+let plans_branch () =
+  [
+    ("branch.none", []);
+    ("dc.flush.before_page_write@1", [ Fault.crash_at "dc.flush.before_page_write" 1 ]);
+    ("dc.flush.before_page_write@3", [ Fault.crash_at "dc.flush.before_page_write" 3 ]);
+    ("wal.dc.force.mid@2", [ Fault.crash_at "wal.dc.force.mid" 2 ]);
+    ("tc.commit.before_force@2", [ Fault.crash_at "tc.commit.before_force" 2 ]);
+    ("tc.commit.after_force@3", [ Fault.crash_at "tc.commit.after_force" 3 ]);
+    (Layer.p_compact_mid ^ "@1", [ Fault.crash_at Layer.p_compact_mid 1 ]);
+    ( "transport.frame.corrupt~5%",
+      [ Fault.crash_with_prob "transport.frame.corrupt" 0.05 ] );
+    ( "dc.flush.before_page_write@2+tc.commit.after_force@2",
+      [
+        Fault.crash_at "dc.flush.before_page_write" 2;
+        Fault.crash_at "tc.commit.after_force" 2;
+      ] );
+  ]
+
+let soak_branch ?(base_seed = 0xB4A7) ?(seeds_per_plan = 3) ?(txns = 24)
+    ?(parts = 2) () =
+  let cycles =
+    List.concat
+      (List.mapi
+         (fun pi (label, plan) ->
+           List.init seeds_per_plan (fun si ->
+               run_cycle_branch ~label ~plan
+                 ~seed:(base_seed + (131 * pi) + (17 * si))
+                 ~txns ~parts ()))
+         (plans_branch ()))
+  in
+  (cycles, summarize cycles)

@@ -186,6 +186,36 @@ val plans_indexed : unit -> (string * Untx_fault.Fault.rule list) list
     commit-force edges; a double landing an SMO kill and a commit kill
     in one cycle; 5% frame corruption under the SMO kill. *)
 
+val run_cycle_branch :
+  ?keep_trace:bool ->
+  label:string ->
+  plan:Untx_fault.Fault.rule list ->
+  seed:int ->
+  txns:int ->
+  parts:int ->
+  unit ->
+  cycle
+(** The fork-under-load cycle on a layered deployment: a third into the
+    workload the deployment forks a copy-on-write branch at its stable
+    LSN, every later iteration drives one parent and one branch
+    transaction over the same key space (materialization racing live
+    parent traffic), and at the two-thirds mark the parent compacts,
+    truncates history at its stable LSN — the cut must clamp at the
+    live branch's fork pin — and the branch DC is killed and recovered.
+    Faults route by attribution: DC-side points that escaped the branch
+    crash the branch DC, TC-side points that escaped a branch operation
+    crash-recover the branch's own TC.  The audit is the parent's full
+    {!Audit.run_deploy} plus {!Audit.check_branch} plus the two branch
+    oracle laws (the branch tracks its own shadow map; the shared
+    prefix at the fork point still reads back as the parent's oracle
+    stood when the fork was cut). *)
+
+val plans_branch : unit -> (string * Untx_fault.Fault.rule list) list
+(** A fault-free control, DC-flush / WAL-force / commit-edge kills
+    (landing on either side by attribution), a kill inside the parent's
+    compaction while the branch pins its history, 5% frame corruption,
+    and a flush+commit double. *)
+
 val run_cycle_workload :
   spec:Untx_workload.Workload.spec -> seed:int -> unit -> cycle
 (** One workload-bank spec as a chaos cycle: {!Untx_workload.Workload.run}
@@ -259,6 +289,14 @@ val soak_indexed :
 (** Sweep every plan from {!plans_indexed} across [seeds_per_plan]
     seeds (default 3, [parts] 2, [txns] 24 per cycle), alternating the
     lock protocol, versioned-ness, transport and sync policy by seed. *)
+
+val soak_branch :
+  ?base_seed:int -> ?seeds_per_plan:int -> ?txns:int -> ?parts:int ->
+  unit ->
+  cycle list * summary
+(** Sweep every plan from {!plans_branch} across [seeds_per_plan] seeds
+    (default 3, [parts] 2, [txns] 24 per cycle), alternating transport
+    and sync policy by seed as the other layered soaks do. *)
 
 val soak_workloads :
   ?base_seed:int -> ?seeds_per_spec:int -> unit -> cycle list * summary

@@ -24,6 +24,24 @@ let p_compact_mid = Fault.declare "layer.compact.mid"
    it absorbed would leave a silent hole under every later read. *)
 let p_ingest_drop = Fault.declare "layer.ingest.drop"
 
+exception Beyond_ingested of { wanted : Lsn.t; ingested : Lsn.t }
+
+exception History_truncated of { wanted : Lsn.t; history_from : Lsn.t }
+
+let () =
+  Printexc.register_printer (function
+    | Beyond_ingested { wanted; ingested } ->
+      Some
+        (Printf.sprintf
+           "Layer.Beyond_ingested { wanted = %s; ingested = %s }"
+           (Lsn.to_string wanted) (Lsn.to_string ingested))
+    | History_truncated { wanted; history_from } ->
+      Some
+        (Printf.sprintf
+           "Layer.History_truncated { wanted = %s; history_from = %s }"
+           (Lsn.to_string wanted) (Lsn.to_string history_from))
+    | _ -> None)
+
 type entry = {
   e_tk : string * string; (* (table, key) *)
   e_lsn : Lsn.t;
@@ -56,6 +74,13 @@ type t = {
          "absent" (unversioned delete), distinct from never-written *)
   mutable ingested : Lsn.t;
   mutable durable : Lsn.t;
+  pins : (Lsn.t, int ref) Hashtbl.t;
+      (* refcounted retention pins: {!truncate_history} never cuts
+         above the lowest pinned LSN, so a live branch's fork point
+         stays resolvable however often the parent rebases *)
+  mutable history_from : Lsn.t;
+      (* lowest [at] still answerable; reads below it raise
+         {!History_truncated}.  Starts at zero (full history). *)
 }
 
 let fresh_run () = { u_entries = []; u_count = 0 }
@@ -74,11 +99,15 @@ let create ?(counters = Instrument.global) ?(l0_seal_ops = 128)
     cur = Hashtbl.create 256;
     ingested = Lsn.zero;
     durable = Lsn.zero;
+    pins = Hashtbl.create 4;
+    history_from = Lsn.zero;
   }
 
 let ingested_lsn t = t.ingested
 
 let durable_lsn t = t.durable
+
+let history_from t = t.history_from
 
 let l0_runs t = List.length t.sealed + if t.active.u_count > 0 then 1 else 0
 
@@ -301,12 +330,15 @@ let find_in_run u tk at =
   (* newest first, so the first match is the greatest lsn <= at *)
   List.find_opt (fun e -> e.e_tk = tk && Lsn.(e.e_lsn <= at)) u.u_entries
 
-let reconstruct t ~table ~key ~at =
+(* Newest entry for (table, key) at or below [at], shared by
+   {!reconstruct} and {!lookup}.  Both raise the typed range errors:
+   above the ingest watermark the store has not absorbed the history
+   yet; below {!history_from} it deliberately dropped it. *)
+let find_entry t ~table ~key ~at =
   if Lsn.(t.ingested < at) then
-    invalid_arg
-      (Printf.sprintf
-         "Layer.reconstruct: at=%s beyond ingested watermark %s"
-         (Lsn.to_string at) (Lsn.to_string t.ingested));
+    raise (Beyond_ingested { wanted = at; ingested = t.ingested });
+  if Lsn.(at < t.history_from) then
+    raise (History_truncated { wanted = at; history_from = t.history_from });
   let tk = (table, key) in
   let probes = ref 0 in
   let probe_run u = incr probes; find_in_run u tk at in
@@ -330,7 +362,18 @@ let reconstruct t ~table ~key ~at =
   in
   Instrument.bump t.counters "layer.reconstruct_reads";
   Metrics.observe t.counters "layer.read_amp" !probes;
-  match entry with None -> None | Some e -> visible e.e_rec
+  entry
+
+let reconstruct t ~table ~key ~at =
+  match find_entry t ~table ~key ~at with
+  | None -> None
+  | Some e -> visible e.e_rec
+
+let lookup t ~table ~key ~at =
+  match find_entry t ~table ~key ~at with
+  | None -> `Unwritten
+  | Some e -> (
+    match visible e.e_rec with Some v -> `Visible v | None -> `Gone)
 
 let iter_current t f =
   Hashtbl.iter
@@ -338,9 +381,116 @@ let iter_current t f =
       match st with Some r -> f ~table ~key r | None -> ())
     t.cur
 
+(* Fork-point iteration: [cur] holds the full key universe (a key once
+   written stays, with an explicit None when currently absent), so
+   reconstructing each member at [at] visits exactly the records visible
+   there — the branch scan-materialization set. *)
+let iter_at t ~at f =
+  if Lsn.(t.ingested < at) then
+    raise (Beyond_ingested { wanted = at; ingested = t.ingested });
+  if Lsn.(at < t.history_from) then
+    raise (History_truncated { wanted = at; history_from = t.history_from });
+  Hashtbl.iter
+    (fun (table, key) _ ->
+      match reconstruct t ~table ~key ~at with
+      | Some value -> f ~table ~key value
+      | None -> ())
+    t.cur
+
+(* ------------------------------------------------------------------ *)
+(* Retention pins + history truncation                                 *)
+
+let pin t ~at =
+  if Lsn.(t.ingested < at) then
+    raise (Beyond_ingested { wanted = at; ingested = t.ingested });
+  if Lsn.(at < t.history_from) then
+    raise (History_truncated { wanted = at; history_from = t.history_from });
+  (match Hashtbl.find_opt t.pins at with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.pins at (ref 1));
+  Instrument.bump t.counters "layer.pins"
+
+let unpin t ~at =
+  match Hashtbl.find_opt t.pins at with
+  | Some r ->
+    decr r;
+    if !r <= 0 then Hashtbl.remove t.pins at;
+    Instrument.bump t.counters "layer.unpins"
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Layer.unpin: no pin at %s" (Lsn.to_string at))
+
+let pin_floor t =
+  Hashtbl.fold
+    (fun at _ acc ->
+      match acc with None -> Some at | Some a -> Some (Lsn.min a at))
+    t.pins None
+
+let pin_count t = Hashtbl.fold (fun _ r acc -> acc + !r) t.pins 0
+
+(* Rebase the store at [below]: every L1 layer wholly below the cut is
+   folded into one snapshot layer holding each key's newest dropped
+   entry (present or explicitly absent — the key universe and the
+   written-then-deleted distinction both survive), and reads below the
+   cut raise {!History_truncated} from then on.  The cut never passes
+   the lowest retention pin (a live branch's fork point) nor the
+   volatile L0 region, so everything a pinned reader can ask for stays
+   answerable.  Returns the number of entries reclaimed. *)
+let truncate_history t ~below =
+  let cut =
+    let c = match pin_floor t with Some p -> Lsn.min below p | None -> below in
+    Lsn.min c (Lsn.next t.durable)
+  in
+  if Lsn.(cut <= t.history_from) then 0
+  else begin
+    let dropped, kept = List.partition (fun y -> Lsn.(y.y_hi < cut)) t.layers in
+    let reclaimed =
+      match dropped with
+      | [] -> 0
+      | _ ->
+        let newest : (string * string, entry) Hashtbl.t = Hashtbl.create 64 in
+        (* dropped is newest-first; walk oldest-first so later entries
+           overwrite earlier ones *)
+        List.iter
+          (fun y ->
+            Array.iter (fun e -> Hashtbl.replace newest e.e_tk e) y.y_entries)
+          (List.rev dropped);
+        let entries =
+          Hashtbl.fold (fun _ e acc -> e :: acc) newest []
+          |> List.sort entry_compare |> Array.of_list
+        in
+        let y_lo =
+          List.fold_left
+            (fun acc y -> Lsn.min acc y.y_lo)
+            (List.hd dropped).y_lo dropped
+        and y_hi =
+          List.fold_left
+            (fun acc y -> Lsn.max acc y.y_hi)
+            (List.hd dropped).y_hi dropped
+        in
+        let before =
+          List.fold_left (fun acc y -> acc + Array.length y.y_entries) 0 dropped
+        in
+        t.layers <- kept @ [ { y_lo; y_hi; y_entries = entries } ];
+        before - Array.length entries
+    in
+    t.history_from <- cut;
+    Instrument.bump t.counters "layer.history_truncations";
+    Instrument.bump_by t.counters "layer.history_entries_reclaimed" reclaimed;
+    if Trace.enabled () then
+      Trace.record ~tid:0 ~comp:"layer" ~ev:"truncate_history"
+        [
+          ("cut", Lsn.to_string cut);
+          ("reclaimed", string_of_int reclaimed);
+        ];
+    reclaimed
+  end
+
 let iter_ops t ~from ~upto f =
   if Lsn.(t.ingested < upto) then
-    invalid_arg "Layer.iter_ops: upto beyond ingested watermark";
+    raise (Beyond_ingested { wanted = upto; ingested = t.ingested });
+  if Lsn.(from < t.history_from) then
+    raise (History_truncated { wanted = from; history_from = t.history_from });
   let collect acc e =
     if Lsn.(from <= e.e_lsn) && Lsn.(e.e_lsn <= upto) then e :: acc else acc
   in

@@ -40,6 +40,17 @@ val p_ingest_drop : string
     does not hold, so the next {!absorb} re-reads the suffix from the
     log and nothing is silently lost. *)
 
+exception Beyond_ingested of { wanted : Untx_util.Lsn.t; ingested : Untx_util.Lsn.t }
+(** A history read past the ingest watermark: the store has not absorbed
+    [wanted] yet (it only holds [..ingested]).  Mirrors
+    [Wal.Truncated {wanted; retained}] — typed, so callers can match on
+    the boundary instead of parsing a message. *)
+
+exception History_truncated of { wanted : Untx_util.Lsn.t; history_from : Untx_util.Lsn.t }
+(** A history read below the rebase cut: {!truncate_history} dropped the
+    per-LSN history under [history_from], keeping only each key's rebased
+    state there. *)
+
 type t
 
 val create :
@@ -103,9 +114,29 @@ val reconstruct :
   t -> table:string -> key:string -> at:Untx_util.Lsn.t -> string option
 (** The record's visible value after applying every logged operation at
     or below [at] — [None] if it was absent or deleted there.  Raises
-    [Invalid_argument] when [at > ingested_lsn] (the store cannot answer
-    beyond what it absorbed).  Counted as ["layer.reconstruct_reads"];
+    {!Beyond_ingested} when [at > ingested_lsn] (the store cannot answer
+    beyond what it absorbed) and {!History_truncated} when
+    [at < history_from].  Counted as ["layer.reconstruct_reads"];
     structures probed recorded in the ["layer.read_amp"] histogram. *)
+
+val lookup :
+  t ->
+  table:string ->
+  key:string ->
+  at:Untx_util.Lsn.t ->
+  [ `Visible of string | `Gone | `Unwritten ]
+(** {!reconstruct} with the two flavours of "absent" kept apart:
+    [`Gone] means the store logged the key and its state at [at] is
+    invisible (deleted, tombstoned, never-committed); [`Unwritten] means
+    no logged operation at or below [at] ever touched it.  A branch
+    overlay needs the distinction — [`Unwritten] falls through to the
+    parent, [`Gone] must not.  Same range checks as {!reconstruct}. *)
+
+val iter_at :
+  t -> at:Untx_util.Lsn.t -> (table:string -> key:string -> string -> unit) -> unit
+(** Visit every record visible at [at] — the fork-point scan a branch
+    materializes whole tables from.  Same range checks as
+    {!reconstruct}. *)
 
 val iter_current :
   t -> (table:string -> key:string -> Untx_dc.Stored_record.t -> unit) -> unit
@@ -121,8 +152,38 @@ val iter_ops :
   unit
 (** Replay the original logged operations in [[from, upto]] in LSN order
     (each multi-key operation once) — redo sourced from layers for the
-    suffix the TC's log no longer retains.  Raises [Invalid_argument]
-    when [upto > ingested_lsn]. *)
+    suffix the TC's log no longer retains.  Raises {!Beyond_ingested}
+    when [upto > ingested_lsn] and {!History_truncated} when
+    [from < history_from] (the rebase dropped the per-op history
+    there). *)
+
+val pin : t -> at:Untx_util.Lsn.t -> unit
+(** Take a refcounted retention pin at [at]: {!truncate_history} will
+    never cut at or below a live pin, so every LSN [>= at] stays
+    answerable.  A live branch pins its fork point.  Same range checks
+    as {!reconstruct}. *)
+
+val unpin : t -> at:Untx_util.Lsn.t -> unit
+(** Release one pin taken at exactly [at].  Raises [Invalid_argument]
+    when no pin is held there. *)
+
+val pin_floor : t -> Untx_util.Lsn.t option
+(** The lowest live pin, if any. *)
+
+val pin_count : t -> int
+(** Total live pins (sum of refcounts). *)
+
+val history_from : t -> Untx_util.Lsn.t
+(** The lowest [at] this store still answers; [Lsn.zero] until
+    {!truncate_history} cuts. *)
+
+val truncate_history : t -> below:Untx_util.Lsn.t -> int
+(** Drop per-LSN history below [min below (pin floor)] (and never above
+    the durable watermark): L1 layers wholly under the cut are folded
+    into one rebased snapshot layer keeping each key's newest entry, and
+    [history_from] rises to the cut.  Reads and {!iter_ops} below the
+    cut raise {!History_truncated} afterwards.  Returns the number of
+    entries reclaimed (0 when the cut cannot rise). *)
 
 val crash : t -> unit
 (** Lose the volatile half: L0 runs and the ingest state above

@@ -26,6 +26,8 @@ type report = {
   r_layer : (string * int) list; (* layer-store events by kind (compact/…) *)
   r_front : (string * int) list;
       (* session front-end events by kind (admitted/shed/batched) *)
+  r_branch : (string * int) list;
+      (* copy-on-write branch events by kind (create/delete/dc_crash) *)
 }
 
 (* ---- JSONL parsing ---------------------------------------------------- *)
@@ -259,6 +261,9 @@ let analyze events =
   (* Front-end admission traffic has no per-operation span either — a
      shed transaction never reaches a TC; count it by kind. *)
   let r_front = count_component "front" in
+  (* Branch forks/deletes/DC-crashes are control operations with no
+     per-transaction span; count them by kind too. *)
+  let r_branch = count_component "branch" in
   {
     r_timelines = timelines;
     r_orphans =
@@ -272,6 +277,7 @@ let analyze events =
     r_repl;
     r_layer;
     r_front;
+    r_branch;
   }
 
 let pp_summary ppf r =
@@ -305,6 +311,11 @@ let pp_summary ppf r =
   if r.r_front <> [] then begin
     Format.fprintf ppf "front:";
     List.iter (fun (ev, n) -> Format.fprintf ppf " %s=%d" ev n) r.r_front;
+    Format.fprintf ppf "@,"
+  end;
+  if r.r_branch <> [] then begin
+    Format.fprintf ppf "branch:";
+    List.iter (fun (ev, n) -> Format.fprintf ppf " %s=%d" ev n) r.r_branch;
     Format.fprintf ppf "@,"
   end;
   Format.fprintf ppf "@]"

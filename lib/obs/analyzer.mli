@@ -36,6 +36,10 @@ type report = {
       (** session front-end events counted by kind (["admitted"],
           ["shed"], ["batched"]); a shed transaction never reaches a
           TC, so admission traffic has no per-operation span *)
+  r_branch : (string * int) list;
+      (** copy-on-write branch events counted by kind (["create"],
+          ["delete"], ["dc_crash"]); forks and deletes are control
+          operations with no per-transaction span *)
 }
 
 val of_jsonl : string -> Trace.event list

@@ -547,7 +547,10 @@ module Manager = struct
           (* the floor keeps retained <= durable+1 <= ingested+1, so a
              request for [from, retained) is always coverable once the
              store has synced at least once past [from] *)
-          if Lsn.(Lsn.zero < from) && Lsn.(upto <= Layer.ingested_lsn store)
+          if
+            Lsn.(Lsn.zero < from)
+            && Lsn.(upto <= Layer.ingested_lsn store)
+            && Lsn.(Layer.history_from store <= from)
           then Some (fun emit -> Layer.iter_ops store ~from ~upto emit)
           else None)
 

@@ -7,8 +7,10 @@ module Zipf = Untx_util.Zipf
 module Instrument = Untx_util.Instrument
 module Deploy = Untx_cloud.Deploy
 module Index = Untx_index.Index
+module Branch = Untx_branch.Branch
+module Lsn = Untx_util.Lsn
 
-type crash = Crash_dc | Crash_tc
+type crash = Crash_dc | Crash_tc | Crash_branch
 
 type spec = {
   w_name : string;
@@ -28,6 +30,7 @@ type spec = {
   w_abort_prob : float;
   w_poison_prob : float;
   w_crashes : crash list;
+  w_branch_at : float option;
 }
 
 type result = {
@@ -67,6 +70,7 @@ let base =
     w_abort_prob = 0.08;
     w_poison_prob = 0.1;
     w_crashes = [ Crash_dc ];
+    w_branch_at = None;
   }
 
 let bank () =
@@ -146,6 +150,18 @@ let bank () =
       w_indexed = true;
       w_lookup_prob = 0.4;
       w_crashes = [ Crash_dc ];
+    };
+    {
+      base with
+      w_name = "branched_pitr";
+      w_desc =
+        "copy-on-write fork at a mid-run LSN; parent and branch run \
+         differentially against independent oracles";
+      w_tables = [ ("kv", false) ];
+      w_keyspace = 150;
+      w_scan_prob = 0.25;
+      w_branch_at = Some 0.4;
+      w_crashes = [ Crash_dc; Crash_branch ];
     };
   ]
 
@@ -523,7 +539,9 @@ let final_parity st =
 (* Entry point                                                         *)
 
 let make_deploy spec ~counters ~seed ~idx =
-  let d = Deploy.create ~counters ~seed () in
+  let d =
+    Deploy.create ~counters ~seed ~layers:(spec.w_branch_at <> None) ()
+  in
   ignore
     (Deploy.add_tc d ~name:"tc1"
        {
@@ -582,6 +600,107 @@ let run ?(seed = 0xB0B) spec =
       violations = [];
     }
   in
+  (* Copy-on-write fork state: [w_branch_at] forks the deployment at
+     the stable LSN that fraction into the run; from then on every
+     iteration also drives one branch transaction against the branch's
+     own oracle (seeded from the parent's committed state at the fork),
+     so divergence is differential on both sides. *)
+  let branch = ref None in
+  let br_oracle : oracle = Hashtbl.create 4 in
+  let fork_lsn = ref Lsn.zero in
+  let fork_snapshot = ref [] in
+  let fork_at =
+    Option.map
+      (fun f -> int_of_float (f *. float_of_int spec.w_txns))
+      spec.w_branch_at
+  in
+  let do_fork () =
+    Deploy.quiesce st.d;
+    Tc.force_log st.tc;
+    let fork = Tc.stable_lsn st.tc in
+    let b = Deploy.create_branch st.d ~from_lsn:fork ~name:"b" in
+    fork_lsn := fork;
+    fork_snapshot :=
+      List.map (fun (t, _) -> (t, oracle_rows st.oracle t)) spec.w_tables;
+    List.iter
+      (fun (t, rows) ->
+        let bt = oracle_table br_oracle t in
+        List.iter (fun (k, v) -> Hashtbl.replace bt k v) rows)
+      !fork_snapshot;
+    branch := Some b
+  in
+  let run_branch_txn b i =
+    let table, _ = List.hd spec.w_tables in
+    let txn = Branch.begin_txn b in
+    let staged : (string * string, string option) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let abort_dead () =
+      if Tc.is_active txn then
+        Branch.abort b txn ~reason:"workload: branch txn over";
+      st.aborted <- st.aborted + 1
+    in
+    let expect_ok label o =
+      match o with
+      | `Ok v -> v
+      | (`Blocked | `Fail _) as o ->
+        violation st
+          (Printf.sprintf "%s: branch txn %d %s on %s came back %s"
+             spec.w_name i label table (pp_outcome o));
+        abort_dead ();
+        raise Txn_over
+    in
+    try
+      for _ = 1 to 1 + Rng.int st.rng 3 do
+        let key = pick_key st in
+        match view br_oracle staged table key with
+        | None ->
+          let value = gen_value spec st.rng in
+          expect_ok "insert" (Branch.insert b txn ~table ~key ~value);
+          Hashtbl.replace staged (table, key) (Some value)
+        | Some current ->
+          if Rng.chance st.rng spec.w_rmw_prob then begin
+            let got = expect_ok "read" (Branch.read b txn ~table ~key) in
+            check st
+              (got = Some current)
+              (Printf.sprintf
+                 "%s: branch txn %d read %s/%s saw %s, oracle says %S"
+                 spec.w_name i table key
+                 (match got with
+                 | Some v -> Printf.sprintf "%S" v
+                 | None -> "None")
+                 current);
+            let value = gen_value spec st.rng in
+            expect_ok "rmw-update" (Branch.update b txn ~table ~key ~value);
+            Hashtbl.replace staged (table, key) (Some value)
+          end
+          else if Rng.chance st.rng 0.3 then begin
+            expect_ok "delete" (Branch.delete b txn ~table ~key);
+            Hashtbl.replace staged (table, key) None
+          end
+          else begin
+            let value = gen_value spec st.rng in
+            expect_ok "update" (Branch.update b txn ~table ~key ~value);
+            Hashtbl.replace staged (table, key) (Some value)
+          end
+      done;
+      if Rng.chance st.rng spec.w_abort_prob then begin
+        Branch.abort b txn ~reason:"workload: deliberate branch abort";
+        st.aborted <- st.aborted + 1
+      end
+      else begin
+        match Branch.commit b txn with
+        | `Ok () ->
+          st.committed <- st.committed + 1;
+          commit_staged br_oracle staged
+        | (`Blocked | `Fail _) as o ->
+          violation st
+            (Printf.sprintf "%s: branch txn %d commit came back %s"
+               spec.w_name i (pp_outcome o));
+          st.aborted <- st.aborted + 1
+      end
+    with Txn_over -> ()
+  in
   (* Scripted kills, spread evenly: crash j lands before transaction
      (j+1) * txns / (n+1), between transactions — unambiguous, so the
      oracle carries straight through recovery. *)
@@ -592,23 +711,69 @@ let run ?(seed = 0xB0B) spec =
       spec.w_crashes
   in
   for i = 0 to spec.w_txns - 1 do
+    (match fork_at with
+    | Some at when at = i -> do_fork ()
+    | _ -> ());
     List.iter
       (fun (at, j, kind) ->
-        if at = i then begin
-          st.crashes <- st.crashes + 1;
+        if at = i then
           match kind with
           | Crash_dc ->
+            st.crashes <- st.crashes + 1;
             Deploy.crash_dc st.d (Printf.sprintf "dc%d" (j mod spec.w_parts))
-          | Crash_tc -> Deploy.crash_tc st.d "tc1"
-        end)
+          | Crash_tc ->
+            st.crashes <- st.crashes + 1;
+            Deploy.crash_tc st.d "tc1"
+          | Crash_branch -> (
+            match !branch with
+            | Some _ ->
+              st.crashes <- st.crashes + 1;
+              Deploy.crash_branch_dc st.d "b"
+            | None -> ()))
       crash_plan;
     run_txn st i;
+    (match !branch with Some b -> run_branch_txn b i | None -> ());
     if Rng.chance st.rng spec.w_scan_prob then scan_check st;
     if spec.w_indexed && Rng.chance st.rng spec.w_lookup_prob then
       lookup_check st
   done;
   Deploy.quiesce st.d;
   final_parity st;
+  (* Branch parity: the branch landed on its own oracle's exact state,
+     and the shared prefix at the fork point still reads back — through
+     the branch and through the parent — as the parent's oracle stood
+     when the fork was cut. *)
+  (match !branch with
+  | None -> ()
+  | Some b ->
+    Branch.quiesce b;
+    let durable = Branch.durable b in
+    List.iter
+      (fun (table, _) ->
+        let expected = oracle_rows br_oracle table in
+        let got = Branch.rows_at b ~table ~at:durable in
+        check st (got = expected)
+          (Printf.sprintf
+             "%s: final branch state of %s (%d rows) diverges from the \
+              branch oracle (%d rows)"
+             spec.w_name table (List.length got) (List.length expected)))
+      spec.w_tables;
+    List.iter
+      (fun (table, rows) ->
+        List.iter
+          (fun (key, v) ->
+            check st
+              (Branch.read_as_of b ~table ~key ~at:!fork_lsn = Some v)
+              (Printf.sprintf
+                 "%s: fork prefix of %s/%s through the branch lost %S"
+                 spec.w_name table key v);
+            check st
+              (Deploy.read_as_of st.d ~table ~key ~at:!fork_lsn = Some v)
+              (Printf.sprintf
+                 "%s: fork prefix of %s/%s through the parent lost %S"
+                 spec.w_name table key v))
+          rows)
+      !fork_snapshot);
   ( {
       r_name = spec.w_name;
       r_committed = st.committed;

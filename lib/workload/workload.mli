@@ -29,7 +29,7 @@
 
 module Tc := Untx_tc.Tc
 
-type crash = Crash_dc | Crash_tc
+type crash = Crash_dc | Crash_tc | Crash_branch
 
 type spec = {
   w_name : string;
@@ -54,7 +54,16 @@ type spec = {
   w_poison_prob : float;  (** chance of a poison probe per txn *)
   w_crashes : crash list;
       (** scripted kills, spread evenly across the run — every bank
-          spec schedules at least one *)
+          spec schedules at least one; [Crash_branch] kills the
+          copy-on-write branch's DC (a no-op before the fork) *)
+  w_branch_at : float option;
+      (** fork a copy-on-write branch ({!Untx_cloud.Deploy.create_branch})
+          at the stable LSN this fraction into the run; from then on
+          every iteration also drives one branch transaction against
+          the branch's own oracle (seeded from the parent's state at
+          the fork), and the final parity adds branch-vs-branch-oracle
+          equality plus shared-prefix-at-fork parity through both
+          sides.  Requires an unversioned single-table spec. *)
 }
 
 type result = {
@@ -77,7 +86,8 @@ type env = {
 val bank : unit -> spec list
 (** The standard bank: [zipfian_rmw], [range_scan_keylocks],
     [range_scan_rangelocks], [occ_uniform], [large_values],
-    [mixed_tables], [indexed_zipf], [indexed_unversioned]. *)
+    [mixed_tables], [indexed_zipf], [indexed_unversioned],
+    [branched_pitr]. *)
 
 val find : string -> spec
 (** Look a bank spec up by name.  Raises [Not_found]. *)

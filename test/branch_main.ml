@@ -1,0 +1,3 @@
+let () =
+  Alcotest.run "untx-branch"
+    [ ("branch", Suite_branch.suite); ("props_branch", Props_branch.suite) ]

@@ -53,11 +53,12 @@ let test_ingest_and_reconstruct () =
   Alcotest.(check (option string)) "a after update" (Some "a2") (rd "a" 3);
   Alcotest.(check (option string)) "b alive" (Some "b1") (rd "b" 3);
   Alcotest.(check (option string)) "b deleted" None (rd "b" 4);
-  Alcotest.(check bool) "beyond ingest refused" true
+  Alcotest.(check bool) "beyond ingest refused, typed" true
     (try
        ignore (rd "a" 5);
        false
-     with Invalid_argument _ -> true)
+     with Layer.Beyond_ingested { wanted; ingested } ->
+       Lsn.to_int wanted = 5 && Lsn.to_int ingested = 4)
 
 let test_compaction_merges_runs () =
   let s = mk_store ~l0_seal_ops:2 ~compact_runs:100 () in
@@ -376,6 +377,90 @@ let test_reconstruction_matches_checkpoints () =
   Alcotest.(check (list string)) "audit clean (incl. layer parity)" []
     report.Audit.violations
 
+(* The read_as_of/reconstruct boundary semantics, pinned as regression
+   tests at the store level: [at = 0] answers (nothing visible, and
+   [`Unwritten], not [`Gone]), [at = durable] answers, one past the
+   ingest watermark is the typed refusal naming both sides — never a
+   silent [None]. *)
+let test_layer_boundaries () =
+  let s = mk_store () in
+  Layer.absorb s ~upto:(lsn 3) (feed [ ins "a" "a1"; upd "a" "a2"; ins "b" "b1" ]);
+  Layer.compact ~all:true s;
+  Alcotest.(check (option string)) "reconstruct at zero" None
+    (Layer.reconstruct s ~table:"t" ~key:"a" ~at:Lsn.zero);
+  Alcotest.(check bool) "lookup at zero is `Unwritten" true
+    (Layer.lookup s ~table:"t" ~key:"a" ~at:Lsn.zero = `Unwritten);
+  Alcotest.(check int) "durable at ingest" 3 (Lsn.to_int (Layer.durable_lsn s));
+  Alcotest.(check (option string)) "reconstruct at durable" (Some "a2")
+    (Layer.reconstruct s ~table:"t" ~key:"a" ~at:(Layer.durable_lsn s));
+  let beyond = Lsn.next (Layer.ingested_lsn s) in
+  let refusal =
+    Layer.Beyond_ingested { wanted = beyond; ingested = Layer.ingested_lsn s }
+  in
+  Alcotest.check_raises "reconstruct refuses, typed" refusal (fun () ->
+      ignore (Layer.reconstruct s ~table:"t" ~key:"a" ~at:beyond));
+  Alcotest.check_raises "lookup refuses, typed" refusal (fun () ->
+      ignore (Layer.lookup s ~table:"t" ~key:"a" ~at:beyond));
+  Alcotest.check_raises "iter_at refuses, typed" refusal (fun () ->
+      Layer.iter_at s ~at:beyond (fun ~table:_ ~key:_ _ -> ()));
+  Alcotest.check_raises "pin refuses, typed" refusal (fun () ->
+      Layer.pin s ~at:beyond)
+
+(* History truncation: a pin clamps the cut; unpinned, wholly-below
+   layers fold into a rebased snapshot that keeps answering at and
+   above the cut (including explicitly-absent keys) and refuses below
+   it with the typed error. *)
+let test_truncate_history_rebases () =
+  let s = mk_store () in
+  Layer.absorb s ~upto:(lsn 2) (feed [ ins "a" "a1"; upd "a" "a2" ]);
+  Layer.compact ~all:true s;
+  let tail = [ ins "a" "a1"; upd "a" "a2"; ins "b" "b1"; del "a" ] in
+  Layer.absorb s ~upto:(lsn 4) (feed tail);
+  Layer.compact ~all:true s;
+  Alcotest.(check int) "two layers" 2 (Layer.l1_layers s);
+  Layer.pin s ~at:(lsn 1);
+  Alcotest.(check int) "pin clamps the cut: nothing reclaimed" 0
+    (Layer.truncate_history s ~below:(lsn 3));
+  Alcotest.(check int) "cut held at the pin" 1
+    (Lsn.to_int (Layer.history_from s));
+  Alcotest.(check (option string)) "pinned history answers" (Some "a1")
+    (Layer.reconstruct s ~table:"t" ~key:"a" ~at:(lsn 1));
+  Layer.unpin s ~at:(lsn 1);
+  Alcotest.(check int) "unpinned: duplicate entry reclaimed" 1
+    (Layer.truncate_history s ~below:(lsn 3));
+  Alcotest.(check int) "history_from at the cut" 3
+    (Lsn.to_int (Layer.history_from s));
+  Alcotest.(check (option string)) "snapshot preserves pre-cut state"
+    (Some "a2")
+    (Layer.reconstruct s ~table:"t" ~key:"a" ~at:(lsn 3));
+  Alcotest.(check (option string)) "post-cut history intact" None
+    (Layer.reconstruct s ~table:"t" ~key:"a" ~at:(lsn 4));
+  Alcotest.check_raises "below the cut refused, typed"
+    (Layer.History_truncated { wanted = lsn 2; history_from = lsn 3 })
+    (fun () -> ignore (Layer.reconstruct s ~table:"t" ~key:"a" ~at:(lsn 2)));
+  (* the rebased snapshot is durable L1: a crash keeps it *)
+  Layer.crash s;
+  Alcotest.(check (option string)) "rebase survives crash" (Some "a2")
+    (Layer.reconstruct s ~table:"t" ~key:"a" ~at:(lsn 3))
+
+(* The same boundary contract one level up, through the deployment's
+   routed read path: [at = 0] and [at = durable] answer, one past every
+   store's watermark raises the deployment's typed error. *)
+let test_deploy_read_as_of_boundaries () =
+  let d, tc = layered_deploy ~parts:1 ~replicas:0 () in
+  commit_one tc ~key:"a" ~value:"v1";
+  Deploy.quiesce d;
+  Tc.force_log tc;
+  let durable = Tc.stable_lsn tc in
+  Alcotest.(check (option string)) "at zero" None
+    (Deploy.read_as_of d ~table:"t" ~key:"a" ~at:Lsn.zero);
+  Alcotest.(check (option string)) "at durable" (Some "v1")
+    (Deploy.read_as_of d ~table:"t" ~key:"a" ~at:durable);
+  Alcotest.check_raises "beyond durable refused, typed"
+    (Deploy.Out_of_range { wanted = Lsn.next durable; durable })
+    (fun () ->
+      ignore (Deploy.read_as_of d ~table:"t" ~key:"a" ~at:(Lsn.next durable)))
+
 let suite =
   [
     Alcotest.test_case "ingest and reconstruct" `Quick
@@ -401,4 +486,10 @@ let suite =
       test_rebuild_replica_recovers;
     Alcotest.test_case "reconstruction matches checkpoints" `Quick
       test_reconstruction_matches_checkpoints;
+    Alcotest.test_case "boundary semantics (store level)" `Quick
+      test_layer_boundaries;
+    Alcotest.test_case "truncate_history rebases under pins" `Quick
+      test_truncate_history_rebases;
+    Alcotest.test_case "boundary semantics (deploy level)" `Quick
+      test_deploy_read_as_of_boundaries;
   ]
